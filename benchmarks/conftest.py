@@ -1,0 +1,59 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper's §6 and
+prints the corresponding rows/series.  Output goes to the *real* stdout
+(bypassing pytest capture) so ``pytest benchmarks/ --benchmark-only |
+tee bench_output.txt`` records it, and is also appended to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(text: str, result_file: str | None = None) -> None:
+    """Print to the un-captured stdout and optionally persist."""
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+    if result_file:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(RESULTS_DIR / result_file, "a") as handle:
+            handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_dir():
+    """Each benchmark session rewrites the results directory."""
+    if RESULTS_DIR.exists():
+        for path in RESULTS_DIR.glob("*.txt"):
+            path.unlink()
+    yield
+
+
+@pytest.fixture(scope="session")
+def reporter():
+    return emit
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Cluster/cost configuration shared by the execution benchmarks.
+
+    Heartbeats are fast relative to the (simulated) job durations so
+    scheduling quantization does not dominate the small synthetic
+    workloads the way it never dominated the paper's minute-long jobs.
+    """
+    from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+
+    return SystemConfig(
+        cluster=ClusterConfig(num_nodes=32, slots_per_node=3, heartbeat_period=0.2),
+        bft=ClusterBFTConfig(
+            f=1, replication=4, verification_points=2, verifier_timeout=600.0
+        ),
+    )

@@ -1,0 +1,129 @@
+"""Ablation — marker-function placement vs naive placements.
+
+DESIGN.md calls out the marker function (paper Fig. 3) as a design
+choice: it balances *detection value* (input ratio flowing through the
+point) against *recomputation cost* (distance from the previous
+verified point).  This ablation compares, on the airline multi-store
+query with a commission-faulty node and r = f+1 = 2 (so every detected
+fault forces a rerun):
+
+* ``marker``   — the paper's placement (2 points);
+* ``first``    — both points on the earliest job boundary;
+* ``final``    — no intermediate points (P-style final-output-only).
+
+Metric: end-to-end latency including reruns, and the number of job
+executions spent.  Expected shape: marker ≤ first ≤ final on wasted
+recomputation, because verified prefixes are reused.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.core.controller import ClusterBFTController
+from repro.core.request_handler import RequestHandler
+from repro.faults.behaviors import CommissionBehavior
+from repro.faults.injection import FaultPlan
+from repro.reporting.tables import Table
+from repro.workloads.airline import TOP_AIRPORTS, flight_records
+
+FLIGHTS = 20_000
+
+
+def config():
+    return SystemConfig(
+        cluster=ClusterConfig(num_nodes=24, slots_per_node=3, heartbeat_period=0.2),
+        bft=ClusterBFTConfig(
+            f=1,
+            replication=2,
+            verification_points=2,
+            verifier_timeout=30.0,
+            max_reruns=4,
+        ),
+    )
+
+
+def run_placement(placement, records, faulty_node):
+    fault_plan = FaultPlan(
+        {faulty_node: CommissionBehavior(probability=1.0, per_record_fraction=0.05)}
+    )
+    controller = ClusterBFTController(
+        config(), fault_plan=fault_plan, block_bytes=128 * 1024
+    )
+    controller.load_input("airline/flights", records)
+    plan = controller._to_plan(TOP_AIRPORTS)
+    if placement == "marker":
+        result = controller.run_assured(plan)
+    elif placement == "first":
+        handler = RequestHandler(config().bft)
+        boundaries = handler.candidate_vertices(plan)
+        result = controller.run_assured(plan, explicit_points=boundaries[:1])
+    else:  # final-output only
+        result = controller.run_assured(plan, explicit_points=[])
+    assert result.assured
+    executions = result.metrics.jobs
+    return result.latency, result.attempts, result.reused_jobs, executions
+
+
+def midpipeline_node(records):
+    """Pick a node that a clean run only uses for jobs after the first —
+    see test_table3_failures.midpipeline_node for rationale."""
+    controller = ClusterBFTController(config(), block_bytes=128 * 1024)
+    controller.load_input("airline/flights", records)
+    controller.run_assured(TOP_AIRPORTS)
+    per_job: dict[str, set] = {}
+    for run in controller.engine.runs:
+        job = run.sid.rsplit(".j", 1)[-1]
+        per_job.setdefault(job, set()).update(run.nodes_used)
+    first = per_job.get("0", set())
+    groups = (
+        per_job.get("1", set()) | per_job.get("2", set()) | per_job.get("3", set())
+    )
+    candidates = sorted(groups - first)
+    if not candidates:
+        later = set()
+        for job, nodes in per_job.items():
+            if job != "0":
+                later |= nodes
+        candidates = sorted(later - first)
+    return candidates[0] if candidates else "node_0000"
+
+
+@pytest.fixture(scope="module")
+def results():
+    records = flight_records(FLIGHTS)
+    node = midpipeline_node(records)
+    rows = {}
+    for placement in ("marker", "first", "final"):
+        rows[placement] = run_placement(placement, records, node)
+    return rows
+
+
+def test_ablation_marker_benchmark(benchmark, results, reporter):
+    records = flight_records(4_000)
+    benchmark.pedantic(
+        lambda: run_placement("final", records, "node_0000"),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        "Ablation — verification-point placement under a commission fault "
+        "(r = f+1: every fault forces a rerun)",
+        ["placement", "latency(s)", "attempts", "jobs reused", "job executions"],
+    )
+    for placement, (latency, attempts, reused, executions) in results.items():
+        table.add_row(placement, latency, attempts, reused, executions)
+    reporter("\n" + table.render(), "ablation_marker.txt")
+
+    marker = results["marker"]
+    final = results["final"]
+    # Both detect the fault and rerun (r = f+1 cannot mask it)...
+    assert marker[1] > 1 and final[1] > 1
+    # ...but marker placement committed verified sub-graphs before the
+    # fault and reuses them; final-only verification can never reuse
+    # intermediates, so it recomputes — and pays — more.
+    assert marker[2] > final[2]
+    assert marker[0] < final[0]
+    assert marker[3] < final[3]  # fewer job executions overall

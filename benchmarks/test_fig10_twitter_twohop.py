@@ -1,0 +1,96 @@
+"""Paper Fig. 10 — Twitter Two-Hop Analysis digest-computation overhead.
+
+The two-hop script self-joins the follower table; digests are computed
+at the (J)oin, (P)roject and (F)ilter vertices and their combinations —
+"Pure Pig", "Join", "Project", "Filter", "J&F", "J,P&F" in the paper.
+
+Shape to hold: single-execution digest overhead stays small at every
+position; BFT execution stays within ~10% of a single execution, with
+the join (largest intermediate data) the most expensive point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import ClusterBFTController
+from repro.reporting.tables import Table, percentage_overhead
+from repro.workloads.twitter import TWO_HOP_ANALYSIS, follower_edges
+
+EDGE_COUNT = 9_000
+USERS = 700
+
+CONFIGS = [
+    ("Join", ["joined"]),
+    ("Project", ["pairs"]),
+    ("Filter", ["clean"]),
+    ("J&F", ["joined", "clean"]),
+    ("J,P&F", ["joined", "pairs", "clean"]),
+]
+
+
+def fresh_controller(bench_config):
+    controller = ClusterBFTController(bench_config, block_bytes=256 * 1024)
+    controller.load_input(
+        "twitter/followers", follower_edges(EDGE_COUNT, num_users=USERS)
+    )
+    return controller
+
+
+@pytest.fixture(scope="module")
+def results(bench_config):
+    baseline = fresh_controller(bench_config).run_plain(TWO_HOP_ANALYSIS)
+    rows = []
+    for name, aliases in CONFIGS:
+        single_ctrl = fresh_controller(bench_config)
+        plan = single_ctrl._to_plan(TWO_HOP_ANALYSIS)
+        points = [plan.find_by_alias(alias) for alias in aliases]
+        single = single_ctrl.run_single(
+            plan, explicit_points=points, include_output_points=False
+        )
+        bft_ctrl = fresh_controller(bench_config)
+        plan = bft_ctrl._to_plan(TWO_HOP_ANALYSIS)
+        points = [plan.find_by_alias(alias) for alias in aliases]
+        bft = bft_ctrl.run_assured(plan, explicit_points=points)
+        assert bft.assured
+        rows.append((name, single.latency, bft.latency))
+    return baseline, rows
+
+
+def test_fig10_benchmark(benchmark, bench_config, results, reporter):
+    def run():
+        return fresh_controller(bench_config).run_assured(TWO_HOP_ANALYSIS)
+
+    timed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert timed.assured
+
+    baseline, rows = results
+    table = Table(
+        "Fig. 10 — Twitter Two-Hop Analysis latency (seconds, simulated)",
+        ["config", "PurePig", "Single", "BFT", "BFT-vs-Single %"],
+    )
+    for name, single, bft in rows:
+        table.add_row(
+            name, baseline.latency, single, bft, percentage_overhead(bft, single)
+        )
+    reporter("\n" + table.render(), "fig10.txt")
+
+    overheads = [percentage_overhead(bft, single) for _, single, bft in rows]
+    assert all(o < 15.0 for o in overheads)
+    # Digest computation alone (single execution) stays near Pure Pig.
+    for _, single, _ in rows:
+        assert percentage_overhead(single, baseline.latency) < 10.0
+
+
+def test_fig10_single_digest_overhead(results):
+    baseline, rows = results
+    for name, single, _ in rows:
+        assert single >= baseline.latency * 0.99
+
+
+def test_fig10_join_point_most_expensive_digest(results):
+    """The join emits the largest intermediate data set, so digesting it
+    is at least as costly as digesting the filtered input."""
+    baseline, rows = results
+    by_name = {name: bft for name, _, bft in rows}
+    assert by_name["J,P&F"] >= by_name["Filter"] * 0.999

@@ -1,0 +1,66 @@
+"""Paper Fig. 11 — jobs needed to isolate disjoint fault sets.
+
+The 250-node simulator runs replicated jobs (ratios r1 = 6:3:1 and
+r2 = 2:2:1 of large/medium/small, f = 1 with 4 replicas and f = 2 with
+7) against nodes that produce commission faults with probability p.
+Reported: the average number of jobs completed when |D| = f — the point
+after which the suspect population stops growing.
+
+Shapes to hold: the curve falls steeply with p; fewer than 20 jobs
+suffice for p ≥ 0.6; f = 2 needs more jobs than f = 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isolation.simulator import RATIO_R1, RATIO_R2, jobs_to_isolation
+from repro.reporting.tables import Series, render_figure
+
+PROBABILITIES = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+TRIALS = 5
+
+
+@pytest.fixture(scope="module")
+def curves():
+    out = {}
+    for label, f, ratio in (
+        ("f=1,r1", 1, RATIO_R1),
+        ("f=1,r2", 1, RATIO_R2),
+        ("f=2,r1", 2, RATIO_R1),
+        ("f=2,r2", 2, RATIO_R2),
+    ):
+        series = Series(label)
+        for p in PROBABILITIES:
+            series.add(p, jobs_to_isolation(f, ratio, p, trials=TRIALS, max_time=600))
+        out[label] = series
+    return out
+
+
+def test_fig11_benchmark(benchmark, curves, reporter):
+    def one_point():
+        return jobs_to_isolation(1, RATIO_R1, 0.5, trials=1, max_time=600)
+
+    benchmark.pedantic(one_point, rounds=1, iterations=1)
+
+    reporter(
+        "\n"
+        + render_figure(
+            "Fig. 11 — jobs completed when |D| = f vs commission probability",
+            "p",
+            list(curves.values()),
+        ),
+        "fig11.txt",
+    )
+
+    for label, series in curves.items():
+        ys = series.ys()
+        # Steep decline with p (compare the tails, tolerate trial noise).
+        assert ys[-1] < ys[0], label
+        assert min(ys[:2]) > max(ys[-3:]), label
+    # "less than 20 jobs are required" for p >= 0.6 (f = 1).
+    for label in ("f=1,r1", "f=1,r2"):
+        tail = [y for (p, y) in curves[label].points if p >= 0.6]
+        assert all(y < 20 for y in tail), label
+    # f = 2 requires more jobs than f = 1 at matched low probability.
+    assert curves["f=2,r1"].ys()[0] > curves["f=1,r1"].ys()[0]

@@ -1,0 +1,69 @@
+"""Paper Fig. 12 — suspicion-level bands over time.
+
+Runs the isolation simulator and reports the number of nodes in the
+Low / Med / High suspicion bands per time unit.
+
+Shapes to hold: suspects appear once the first commission fault is
+observed; the suspect count stops growing when |D| = f; over time only
+the genuinely faulty nodes remain High while innocents decay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isolation.simulator import IsolationSimulator
+from repro.reporting.tables import Series, render_figure
+
+MAX_TIME = 150
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    simulator = IsolationSimulator(f=1, commission_probability=0.8, seed=12)
+    stats = simulator.run(max_time=MAX_TIME)
+    return simulator, stats
+
+
+def test_fig12_benchmark(benchmark, timeline, reporter):
+    simulator, stats = timeline
+
+    def rerun():
+        return IsolationSimulator(f=1, commission_probability=0.8, seed=99).run(
+            max_time=50
+        )
+
+    benchmark.pedantic(rerun, rounds=1, iterations=1)
+
+    low = Series("Low")
+    med = Series("Med")
+    high = Series("High")
+    for point in stats.timeline[::5]:
+        low.add(point.time, point.low)
+        med.add(point.time, point.med)
+        high.add(point.time, point.high)
+    reporter(
+        "\n"
+        + render_figure(
+            "Fig. 12 — suspicion bands over time (f=1, p=0.8)",
+            "time",
+            [low, med, high],
+        ),
+        "fig12.txt",
+    )
+
+    # Shape 1: no suspicion at the very start.
+    first = stats.timeline[0]
+    assert first.low + first.med + first.high == 0
+    # Shape 2: the suspect count is flat after |D| = f.
+    assert stats.saturation_time is not None
+    post = [p.suspects for p in stats.timeline if p.time > stats.saturation_time]
+    assert max(post) == post[0]
+    # Shape 3: by the end only the truly faulty node(s) are High, and
+    # they are exactly the analyzer's isolated faults.
+    final = stats.timeline[-1]
+    assert final.high == len(stats.true_faulty)
+    assert stats.exact_isolation
+    # Shape 4: innocents decayed out of Med into Low.
+    assert final.med == 0
+    assert final.low > 0

@@ -1,0 +1,126 @@
+"""Paper Fig. 14 — approximation accuracy (weather average temperature).
+
+§6.4 drops the implicit-trust assumption for the control tier: the
+request handler runs as 3f+1 BFT-SMaRt (here: PBFT) replicas.  The
+weather script (per-station averages, then a histogram of stations per
+average) runs with
+
+* *Full* — digest computed and verified only for the final output,
+* *ClusterBFT* — 2 verification points,
+* *Individual* — a digest at every eligible vertex,
+
+for f ∈ {1, 2, 3} and digest granularity d ∈ {10k, 1k, 100} records per
+digest chunk.
+
+Shape to hold: ClusterBFT stays within ~10–18% of Full even as the
+approximation accuracy increases; Individual is the most expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import ADVERSARY_WEAK, ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.core.controller import ClusterBFTController
+from repro.core.graph_analyzer import candidate_vertices
+from repro.reporting.tables import Table, percentage_overhead
+from repro.workloads.weather import AVERAGE_TEMPERATURE, daily_temperatures
+
+STATIONS = 250
+READINGS = 60
+
+F_VALUES = [1, 2, 3]
+CHUNKS = [10_000, 1_000, 100]
+
+
+def config_for(f, chunk):
+    return SystemConfig(
+        cluster=ClusterConfig(num_nodes=44, slots_per_node=3, heartbeat_period=0.2),
+        bft=ClusterBFTConfig(
+            f=f,
+            replication=3 * f + 1,
+            verification_points=2,
+            digest_chunk_records=chunk,
+            verifier_timeout=600.0,
+        ),
+    )
+
+
+def controller_for(f, chunk, records):
+    controller = ClusterBFTController(
+        config_for(f, chunk),
+        block_bytes=128 * 1024,
+        replicate_frontend=True,
+    )
+    controller.load_input("weather/daily", records)
+    return controller
+
+
+def run_mode(f, chunk, records, mode):
+    controller = controller_for(f, chunk, records)
+    if mode == "full":
+        result = controller.run_assured(AVERAGE_TEMPERATURE, explicit_points=[])
+    elif mode == "clusterbft":
+        result = controller.run_assured(AVERAGE_TEMPERATURE)
+    else:  # individual: every weak-adversary-eligible vertex
+        plan = controller._to_plan(AVERAGE_TEMPERATURE)
+        points = candidate_vertices(plan, ADVERSARY_WEAK)
+        result = controller.run_assured(plan, explicit_points=points)
+    assert result.assured, f"{mode} f={f} d={chunk} not verified"
+    return result.latency
+
+
+@pytest.fixture(scope="module")
+def results():
+    records = daily_temperatures(STATIONS, READINGS)
+    rows = {}
+    for f in F_VALUES:
+        for chunk in CHUNKS:
+            for mode in ("full", "clusterbft", "individual"):
+                rows[(f, chunk, mode)] = run_mode(f, chunk, records, mode)
+    return rows
+
+
+def test_fig14_benchmark(benchmark, results, reporter):
+    records = daily_temperatures(40, 20)
+    benchmark.pedantic(
+        lambda: run_mode(1, 1_000, records, "clusterbft"), rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Fig. 14 — weather average temperature latency (s), BFT-replicated "
+        "request handler",
+        ["f,d", "Full", "ClusterBFT", "Individual", "CBFT-vs-Full %"],
+    )
+    for f in F_VALUES:
+        for chunk in CHUNKS:
+            full = results[(f, chunk, "full")]
+            cbft = results[(f, chunk, "clusterbft")]
+            individual = results[(f, chunk, "individual")]
+            table.add_row(
+                f"{f},{chunk}",
+                full,
+                cbft,
+                individual,
+                percentage_overhead(cbft, full),
+            )
+    reporter("\n" + table.render(), "fig14.txt")
+
+    # ClusterBFT within ~10–18% of Full even at high accuracy (paper).
+    for (f, chunk, mode), latency in results.items():
+        if mode != "clusterbft":
+            continue
+        overhead = percentage_overhead(latency, results[(f, chunk, "full")])
+        assert overhead < 20.0, f"f={f} d={chunk}: {overhead:.1f}%"
+    # Individual instrumentation is at least as expensive as ClusterBFT.
+    for f in F_VALUES:
+        for chunk in CHUNKS:
+            assert (
+                results[(f, chunk, "individual")]
+                >= results[(f, chunk, "clusterbft")] * 0.98
+            )
+    # Latency grows with f (more replicas on the same cluster).
+    for chunk in CHUNKS:
+        assert results[(3, chunk, "clusterbft")] >= results[(1, chunk, "clusterbft")] * 0.98

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fault isolation at cluster scale (paper §6.3 scenario).
+
+Runs the 250-node isolation simulator with two stealthy commission-
+faulty nodes (f = 2, 7 replicas per job) and narrates how the Fig. 7
+fault analyzer narrows suspicion: disjoint faulty sets accumulate until
+|D| = f, then intersections shrink each set — ideally to single nodes.
+
+Run:  python examples/fault_isolation_demo.py
+"""
+
+from repro.isolation import IsolationSimulator
+
+
+def bar(count: int, scale: float = 1.0, char: str = "#") -> str:
+    return char * max(int(count * scale), 0)
+
+
+def main() -> None:
+    simulator = IsolationSimulator(
+        f=2,
+        commission_probability=0.6,
+        seed=29,
+    )
+    print(
+        f"cluster: {simulator.num_nodes} nodes x {simulator.slots_per_node} slots, "
+        f"{simulator.replicas} replicas/job"
+    )
+    print(f"hidden faulty nodes: {sorted(simulator.faulty_nodes)}\n")
+
+    print(f"{'t':>4} {'jobs':>5} {'|D|':>4} {'suspects':>8}  suspicion histogram")
+    stats = None
+    for step in range(120):
+        simulator.step()
+        if simulator.time % 10 == 0:
+            bands = simulator.suspicion.band_counts()
+            print(
+                f"{simulator.time:>4} {simulator.jobs_completed:>5} "
+                f"{len(simulator.analyzer.disjoint):>4} "
+                f"{len(simulator.suspicion.suspects()):>8}  "
+                f"L[{bar(bands['low'])}] M[{bar(bands['med'])}] "
+                f"H[{bar(bands['high'])}]"
+            )
+        if simulator.analyzer.saturated and all(
+            len(s) == 1 for s in simulator.analyzer.disjoint
+        ):
+            print(f"\nexact isolation reached at t={simulator.time}, "
+                  f"{simulator.jobs_completed} jobs completed")
+            break
+
+    isolated = simulator.analyzer.isolated_faults()
+    print(f"\nanalyzer verdict : {simulator.analyzer.describe()}")
+    print(f"isolated faults  : {isolated}")
+    print(f"actually faulty  : {sorted(simulator.faulty_nodes)}")
+    print(f"exact match      : {set(isolated) == simulator.faulty_nodes}")
+
+    print("\nOperator action (paper §4.2): evict, re-image, re-insert.")
+    for node in isolated:
+        print(f"  {node}: suspicion {simulator.suspicion.level(node):.2f} -> evict")
+
+
+if __name__ == "__main__":
+    main()

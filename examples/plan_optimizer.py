@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Plan optimization walkthrough: rewrite rules before replication.
+
+Shows the optimizer's rules firing on a naively-written script — the
+filter lands after the self-join — and measures what the rewrite saves
+once the job is replicated 4-way (every shuffled byte is paid r times).
+
+Run:  python examples/plan_optimizer.py
+"""
+
+from repro import ClusterBFTConfig, ClusterConfig, ClusterBFTController, SystemConfig
+from repro.dataflow.optimizer import optimize
+from repro.workloads import follower_edges
+
+NAIVE_SCRIPT = """
+a      = LOAD 'twitter/followers' AS (user:int, follower:int);
+b      = LOAD 'twitter/followers' AS (user:int, follower:int);
+clean  = FILTER b BY follower IS NOT NULL;
+joined = JOIN a BY user, clean BY follower;
+vips   = FILTER joined BY a::user > 500;
+pairs  = FOREACH vips GENERATE a::follower AS src, clean::user AS dst;
+STORE pairs INTO 'twitter/vip_two_hop';
+"""
+
+
+def controller_for(records):
+    config = SystemConfig(
+        cluster=ClusterConfig(num_nodes=24, slots_per_node=3, heartbeat_period=0.2),
+        bft=ClusterBFTConfig(f=1, replication=4, verification_points=1),
+    )
+    controller = ClusterBFTController(config, block_bytes=128 * 1024)
+    controller.load_input("twitter/followers", records)
+    return controller
+
+
+def main() -> None:
+    records = follower_edges(6_000, num_users=500)
+
+    controller = controller_for(records)
+    plan = controller._to_plan(NAIVE_SCRIPT)
+    print("Naive plan:")
+    print(plan.describe())
+
+    report = optimize(plan)
+    print(f"\nOptimizer rules fired: {report.applied}")
+    print("\nOptimized plan (filter now sits on the join input):")
+    print(plan.describe())
+
+    naive = controller_for(records).run_assured(NAIVE_SCRIPT)
+    optimized = controller_for(records).run_assured(plan)
+    assert optimized.assured and naive.assured
+
+    def fields(outputs):
+        return {
+            path: sorted((r.fields for r in recs), key=repr)
+            for path, recs in outputs.items()
+        }
+
+    assert fields(optimized.outputs) == fields(naive.outputs)
+    print("\nBoth executions verified with identical outputs.")
+    print(f"{'':16}{'naive':>12}{'optimized':>12}")
+    print(f"{'latency (s)':16}{naive.latency:>12.2f}{optimized.latency:>12.2f}")
+    print(
+        f"{'shuffle bytes':16}{naive.metrics.file_write:>12,}"
+        f"{optimized.metrics.file_write:>12,}"
+    )
+    saving = 1 - optimized.metrics.file_write / naive.metrics.file_write
+    print(f"\nreplicated shuffle saved: {saving:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment has no network access and no `wheel`
+package, so PEP 660 editable installs (`pip install -e .`) cannot build.
+`python setup.py develop` (or `pip install -e . --no-build-isolation`
+on systems with wheel) installs the package from pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""ClusterBFT: assured cloud-based data analysis.
+
+A full reproduction of Stephen & Eugster, *Assured Cloud-Based Data
+Analysis with ClusterBFT* (Middleware 2013): Byzantine fault tolerant
+replication of Pig-style data-flow computations at sub-graph
+granularity, with approximate offline digest verification, separation of
+duty, replica-aware scheduling, and online fault isolation.
+
+Quickstart::
+
+    from repro import ClusterBFTController, SystemConfig
+    from repro.workloads import FOLLOWER_ANALYSIS, follower_edges
+
+    controller = ClusterBFTController(SystemConfig())
+    controller.load_input("twitter/followers", follower_edges(10_000))
+    result = controller.run_assured(FOLLOWER_ANALYSIS)
+    assert result.assured
+    print(result.outputs["twitter/follower_counts"][:5])
+
+Package map (see DESIGN.md for the full inventory):
+
+====================  ====================================================
+``repro.core``        the paper's contribution: controller, graph
+                      analyzer, verifier, fault analyzer, suspicion
+``repro.dataflow``    Pig Latin subset: parser, logical plans, interpreter
+``repro.compiler``    logical plan → MapReduce job graph
+``repro.mapreduce``   simulated Hadoop: engine, schedulers, metrics
+``repro.storage``     trusted DFS (block splits, byte accounting)
+``repro.bft``         PBFT state-machine replication (control tier, §6.4)
+``repro.faults``      Byzantine node behaviours & injection plans
+``repro.isolation``   250-node fault-isolation simulator (§6.3)
+``repro.workloads``   synthetic Twitter / airline / weather data + scripts
+``repro.simulation``  discrete-event loop and message network
+====================  ====================================================
+"""
+
+from repro.common.config import (
+    ClusterBFTConfig,
+    ClusterConfig,
+    CostModelConfig,
+    SystemConfig,
+)
+from repro.core.controller import ClusterBFTController, ScriptResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterBFTConfig",
+    "ClusterBFTController",
+    "ClusterConfig",
+    "CostModelConfig",
+    "ScriptResult",
+    "SystemConfig",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""PBFT-style state machine replication (BFT-SMaRt stand-in, §6.4)."""
+
+from repro.bft.client import BFTClient
+from repro.bft.messages import (
+    Checkpoint,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    Reply,
+    Request,
+    ViewChange,
+)
+from repro.bft.replica import PBFTReplica, primary_for_view
+from repro.bft.service import ReplicatedService
+
+__all__ = [
+    "BFTClient",
+    "Checkpoint",
+    "Commit",
+    "NewView",
+    "PBFTReplica",
+    "PrePrepare",
+    "Prepare",
+    "ReplicatedService",
+    "Reply",
+    "Request",
+    "ViewChange",
+    "primary_for_view",
+]

@@ -1,0 +1,106 @@
+"""PBFT client: submits requests and waits for f+1 matching replies."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bft.messages import Reply, Request
+from repro.bft.replica import primary_for_view
+from repro.simulation.events import EventLoop
+from repro.simulation.network import SimNetwork
+
+
+@dataclass
+class _PendingRequest:
+    request: Request
+    replies: dict[object, set[str]] = field(default_factory=dict)
+    done: bool = False
+    result: object = None
+    retransmits: int = 0
+    callback: Callable[[object], None] | None = None
+
+
+class BFTClient:
+    """Client-side protocol: f+1 matching replies accept a result."""
+
+    def __init__(
+        self,
+        client_id: str,
+        replica_ids: list[str],
+        f: int,
+        network: SimNetwork,
+        loop: EventLoop,
+        retransmit_timeout: float = 4.0,
+        max_retransmits: int = 8,
+    ) -> None:
+        self.client_id = client_id
+        self.replica_ids = list(replica_ids)
+        self.f = f
+        self.network = network
+        self.loop = loop
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retransmits = max_retransmits
+        self._request_ids = itertools.count()
+        self._pending: dict[int, _PendingRequest] = {}
+        self.completed: dict[int, object] = {}
+        #: Last view observed in replies — requests target its primary.
+        self.view = 0
+        network.register(client_id, self._on_message)
+
+    def submit(
+        self, payload: object, callback: Callable[[object], None] | None = None
+    ) -> int:
+        """Send a request to the (believed) primary; returns request id."""
+        request_id = next(self._request_ids)
+        request = Request(self.client_id, request_id, payload)
+        self._pending[request_id] = _PendingRequest(request=request, callback=callback)
+        # Target the primary of the last observed view; retransmits
+        # broadcast, which reaches whichever primary is current.
+        primary = primary_for_view(self.view, self.replica_ids)
+        self.network.send(self.client_id, primary, request)
+        self._arm_retransmit(request_id)
+        return request_id
+
+    def _arm_retransmit(self, request_id: int) -> None:
+        def fire() -> None:
+            pending = self._pending.get(request_id)
+            if pending is None or pending.done:
+                return
+            if pending.retransmits >= self.max_retransmits:
+                return
+            pending.retransmits += 1
+            # Broadcast: every replica relays/arms its view-change timer.
+            self.network.broadcast(
+                self.client_id, self.replica_ids, pending.request
+            )
+            self._arm_retransmit(request_id)
+
+        self.loop.schedule(
+            self.retransmit_timeout, fire, label=f"{self.client_id}:retransmit"
+        )
+
+    def _on_message(self, sender: str, message: object) -> None:
+        if not isinstance(message, Reply):
+            return
+        self.view = max(self.view, message.view)
+        pending = self._pending.get(message.request_id)
+        if pending is None or pending.done:
+            return
+        key = repr(message.result)
+        voters = pending.replies.setdefault(key, set())
+        voters.add(message.replica)
+        if len(voters) >= self.f + 1:
+            pending.done = True
+            pending.result = message.result
+            self.completed[message.request_id] = message.result
+            if pending.callback is not None:
+                pending.callback(message.result)
+
+    def is_done(self, request_id: int) -> bool:
+        pending = self._pending.get(request_id)
+        return bool(pending and pending.done)
+
+    def result(self, request_id: int) -> object:
+        return self.completed.get(request_id)

@@ -1,0 +1,105 @@
+"""PBFT protocol messages.
+
+The §6.4 experiment drops the implicit-trust assumption for the control
+tier and replicates the request handler with BFT-SMaRt; this package is
+our stand-in: a PBFT-style state-machine-replication library over the
+simulated network.  Message names follow Castro & Liskov (OSDI '99).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.hashing import sha256
+
+
+def request_digest(client: str, request_id: int, payload: object) -> bytes:
+    return sha256(f"{client}:{request_id}:{payload!r}".encode())
+
+
+@dataclass(frozen=True)
+class Request:
+    client: str
+    request_id: int
+    payload: object
+
+    @property
+    def digest(self) -> bytes:
+        return request_digest(self.client, self.request_id, self.payload)
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    view: int
+    seq: int
+    digest: bytes
+    request: Request
+    primary: str
+
+
+@dataclass(frozen=True)
+class Prepare:
+    view: int
+    seq: int
+    digest: bytes
+    replica: str
+
+
+@dataclass(frozen=True)
+class Commit:
+    view: int
+    seq: int
+    digest: bytes
+    replica: str
+
+
+@dataclass(frozen=True)
+class Reply:
+    view: int
+    request_id: int
+    client: str
+    replica: str
+    result: object
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    seq: int
+    state_digest: bytes
+    replica: str
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    new_view: int
+    last_stable_seq: int
+    #: Requests prepared at this replica but possibly not yet executed:
+    #: (seq, digest, request) triples the new primary must re-propose.
+    prepared: tuple = ()
+    replica: str = ""
+
+
+@dataclass(frozen=True)
+class NewView:
+    view: int
+    primary: str
+    #: Re-proposals carried over from the view-change quorum.
+    pre_prepares: tuple = ()
+    view_change_votes: tuple = ()
+
+
+@dataclass
+class QuorumTracker:
+    """Counts distinct voters toward a quorum for one (view, seq, digest)."""
+
+    needed: int
+    voters: set[str] = field(default_factory=set)
+    reached: bool = False
+
+    def vote(self, voter: str) -> bool:
+        """Register a vote; True exactly once, when the quorum is hit."""
+        self.voters.add(voter)
+        if not self.reached and len(self.voters) >= self.needed:
+            self.reached = True
+            return True
+        return False

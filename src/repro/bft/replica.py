@@ -1,0 +1,447 @@
+"""PBFT replica state machine.
+
+Normal case: client → primary; primary assigns a sequence number and
+broadcasts PRE-PREPARE; replicas broadcast PREPARE; on a 2f quorum
+(plus the pre-prepare) they broadcast COMMIT; on a 2f+1 commit quorum
+the request executes in sequence order and a REPLY goes to the client.
+
+View change: replicas time out on requests they have seen but not
+executed; after 2f+1 VIEW-CHANGE votes the new primary installs the view
+with NEW-VIEW, re-proposing prepared-but-unexecuted requests.
+
+Byzantine behaviours for testing: ``crashed`` (silent) and
+``corrupt_execution`` (replies with tampered results — a commission
+fault the client's f+1 reply quorum must mask).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bft.messages import (
+    Checkpoint,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    QuorumTracker,
+    Reply,
+    Request,
+    ViewChange,
+)
+from repro.common.hashing import sha256
+from repro.simulation.events import EventHandle, EventLoop
+from repro.simulation.network import SimNetwork
+
+CHECKPOINT_INTERVAL = 64
+
+
+def primary_for_view(view: int, replica_ids: list[str]) -> str:
+    return replica_ids[view % len(replica_ids)]
+
+
+@dataclass
+class _SlotState:
+    pre_prepare: PrePrepare | None = None
+    prepares: QuorumTracker | None = None
+    commits: QuorumTracker | None = None
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+
+
+class PBFTReplica:
+    """One replica of the replicated service."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        replica_ids: list[str],
+        f: int,
+        network: SimNetwork,
+        loop: EventLoop,
+        execute: Callable[[Request], object],
+        view_change_timeout: float = 5.0,
+    ) -> None:
+        if len(replica_ids) < 3 * f + 1:
+            raise ValueError(f"need >= {3 * f + 1} replicas for f={f}")
+        self.replica_id = replica_id
+        self.replica_ids = list(replica_ids)
+        self.f = f
+        self.network = network
+        self.loop = loop
+        self.execute = execute
+        self.view_change_timeout = view_change_timeout
+
+        self.view = 0
+        self.next_seq = 0  # primary's sequence counter
+        self.last_executed = -1
+        self.low_watermark = 0
+        self.slots: dict[int, _SlotState] = {}
+        self.seen_requests: dict[bytes, Request] = {}
+        self.executed_requests: dict[tuple[str, int], Reply] = {}
+        self.pending_timers: dict[bytes, EventHandle] = {}
+        self.view_change_votes: dict[int, QuorumTracker] = {}
+        self.view_change_messages: dict[int, list[ViewChange]] = {}
+        self.in_view_change = False
+        self.voted_views: set[int] = set()
+        #: Normal-case messages for views we have not installed yet —
+        #: NEW-VIEW and the new primary's PRE-PREPAREs race on the
+        #: network, so early arrivals are replayed after adoption.
+        self._future_messages: list = []
+        self.state_log: list[bytes] = []
+
+        # Byzantine switches (used by tests / §6.4 fault runs).
+        self.crashed = False
+        self.corrupt_execution = False
+
+        network.register(replica_id, self._on_message)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_primary(self) -> bool:
+        return primary_for_view(self.view, self.replica_ids) == self.replica_id
+
+    @property
+    def quorum_2f(self) -> int:
+        return 2 * self.f
+
+    @property
+    def quorum_2f1(self) -> int:
+        return 2 * self.f + 1
+
+    def _broadcast(self, message: object) -> None:
+        self.network.broadcast(
+            self.replica_id,
+            [r for r in self.replica_ids if r != self.replica_id],
+            message,
+        )
+
+    def _slot(self, seq: int) -> _SlotState:
+        if seq not in self.slots:
+            self.slots[seq] = _SlotState(
+                prepares=QuorumTracker(self.quorum_2f),
+                commits=QuorumTracker(self.quorum_2f1),
+            )
+        return self.slots[seq]
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def _on_message(self, sender: str, message: object) -> None:
+        if self.crashed:
+            return
+        if isinstance(message, (PrePrepare, Prepare, Commit)) and message.view > self.view:
+            self._future_messages.append(message)
+            return
+        if isinstance(message, Request):
+            self._on_request(message)
+        elif isinstance(message, PrePrepare):
+            self._on_pre_prepare(message)
+        elif isinstance(message, Prepare):
+            self._on_prepare(message)
+        elif isinstance(message, Commit):
+            self._on_commit(message)
+        elif isinstance(message, ViewChange):
+            self._on_view_change(message)
+        elif isinstance(message, NewView):
+            self._on_new_view(message)
+        elif isinstance(message, Checkpoint):
+            pass  # checkpoints are advisory in this reproduction
+
+    # ------------------------------------------------------------------
+    # normal case
+    # ------------------------------------------------------------------
+
+    def _on_request(self, request: Request) -> None:
+        key = (request.client, request.request_id)
+        if key in self.executed_requests:
+            # Retransmission of an executed request: resend the reply.
+            self.network.send(self.replica_id, request.client, self.executed_requests[key])
+            return
+        digest = request.digest
+        self.seen_requests[digest] = request
+        if self.is_primary and not self.in_view_change:
+            if any(
+                slot.pre_prepare and slot.pre_prepare.digest == digest
+                for slot in self.slots.values()
+            ):
+                return  # already proposed
+            seq = self.next_seq
+            self.next_seq += 1
+            pre_prepare = PrePrepare(
+                view=self.view,
+                seq=seq,
+                digest=digest,
+                request=request,
+                primary=self.replica_id,
+            )
+            self._accept_pre_prepare(pre_prepare)
+            self._broadcast(pre_prepare)
+        else:
+            # Backup: start a timer; if the primary never orders this
+            # request, vote for a view change.
+            self._arm_request_timer(digest)
+
+    def _arm_request_timer(self, digest: bytes) -> None:
+        if digest in self.pending_timers:
+            return
+
+        def fire() -> None:
+            self.pending_timers.pop(digest, None)
+            request = self.seen_requests.get(digest)
+            if request is None:
+                return
+            if (request.client, request.request_id) in self.executed_requests:
+                return
+            self._start_view_change(self.view + 1)
+
+        self.pending_timers[digest] = self.loop.schedule(
+            self.view_change_timeout, fire, label=f"{self.replica_id}:req-timer"
+        )
+
+    def _on_pre_prepare(self, message: PrePrepare) -> None:
+        if message.view != self.view or self.in_view_change:
+            return
+        if message.primary != primary_for_view(self.view, self.replica_ids):
+            return
+        if message.request.digest != message.digest:
+            return  # malformed proposal
+        slot = self._slot(message.seq)
+        if slot.pre_prepare is not None and slot.pre_prepare.digest != message.digest:
+            return  # conflicting proposal for the same slot: ignore
+        self._accept_pre_prepare(message)
+        prepare = Prepare(
+            view=self.view,
+            seq=message.seq,
+            digest=message.digest,
+            replica=self.replica_id,
+        )
+        self._broadcast(prepare)
+        self._register_prepare(prepare)
+
+    def _accept_pre_prepare(self, message: PrePrepare) -> None:
+        slot = self._slot(message.seq)
+        slot.pre_prepare = message
+        self.seen_requests[message.digest] = message.request
+        if self.is_primary:
+            # The primary's pre-prepare counts as its prepare vote.
+            self._register_prepare(
+                Prepare(message.view, message.seq, message.digest, self.replica_id)
+            )
+
+    def _on_prepare(self, message: Prepare) -> None:
+        if message.view != self.view or self.in_view_change:
+            return
+        self._register_prepare(message)
+
+    def _register_prepare(self, message: Prepare) -> None:
+        slot = self._slot(message.seq)
+        if slot.pre_prepare is None or slot.pre_prepare.digest != message.digest:
+            # Buffer by counting votes anyway; PBFT requires matching
+            # pre-prepare before "prepared" holds, checked below.
+            pass
+        if slot.prepares.vote(message.replica):
+            self._maybe_prepared(message.seq)
+        else:
+            self._maybe_prepared(message.seq)
+
+    def _maybe_prepared(self, seq: int) -> None:
+        slot = self._slot(seq)
+        if slot.prepared or slot.pre_prepare is None:
+            return
+        if len(slot.prepares.voters) >= self.quorum_2f:
+            slot.prepared = True
+            commit = Commit(
+                view=self.view,
+                seq=seq,
+                digest=slot.pre_prepare.digest,
+                replica=self.replica_id,
+            )
+            self._broadcast(commit)
+            self._register_commit(commit)
+
+    def _on_commit(self, message: Commit) -> None:
+        if message.view != self.view or self.in_view_change:
+            return
+        self._register_commit(message)
+
+    def _register_commit(self, message: Commit) -> None:
+        slot = self._slot(message.seq)
+        slot.commits.vote(message.replica)
+        self._maybe_committed(message.seq)
+
+    def _maybe_committed(self, seq: int) -> None:
+        slot = self._slot(seq)
+        if slot.committed or not slot.prepared:
+            return
+        if len(slot.commits.voters) >= self.quorum_2f1:
+            slot.committed = True
+            self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        """Execute committed slots strictly in sequence order."""
+        while True:
+            seq = self.last_executed + 1
+            slot = self.slots.get(seq)
+            if slot is None or not slot.committed or slot.executed:
+                return
+            request = slot.pre_prepare.request
+            result = self.execute(request)
+            if self.corrupt_execution:
+                result = ("corrupt", result)
+            slot.executed = True
+            self.last_executed = seq
+            self.state_log.append(sha256(repr((seq, request.digest, result)).encode()))
+            reply = Reply(
+                view=self.view,
+                request_id=request.request_id,
+                client=request.client,
+                replica=self.replica_id,
+                result=result,
+            )
+            self.executed_requests[(request.client, request.request_id)] = reply
+            timer = self.pending_timers.pop(request.digest, None)
+            if timer is not None:
+                timer.cancel()
+            self.network.send(self.replica_id, request.client, reply)
+            if seq and seq % CHECKPOINT_INTERVAL == 0:
+                self._broadcast(
+                    Checkpoint(seq, self.state_digest(), self.replica_id)
+                )
+
+    def state_digest(self) -> bytes:
+        return sha256(b"".join(self.state_log))
+
+    # ------------------------------------------------------------------
+    # view change
+    # ------------------------------------------------------------------
+
+    def _start_view_change(self, new_view: int) -> None:
+        if new_view <= self.view or new_view in self.voted_views:
+            return
+        self.voted_views.add(new_view)
+        self.in_view_change = True
+        prepared = tuple(
+            (seq, slot.pre_prepare.digest, slot.pre_prepare.request)
+            for seq, slot in sorted(self.slots.items())
+            if slot.prepared and not slot.executed and slot.pre_prepare
+        )
+        vote = ViewChange(
+            new_view=new_view,
+            last_stable_seq=self.last_executed,
+            prepared=prepared,
+            replica=self.replica_id,
+        )
+        self._broadcast(vote)
+        self._on_view_change(vote)  # count own vote
+
+    def _on_view_change(self, message: ViewChange) -> None:
+        if message.new_view <= self.view:
+            return
+        tracker = self.view_change_votes.setdefault(
+            message.new_view, QuorumTracker(self.quorum_2f1)
+        )
+        self.view_change_messages.setdefault(message.new_view, []).append(message)
+        # Join rule: seeing f+1 votes proves at least one correct replica
+        # timed out — join the view change to keep it live.
+        if (
+            len(tracker.voters | {message.replica}) >= self.f + 1
+            and message.new_view not in self.voted_views
+        ):
+            self._start_view_change(message.new_view)
+        if tracker.vote(message.replica):
+            if primary_for_view(message.new_view, self.replica_ids) == self.replica_id:
+                self._install_new_view(message.new_view)
+            else:
+                # Give the new primary one timeout to announce NEW-VIEW.
+                self.loop.schedule(
+                    self.view_change_timeout,
+                    lambda v=message.new_view: self._new_view_deadline(v),
+                    label=f"{self.replica_id}:nv-deadline",
+                )
+
+    def _new_view_deadline(self, expected_view: int) -> None:
+        if self.view < expected_view:
+            self._start_view_change(expected_view + 1)
+
+    def _install_new_view(self, view: int) -> None:
+        votes = tuple(self.view_change_messages.get(view, []))
+        carry: dict[int, Request] = {}
+        max_seq = self.next_seq
+        for vote in votes:
+            for seq, _digest, request in vote.prepared:
+                carry[seq] = request
+                max_seq = max(max_seq, seq + 1)
+        self.view = view
+        self.in_view_change = False
+        self.next_seq = max_seq
+        new_view = NewView(
+            view=view,
+            primary=self.replica_id,
+            pre_prepares=tuple(sorted(carry.items())),
+            view_change_votes=votes,
+        )
+        self._broadcast(new_view)
+        self._adopt_new_view(new_view)
+        # Re-propose carried requests plus any seen-but-unordered ones.
+        for seq, request in sorted(carry.items()):
+            self._repropose(request)
+        for request in list(self.seen_requests.values()):
+            key = (request.client, request.request_id)
+            if key not in self.executed_requests:
+                self._repropose(request)
+
+    def _repropose(self, request: Request) -> None:
+        if any(
+            slot.pre_prepare
+            and slot.pre_prepare.digest == request.digest
+            and slot.pre_prepare.view == self.view
+            for slot in self.slots.values()
+        ):
+            return
+        seq = self.next_seq
+        self.next_seq += 1
+        pre_prepare = PrePrepare(
+            view=self.view,
+            seq=seq,
+            digest=request.digest,
+            request=request,
+            primary=self.replica_id,
+        )
+        self._accept_pre_prepare(pre_prepare)
+        self._broadcast(pre_prepare)
+
+    def _on_new_view(self, message: NewView) -> None:
+        if message.view <= self.view:
+            return
+        if primary_for_view(message.view, self.replica_ids) != message.primary:
+            return
+        self._adopt_new_view(message)
+
+    def _adopt_new_view(self, message: NewView) -> None:
+        self.view = message.view
+        self.in_view_change = False
+        # Reset per-view vote tracking for unexecuted slots.
+        for seq, slot in list(self.slots.items()):
+            if not slot.executed:
+                del self.slots[seq]
+        for digest, timer in list(self.pending_timers.items()):
+            timer.cancel()
+            del self.pending_timers[digest]
+        # Re-arm timers for unexecuted requests so a faulty new primary
+        # also gets voted out.
+        for request in self.seen_requests.values():
+            if (request.client, request.request_id) not in self.executed_requests:
+                if not self.is_primary:
+                    self._arm_request_timer(request.digest)
+        # Replay normal-case messages that raced ahead of NEW-VIEW.
+        replay = [m for m in self._future_messages if m.view == self.view]
+        self._future_messages = [
+            m for m in self._future_messages if m.view > self.view
+        ]
+        for message in replay:
+            self._on_message("replay", message)

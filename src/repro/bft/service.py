@@ -1,0 +1,79 @@
+"""Convenience harness: a BFT-replicated deterministic service.
+
+Used by §6.4 to replicate the *request handler* of the control tier:
+script submissions are ordered through PBFT, each replica executes the
+(deterministic) handling logic, and the client accepts the f+1-matching
+result.  The measurable effect is the added consensus latency per
+control-tier request — exactly what Fig. 14 folds into its bars.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.bft.client import BFTClient
+from repro.bft.messages import Request
+from repro.bft.replica import PBFTReplica
+from repro.simulation.events import EventLoop
+from repro.simulation.network import LatencyModel, SimNetwork
+
+
+class ReplicatedService:
+    """3f+1 PBFT replicas around one deterministic ``handler``."""
+
+    def __init__(
+        self,
+        f: int,
+        handler: Callable[[object], object],
+        loop: EventLoop | None = None,
+        rng: random.Random | None = None,
+        latency: LatencyModel | None = None,
+        view_change_timeout: float = 5.0,
+    ) -> None:
+        self.f = f
+        self.loop = loop or EventLoop()
+        self.network = SimNetwork(
+            self.loop, rng or random.Random(42), latency or LatencyModel()
+        )
+        self.replica_ids = [f"rh_{i}" for i in range(3 * f + 1)]
+        self.replicas = [
+            PBFTReplica(
+                replica_id=replica_id,
+                replica_ids=self.replica_ids,
+                f=f,
+                network=self.network,
+                loop=self.loop,
+                execute=lambda request, h=handler: h(request.payload),
+                view_change_timeout=view_change_timeout,
+            )
+            for replica_id in self.replica_ids
+        ]
+        self.client = BFTClient(
+            "rh_client", self.replica_ids, f, self.network, self.loop
+        )
+
+    def crash_replica(self, index: int) -> None:
+        self.replicas[index].crashed = True
+
+    def corrupt_replica(self, index: int) -> None:
+        self.replicas[index].corrupt_execution = True
+
+    def submit(self, payload: object) -> int:
+        return self.client.submit(payload)
+
+    def call(self, payload: object, max_events: int = 1_000_000) -> object:
+        """Submit and run the loop until the f+1 reply quorum arrives."""
+        request_id = self.submit(payload)
+        self.loop.run_while(
+            lambda: not self.client.is_done(request_id), max_events=max_events
+        )
+        if not self.client.is_done(request_id):
+            raise TimeoutError(f"request {request_id} did not complete")
+        return self.client.result(request_id)
+
+    def request_latency(self, payload: object) -> tuple[object, float]:
+        """Like :meth:`call` but also returns consensus latency."""
+        start = self.loop.now
+        result = self.call(payload)
+        return result, self.loop.now - start

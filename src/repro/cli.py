@@ -1,0 +1,174 @@
+"""Command-line interface: run Pig-subset scripts on a simulated
+ClusterBFT deployment.
+
+Examples::
+
+    # run a script file with assured execution, staging CSV inputs
+    python -m repro run analysis.pig --input twitter/followers=edges.csv
+
+    # baseline (no replication), 16 nodes, more verification points
+    python -m repro run analysis.pig --mode plain --nodes 16
+
+    # explain: show plan, marker decisions and the compiled job graph
+    python -m repro explain analysis.pig --input twitter/followers=edges.csv
+
+Input CSVs are headerless; values are parsed as int, then float, then
+kept as strings; empty cells become NULL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.common.records import Record
+from repro.core.controller import ClusterBFTController
+from repro.core.graph_analyzer import input_ratios
+from repro.core.request_handler import RequestHandler
+
+
+def _parse_cell(cell: str):
+    cell = cell.strip()
+    if cell == "":
+        return None
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def load_csv(path: str) -> list[Record]:
+    """Read a headerless CSV into records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            records.append(Record(tuple(_parse_cell(c) for c in line.split(","))))
+    return records
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ClusterBFT: assured data analysis on a simulated cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("script", help="Pig-subset script file")
+        p.add_argument(
+            "--input",
+            action="append",
+            default=[],
+            metavar="PATH=CSV",
+            help="stage a CSV file as DFS path (repeatable)",
+        )
+        p.add_argument("--nodes", type=int, default=32)
+        p.add_argument("--slots", type=int, default=3)
+        p.add_argument("-f", type=int, default=1, dest="faults")
+        p.add_argument("-r", type=int, default=None, dest="replication")
+        p.add_argument("-n", type=int, default=1, dest="points")
+        p.add_argument("--chunk", type=int, default=0, help="records per digest (d)")
+        p.add_argument("--timeout", type=float, default=600.0)
+        p.add_argument("--seed", type=int, default=20131209)
+
+    run = sub.add_parser("run", help="execute a script")
+    common(run)
+    run.add_argument(
+        "--mode",
+        choices=("assured", "plain", "single"),
+        default="assured",
+    )
+    run.add_argument("--show-output", type=int, default=10, metavar="N",
+                     help="print up to N records per store (0 = none)")
+
+    explain = sub.add_parser("explain", help="show plan, markers, job graph")
+    common(explain)
+    return parser
+
+
+def make_controller(args) -> ClusterBFTController:
+    replication = args.replication or 3 * args.faults + 1
+    config = SystemConfig(
+        cluster=ClusterConfig(num_nodes=args.nodes, slots_per_node=args.slots),
+        bft=ClusterBFTConfig(
+            f=args.faults,
+            replication=replication,
+            verification_points=args.points,
+            digest_chunk_records=args.chunk,
+            verifier_timeout=args.timeout,
+        ),
+        seed=args.seed,
+    )
+    controller = ClusterBFTController(config)
+    for spec in args.input:
+        if "=" not in spec:
+            raise SystemExit(f"--input needs PATH=CSV, got {spec!r}")
+        dfs_path, csv_path = spec.split("=", 1)
+        controller.load_input(dfs_path, load_csv(csv_path))
+    return controller
+
+
+def cmd_run(args) -> int:
+    controller = make_controller(args)
+    with open(args.script) as handle:
+        script = handle.read()
+    if args.mode == "plain":
+        result = controller.run_plain(script)
+    elif args.mode == "single":
+        result = controller.run_single(script)
+    else:
+        result = controller.run_assured(script)
+    print(f"mode      : {args.mode}")
+    print(f"assured   : {result.assured}")
+    print(f"latency   : {result.latency:.2f} simulated seconds")
+    print(f"attempts  : {result.attempts}")
+    for outcome in result.outcomes:
+        print(f"  verdict {outcome.sid}: {outcome.status}")
+    for path, records in result.outputs.items():
+        print(f"\n{path} ({len(records)} records):")
+        for record in records[: args.show_output]:
+            print(f"  {tuple(record.fields)}")
+        if len(records) > args.show_output:
+            print(f"  ... {len(records) - args.show_output} more")
+    return 0 if (result.assured or args.mode != "assured") else 1
+
+
+def cmd_explain(args) -> int:
+    controller = make_controller(args)
+    with open(args.script) as handle:
+        script = handle.read()
+    plan = controller._to_plan(script)
+    print("Logical plan:")
+    print(plan.describe())
+    sizes = controller._input_sizes(plan)
+    ratios = input_ratios(plan, sizes)
+    handler = RequestHandler(controller.config.bft)
+    prepared = handler.prepare(script, sizes)
+    print("\nInput ratios:")
+    for vid in plan.topological_order():
+        print(f"  [{vid}] {plan.op(vid).describe():<30} {ratios.get(vid, 0.0):.3f}")
+    print("\nVerification points:")
+    for vid, score in zip(prepared.marked_vertices, prepared.marker_scores):
+        print(f"  [{vid}] {prepared.plan.op(vid).describe()} (score {score:.2f})")
+    print("\nJob graph:")
+    print(prepared.job_graph.describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_explain(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Shared primitives: errors, ids, RNG streams, records, digests, config."""
+
+from repro.common.config import (
+    ADVERSARY_STRONG,
+    ADVERSARY_WEAK,
+    GUARANTEE_FULL_BFT,
+    GUARANTEE_NO_OMISSION,
+    GUARANTEE_OPTIMISTIC,
+    ClusterBFTConfig,
+    ClusterConfig,
+    CostModelConfig,
+    SystemConfig,
+    replication_for_guarantee,
+)
+from repro.common.errors import ReproError
+from repro.common.hashing import Digest, StreamingDigest, digest_of
+from repro.common.ids import IdFactory
+from repro.common.records import Record
+from repro.common.rng import RngRegistry
+
+__all__ = [
+    "ADVERSARY_STRONG",
+    "ADVERSARY_WEAK",
+    "GUARANTEE_FULL_BFT",
+    "GUARANTEE_NO_OMISSION",
+    "GUARANTEE_OPTIMISTIC",
+    "ClusterBFTConfig",
+    "ClusterConfig",
+    "CostModelConfig",
+    "Digest",
+    "IdFactory",
+    "Record",
+    "ReproError",
+    "RngRegistry",
+    "StreamingDigest",
+    "SystemConfig",
+    "digest_of",
+    "replication_for_guarantee",
+]

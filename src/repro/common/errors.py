@@ -1,0 +1,104 @@
+"""Exception hierarchy for the ClusterBFT reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can
+catch library failures without masking programming errors (``TypeError``
+and friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration."""
+
+
+class StorageError(ReproError):
+    """Base class for trusted-storage errors."""
+
+
+class FileNotFound(StorageError):
+    """The named file does not exist in the DFS namespace."""
+
+
+class FileAlreadyExists(StorageError):
+    """Attempt to create a file that already exists (append-only DFS)."""
+
+
+class DataflowError(ReproError):
+    """Base class for logical-plan construction errors."""
+
+
+class SchemaError(DataflowError):
+    """A field reference does not resolve against the operator's schema."""
+
+
+class PlanError(DataflowError):
+    """The logical plan is structurally invalid (cycle, dangling edge...)."""
+
+
+class ParseError(DataflowError):
+    """The Pig-Latin-subset script failed to parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class CompileError(ReproError):
+    """Logical plan could not be compiled to MapReduce jobs."""
+
+
+class MapReduceError(ReproError):
+    """Base class for MapReduce engine errors."""
+
+
+class SchedulingError(MapReduceError):
+    """No valid placement exists for a task (e.g. anti-collocation
+    constraints cannot be met by the available nodes)."""
+
+
+class TaskFailure(MapReduceError):
+    """A task raised during map or reduce execution."""
+
+
+class JobFailure(MapReduceError):
+    """A job exhausted retries or was aborted."""
+
+
+class BFTError(ReproError):
+    """Base class for the BFT replication library."""
+
+
+class QuorumError(BFTError):
+    """A required quorum could not be assembled."""
+
+
+class ViewChangeError(BFTError):
+    """View change protocol failed to elect a new primary."""
+
+
+class VerificationError(ReproError):
+    """Digest comparison failed to find f+1 matching digests."""
+
+
+class VerificationTimeout(VerificationError):
+    """Digests did not arrive before the verifier timeout."""
+
+
+class IntegrityViolation(VerificationError):
+    """Verified output digests disagree in a way that cannot be resolved
+    by the configured replication degree."""
+
+
+class FaultInjectionError(ReproError):
+    """Invalid fault-injection plan."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation error (e.g. event scheduled in the past)."""

@@ -1,0 +1,116 @@
+"""Record model shared by the storage, dataflow and MapReduce layers.
+
+A :class:`Record` is an immutable, positionally-indexed tuple of fields,
+like a Pig tuple.  Fields are restricted to a small set of scalar types
+plus nested tuples/bags so every record has a canonical byte encoding —
+the property the whole verification scheme rests on: two correct
+replicas must produce *bit-identical* digests (paper §5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+Scalar = int | float | str | bool | None
+FieldValue = Any  # Scalar | tuple[...] | frozenset — validated at runtime.
+
+
+class Record:
+    """An immutable data tuple.
+
+    >>> r = Record((1, "alice", 3.5))
+    >>> r[1]
+    'alice'
+    >>> len(r)
+    3
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Sequence[FieldValue]) -> None:
+        self.fields: tuple[FieldValue, ...] = tuple(fields)
+
+    def __getitem__(self, index: int) -> FieldValue:
+        return self.fields[index]
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[FieldValue]:
+        return iter(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Record) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        return f"Record{self.fields!r}"
+
+    def project(self, indexes: Sequence[int]) -> "Record":
+        """Return a new record keeping only ``indexes`` in order."""
+        return Record(tuple(self.fields[i] for i in indexes))
+
+    def append(self, *values: FieldValue) -> "Record":
+        """Return a new record with ``values`` appended."""
+        return Record(self.fields + values)
+
+    def concat(self, other: "Record") -> "Record":
+        """Return the positional concatenation of two records (join output)."""
+        return Record(self.fields + other.fields)
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size, used by the cost model."""
+        return len(encode_value(self.fields))
+
+
+def encode_value(value: FieldValue) -> bytes:
+    """Canonical, type-tagged byte encoding of a field value.
+
+    The encoding is injective over the supported value domain: distinct
+    values never encode to the same bytes, so digest equality implies
+    data equality (up to hash collisions of SHA-256 itself).
+    """
+    if value is None:
+        return b"N;"
+    if value is True:
+        return b"b1;"
+    if value is False:
+        return b"b0;"
+    if isinstance(value, int):
+        body = str(value).encode()
+        return b"i" + str(len(body)).encode() + b":" + body + b";"
+    if isinstance(value, float):
+        body = repr(value).encode()
+        return b"f" + str(len(body)).encode() + b":" + body + b";"
+    if isinstance(value, str):
+        body = value.encode("utf-8")
+        return b"s" + str(len(body)).encode() + b":" + body + b";"
+    if isinstance(value, Record):
+        return encode_value(value.fields)
+    if isinstance(value, tuple):
+        inner = b"".join(encode_value(v) for v in value)
+        return b"t" + str(len(inner)).encode() + b":" + inner + b";"
+    if isinstance(value, (list, frozenset)):
+        # Bags are canonicalized by sorting their encodings so that replicas
+        # that materialize a bag in different orders still digest equally.
+        encodings = sorted(encode_value(v) for v in value)
+        inner = b"".join(encodings)
+        return b"g" + str(len(inner)).encode() + b":" + inner + b";"
+    raise TypeError(f"unsupported field type: {type(value).__name__}")
+
+
+def encode_record(record: Record) -> bytes:
+    """Canonical encoding of a whole record (newline-free, self-delimiting)."""
+    return encode_value(record.fields)
+
+
+def records_from_rows(rows: Iterable[Sequence[FieldValue]]) -> list[Record]:
+    """Convenience: wrap an iterable of plain sequences into records."""
+    return [Record(tuple(row)) for row in rows]
+
+
+def total_bytes(records: Iterable[Record]) -> int:
+    """Sum of approximate serialized sizes — the cost model's currency."""
+    return sum(r.size_bytes() for r in records)

@@ -1,0 +1,14 @@
+"""Logical plan → MapReduce job graph compiler."""
+
+from repro.compiler.jobspec import JobGraph, JobSpec, MapBranch, PipelineOp
+from repro.compiler.mr_compiler import CompileOptions, MRCompiler, compile_plan
+
+__all__ = [
+    "CompileOptions",
+    "JobGraph",
+    "JobSpec",
+    "MapBranch",
+    "MRCompiler",
+    "PipelineOp",
+    "compile_plan",
+]

@@ -1,0 +1,34 @@
+"""ClusterBFT core: the paper's contribution.
+
+Graph analysis (verification-point selection), plan instrumentation,
+replica orchestration, digest verification, suspicion tracking, fault
+isolation, and the end-to-end controller.
+"""
+
+from repro.core.controller import ClusterBFTController, ScriptResult
+from repro.core.fault_analyzer import FaultAnalyzer
+from repro.core.graph_analyzer import analyze, input_ratios, mark
+from repro.core.instrument import InstrumentedPlan, instrument
+from repro.core.request_handler import PreparedScript, RequestHandler
+from repro.core.resource_manager import ResourceManager, ResourceRow
+from repro.core.suspicion import SuspicionTracker, band
+from repro.core.verifier import VerificationOutcome, Verifier
+
+__all__ = [
+    "ClusterBFTController",
+    "FaultAnalyzer",
+    "InstrumentedPlan",
+    "PreparedScript",
+    "RequestHandler",
+    "ResourceManager",
+    "ResourceRow",
+    "ScriptResult",
+    "SuspicionTracker",
+    "VerificationOutcome",
+    "Verifier",
+    "analyze",
+    "band",
+    "input_ratios",
+    "instrument",
+    "mark",
+]

@@ -1,0 +1,78 @@
+"""Audit log for the trusted tier.
+
+The paper motivates BFT in the cloud partly by *attribution*: "it is
+also necessary to keep track of where such accesses were attempted, as
+these may hint to exploited leaks and intruders" (§3.1).  The audit log
+is the queryable record backing that: every verification verdict, fault
+attribution, suspicion change, eviction, and probe lands here with its
+simulated timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+SUBMIT = "submit"
+VERDICT = "verdict"
+FAULT = "fault"
+EVICTION = "eviction"
+REINSTATE = "reinstate"
+PROBE = "probe"
+RERUN = "rerun"
+COMMIT = "commit"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    time: float
+    kind: str
+    subject: str  # sid / node id / script id
+    details: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        detail_text = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time:10.3f}] {self.kind:<9} {self.subject} {detail_text}"
+
+
+class AuditLog:
+    """Append-only event log with simple queries."""
+
+    def __init__(self) -> None:
+        self._events: list[AuditEvent] = []
+
+    def record(self, time: float, kind: str, subject: str, **details) -> AuditEvent:
+        event = AuditEvent(time=time, kind=kind, subject=subject, details=details)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self,
+        kind: str | None = None,
+        subject: str | None = None,
+        since: float | None = None,
+    ) -> list[AuditEvent]:
+        out: Iterable[AuditEvent] = self._events
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if subject is not None:
+            out = (e for e in out if e.subject == subject)
+        if since is not None:
+            out = (e for e in out if e.time >= since)
+        return list(out)
+
+    def node_history(self, node_id: str) -> list[AuditEvent]:
+        """Everything attributing behaviour to one node."""
+        return [
+            event
+            for event in self._events
+            if event.subject == node_id
+            or node_id in event.details.get("nodes", ())
+        ]
+
+    def render(self, limit: int = 0) -> str:
+        events = self._events[-limit:] if limit else self._events
+        return "\n".join(event.render() for event in events)

@@ -1,0 +1,755 @@
+"""ClusterBFT controller: the end-to-end assured-execution facade.
+
+Wires the whole system together (paper Fig. 2): the trusted control
+tier (request handler, job initiator, verifier, execution tracker,
+resource manager, fault analyzer) around the untrusted computation tier
+(cluster + MapReduce engine).
+
+Execution model
+---------------
+
+``run_assured`` submits ``r`` replicas of every job in the compiled
+graph.  Replica chains run *optimistically*: replica k of a downstream
+job starts as soon as replica k of its upstream jobs finished — digest
+comparison is offline, off the critical path (paper §3.3 "Approximate,
+offline redundancy").  When a sub-graph's verification fails or times
+out, the script is re-run with an escalated replication degree and
+timeout, **reusing the outputs of already-verified sub-graphs** — this
+is the recomputation saving that variable-grain clustering buys
+(paper Table 3: rescheduled ClusterBFT runs beat final-output-only
+verification by ~23%).
+
+A verified job's output is only *committed* (reused across attempts,
+published to the user-visible store path) when its output stream is
+covered by a verification point — see
+:func:`repro.core.request_handler.output_coverage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ReproError
+from repro.common.ids import NodeId
+from repro.common.records import Record
+from repro.common.rng import RngRegistry
+from repro.compiler.mr_compiler import CompileOptions
+from repro.core.audit import (
+    COMMIT,
+    EVICTION,
+    FAULT,
+    RERUN,
+    SUBMIT,
+    VERDICT,
+    AuditLog,
+)
+from repro.core.fault_analyzer import FaultAnalyzer
+from repro.core.request_handler import (
+    PreparedScript,
+    RequestHandler,
+    job_has_verification,
+    output_coverage,
+)
+from repro.core.suspicion import SuspicionTracker
+from repro.core.verifier import (
+    COMMISSION,
+    FAILED,
+    TIMEOUT,
+    VERIFIED,
+    VerificationOutcome,
+    Verifier,
+)
+from repro.dataflow.plan import LogicalPlan, VertexId
+from repro.faults.injection import FaultPlan
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.engine import JobRun, MapReduceEngine
+from repro.mapreduce.metrics import RunMetrics
+from repro.mapreduce.scheduler import ClusterBFTScheduler, TaskScheduler
+from repro.simulation.events import EventLoop
+from repro.storage.dfs import TrustedDFS
+
+
+@dataclass
+class ScriptResult:
+    """Outcome of one script execution."""
+
+    script_id: str
+    assured: bool  # all final outputs verified by an f+1 digest quorum
+    outputs: dict[str, list[Record]]
+    latency: float
+    attempts: int
+    metrics: RunMetrics
+    outcomes: list[VerificationOutcome] = field(default_factory=list)
+    marked_vertices: list[VertexId] = field(default_factory=list)
+    reused_jobs: int = 0  # jobs skipped on reruns thanks to commits
+
+    @property
+    def verified(self) -> bool:
+        return self.assured
+
+
+class _Attempt:
+    """Book-keeping for one attempt (one replication degree)."""
+
+    def __init__(self) -> None:
+        self.outcomes: dict[str, VerificationOutcome] = {}
+        self.expected_verdicts: set[str] = set()
+        self.plain_jobs_pending: set[tuple[int, int]] = set()
+        #: Subset of plain_jobs_pending producing user-visible outputs.
+        self.plain_final_pending: set[tuple[int, int]] = set()
+        self.runs: list[JobRun] = []
+        self.runs_by_job: dict[int, list[JobRun]] = {}
+        #: (job_index, replica) -> nodes of the whole unverified replica
+        #: chain up to (and including) that job.  This is the paper's
+        #: "job cluster": the replication unit is the sub-graph since the
+        #: last verified point, so a digest mismatch implicates every
+        #: node that touched the chain, not just the last job's nodes.
+        self.chain_nodes: dict[tuple[int, int], set[str]] = {}
+        self.deps: dict[int, set[int]] = {}
+        self.force_end = False
+
+    def done(self) -> bool:
+        if self.force_end:
+            return True
+        verdicts_in = all(sid in self.outcomes for sid in self.expected_verdicts)
+        if self.expected_verdicts:
+            # Verification is the completion signal: plain intermediate
+            # jobs either fed the verified chains already or belong to
+            # loser replicas nobody waits for.  Final outputs without
+            # their own verification point (rare) must still land.
+            return verdicts_in and not self.plain_final_pending
+        return not self.plain_jobs_pending
+
+
+class ClusterBFTController:
+    """Owns the simulated deployment and runs scripts on it."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+        scheduler: TaskScheduler | None = None,
+        block_bytes: int = 1 << 20,
+        replicate_frontend: bool = False,
+    ) -> None:
+        self.config = (config or SystemConfig()).validate()
+        self.rng = RngRegistry(self.config.seed)
+        self.loop = EventLoop()
+        self.dfs = TrustedDFS(block_bytes=block_bytes)
+        self.cluster = Cluster(
+            self.config.cluster, fault_plan, self.rng.stream("cluster")
+        )
+        self.dfs.set_placement_nodes(self.cluster.node_ids())
+        self.scheduler = scheduler or ClusterBFTScheduler()
+        self.engine = MapReduceEngine(
+            self.loop,
+            self.dfs,
+            self.cluster,
+            self.scheduler,
+            self.config.cost,
+            self.rng.stream("engine"),
+        )
+        self.suspicion = SuspicionTracker()
+        self.fault_analyzer = FaultAnalyzer(f=self.config.bft.f)
+        self.audit = AuditLog()
+        self._script_counter = 0
+        # §6.4: drop the implicit-trust assumption for the control tier —
+        # request handling is ordered through 3f+1 PBFT replicas, adding
+        # one consensus round of latency per script submission.
+        self.frontend = None
+        if replicate_frontend:
+            from repro.bft.service import ReplicatedService
+
+            self.frontend = ReplicatedService(
+                f=self.config.bft.f,
+                handler=lambda payload: ("accepted", payload),
+                loop=self.loop,
+                rng=self.rng.stream("frontend"),
+            )
+
+    # ------------------------------------------------------------------
+    # data management
+    # ------------------------------------------------------------------
+
+    def load_input(self, path: str, records: list[Record]) -> None:
+        """Stage an input data-set into the trusted DFS."""
+        if self.dfs.exists(path):
+            self.dfs.delete(path)
+        self.dfs.write_file(path, records)
+
+    def read_output(self, path: str) -> list[Record]:
+        return self.dfs.read(path)
+
+    def _input_sizes(self, plan: LogicalPlan) -> dict[str, int]:
+        sizes = {}
+        for path in plan.load_paths().values():
+            if not self.dfs.exists(path):
+                raise ReproError(f"input {path!r} not loaded")
+            sizes[path] = self.dfs.file_info(path).size_bytes
+        return sizes
+
+    def _next_script_id(self) -> str:
+        self._script_counter += 1
+        return f"script{self._script_counter:04d}"
+
+    def _compile_options(self) -> CompileOptions:
+        reducers = min(4, max(1, len(self.cluster) // 2))
+        return CompileOptions(num_reducers=reducers)
+
+    # ------------------------------------------------------------------
+    # execution modes
+    # ------------------------------------------------------------------
+
+    def run_plain(self, script: str | LogicalPlan) -> ScriptResult:
+        """Baseline: unreplicated, uninstrumented run ("Pure Pig")."""
+        handler = RequestHandler(self.config.bft)
+        prepared = handler.prepare(
+            script,
+            self._input_sizes(self._to_plan(script)),
+            explicit_points=[],
+            include_output_points=False,
+            compile_options=self._compile_options(),
+        )
+        return self._run_unverified(prepared, replication=1)
+
+    def run_single(
+        self,
+        script: str | LogicalPlan,
+        explicit_points: list[VertexId] | None = None,
+        include_output_points: bool = True,
+    ) -> ScriptResult:
+        """One replica with digest computation but no replication — the
+        "Single Execution" series of paper Fig. 9/10."""
+        handler = RequestHandler(self.config.bft)
+        prepared = handler.prepare(
+            script,
+            self._input_sizes(self._to_plan(script)),
+            explicit_points=explicit_points,
+            include_output_points=include_output_points,
+            compile_options=self._compile_options(),
+        )
+        return self._run_unverified(prepared, replication=1)
+
+    def run_assured(
+        self,
+        script: str | LogicalPlan,
+        explicit_points: list[VertexId] | None = None,
+        include_output_points: bool = True,
+        replication: int | None = None,
+    ) -> ScriptResult:
+        """Full ClusterBFT execution with verification and reruns."""
+        cfg = self.config.bft
+        if replication is not None:
+            cfg = replace(cfg, replication=replication).validate()
+        handler = RequestHandler(cfg)
+        prepared = handler.prepare(
+            script,
+            self._input_sizes(self._to_plan(script)),
+            explicit_points=explicit_points,
+            include_output_points=include_output_points,
+            compile_options=self._compile_options(),
+        )
+        return self._run_assured(prepared)
+
+    def _to_plan(self, script: str | LogicalPlan) -> LogicalPlan:
+        if isinstance(script, LogicalPlan):
+            return script
+        from repro.dataflow.piglatin import parse_script
+
+        return parse_script(script)
+
+    # ------------------------------------------------------------------
+    # unverified execution (baselines)
+    # ------------------------------------------------------------------
+
+    def _run_unverified(self, prepared: PreparedScript, replication: int) -> ScriptResult:
+        script_id = self._next_script_id()
+        start = self.loop.now
+        metrics = RunMetrics()
+        attempt = _Attempt()
+        self._submit_attempt(
+            prepared,
+            pending=list(range(len(prepared.job_graph.jobs))),
+            replication=replication,
+            script_id=script_id,
+            attempt_index=0,
+            verified_paths={},
+            verifier=None,
+            attempt=attempt,
+        )
+        self.loop.run_while(lambda: not attempt.done())
+        for run in attempt.runs:
+            metrics.absorb_job(run.metrics)
+        outputs = self._publish_replica_outputs(prepared, script_id, 0, replica=0)
+        metrics.latency = self.loop.now - start
+        return ScriptResult(
+            script_id=script_id,
+            assured=False,
+            outputs=outputs,
+            latency=metrics.latency,
+            attempts=1,
+            metrics=metrics,
+            marked_vertices=list(prepared.marked_vertices),
+        )
+
+    # ------------------------------------------------------------------
+    # assured execution
+    # ------------------------------------------------------------------
+
+    def _run_assured(self, prepared: PreparedScript) -> ScriptResult:
+        cfg = prepared.config
+        script_id = self._next_script_id()
+        start = self.loop.now
+        self.audit.record(
+            start,
+            SUBMIT,
+            script_id,
+            jobs=len(prepared.job_graph.jobs),
+            replication=cfg.replication,
+            points=len(prepared.marked_vertices),
+        )
+        if self.frontend is not None:
+            # The submission is ordered by the replicated request handler
+            # before any job starts; its consensus round is on the
+            # critical path (part of the latency Fig. 14 measures).
+            self.frontend.call((script_id, len(prepared.job_graph.jobs)))
+        graph = prepared.job_graph
+        order = graph.topological_order()
+
+        metrics = RunMetrics()
+        all_outcomes: list[VerificationOutcome] = []
+        all_runs: list[JobRun] = []
+        verified_jobs: set[int] = set()  # committed (output reusable)
+        verified_ok: set[int] = set()  # sid VERIFIED (maybe uncommittable)
+        verified_paths: dict[str, str] = {}
+        reused = 0
+
+        deps = graph.dependencies()
+        verifiable = {
+            i for i in order if job_has_verification(graph.jobs[i])
+        }
+        final_jobs = [i for i, job in enumerate(graph.jobs) if not job.output_is_temp]
+
+        def rerun_closure() -> list[int]:
+            """Jobs that must run again: every verifiable job not yet
+            VERIFIED, plus (transitively) the uncommitted upstream jobs
+            feeding them.  Committed sub-graphs are reused — the paper's
+            variable-grain recomputation saving."""
+            needed = set(verifiable) - verified_ok
+            frontier = list(needed)
+            while frontier:
+                job_index = frontier.pop()
+                for dep in deps[job_index]:
+                    if dep not in verified_jobs and dep not in needed:
+                        needed.add(dep)
+                        frontier.append(dep)
+            return [i for i in order if i in needed]
+
+        replication = cfg.replication
+        timeout = cfg.verifier_timeout
+        attempts_used = 0
+        assured = False
+        last_attempt: _Attempt | None = None
+
+        for attempt_index in range(cfg.max_reruns + 1):
+            attempts_used += 1
+            if attempt_index == 0:
+                pending = list(order)
+            else:
+                pending = rerun_closure()
+                reused += len(order) - len(pending)
+                metrics.reruns += 1
+                self.audit.record(
+                    self.loop.now,
+                    RERUN,
+                    script_id,
+                    attempt=attempt_index,
+                    replication=replication,
+                    jobs_rerun=len(pending),
+                    jobs_reused=len(order) - len(pending),
+                )
+            if not pending:
+                break
+            attempt = _Attempt()
+            last_attempt = attempt
+            verifier = Verifier(
+                self.loop,
+                cfg.f,
+                self.config.cost,
+                timeout,
+                on_verdict=lambda outcome, a=attempt: self._on_verdict(a, outcome),
+                on_late_fault=lambda sid, fault: self._on_late_fault(fault),
+            )
+            self._submit_attempt(
+                prepared,
+                pending=pending,
+                replication=replication,
+                script_id=script_id,
+                attempt_index=attempt_index,
+                verified_paths=verified_paths,
+                verifier=verifier,
+                attempt=attempt,
+            )
+            # Global fail-safe: if stalled unverified jobs never finish,
+            # end the attempt once every verification deadline has passed.
+            self.loop.schedule(
+                timeout + 4 * self.config.cost.digest_network_seconds,
+                lambda a=attempt: setattr(a, "force_end", True),
+                label=f"attempt-deadline:{script_id}:{attempt_index}",
+            )
+            self.loop.run_while(lambda: not attempt.done())
+            # The force-end deadline can beat a verdict's delivery event;
+            # pull any internally-decided outcomes so reruns see them.
+            for sid in attempt.expected_verdicts - set(attempt.outcomes):
+                decided = verifier.outcome(sid)
+                if decided is not None:
+                    attempt.outcomes[sid] = decided
+            for run in attempt.runs:
+                outcome = attempt.outcomes.get(run.sid)
+                sid_verified = outcome is not None and outcome.status == VERIFIED
+                if run.state != "done" and (
+                    not sid_verified or run.has_omitted_task()
+                ):
+                    # Cancel runs that can never verify; keep the late
+                    # replicas of verified sids running — their digests
+                    # still feed offline fault attribution.
+                    self.engine.cancel(run)
+            all_runs.extend(attempt.runs)
+            metrics.verification_comparisons += verifier.total_comparisons
+
+            outcomes = list(attempt.outcomes.values())
+            all_outcomes.extend(outcomes)
+            self._apply_outcomes(prepared, attempt, outcomes)
+
+            # Commit verified, output-covered jobs; record every VERIFIED
+            # sid (committable or not) as settled.
+            for job_index, sid in self._sids(prepared, pending, script_id, attempt_index):
+                outcome = attempt.outcomes.get(sid)
+                if outcome is not None:
+                    self.audit.record(
+                        self.loop.now,
+                        VERDICT,
+                        sid,
+                        status=outcome.status,
+                        winners=tuple(sorted(outcome.winners)),
+                        faulty_replicas=tuple(
+                            fault.replica for fault in outcome.faults
+                        ),
+                    )
+                if outcome is None or outcome.status != VERIFIED:
+                    continue
+                verified_ok.add(job_index)
+                spec = graph.jobs[job_index]
+                if output_coverage(spec) is None:
+                    continue
+                winner = min(outcome.winners)
+                source = self._replica_path(
+                    script_id, attempt_index, winner, spec.output_path
+                )
+                target = f"__run/{script_id}/verified/{spec.output_path}"
+                self._copy_file(source, target)
+                verified_paths[spec.output_path] = target
+                verified_jobs.add(job_index)
+                self.audit.record(
+                    self.loop.now,
+                    COMMIT,
+                    sid,
+                    path=spec.output_path,
+                    winner=winner,
+                )
+
+            if not verifiable:
+                # Nothing to verify (outputs not instrumented): run once,
+                # publish best-effort, report unassured.
+                break
+            if all(i in verified_jobs for i in final_jobs) and verifiable <= verified_ok:
+                assured = True
+                break
+            replication += cfg.rerun_extra_replicas
+            timeout *= 2
+
+        outputs = self._publish_outputs(
+            prepared, script_id, verified_paths, assured, last_attempt
+        )
+        metrics.latency = self.loop.now - start
+        # Drain the late replicas of verified sids (offline attribution):
+        # happens after the latency clock stops — verification is not on
+        # the critical path.  The drain is bounded: replicas that cannot
+        # make progress (e.g. their partition was evicted) are cancelled.
+        drain_deadline = self.loop.now + cfg.verifier_timeout
+        self.loop.run_while(
+            lambda: self.loop.now < drain_deadline
+            and any(run.is_active and not run.all_finished() for run in all_runs)
+        )
+        # Digest messages and verifier finalization trail task completion
+        # by a few network hops — flush them, or late-replica faults
+        # would never be attributed.
+        self.loop.run_until(
+            self.loop.now + 10 * self.config.cost.digest_network_seconds + 0.5
+        )
+        for run in all_runs:
+            if run.state != "done":
+                self.engine.cancel(run)
+        self._evict_suspects()
+        for run in all_runs:
+            metrics.absorb_job(run.metrics)
+        return ScriptResult(
+            script_id=script_id,
+            assured=assured,
+            outputs=outputs,
+            latency=metrics.latency,
+            attempts=attempts_used,
+            metrics=metrics,
+            outcomes=all_outcomes,
+            marked_vertices=list(prepared.marked_vertices),
+            reused_jobs=reused,
+        )
+
+    # ------------------------------------------------------------------
+    # attempt plumbing
+    # ------------------------------------------------------------------
+
+    def _sids(self, prepared, pending, script_id, attempt_index):
+        return [
+            (job_index, f"{script_id}.a{attempt_index}.j{job_index}")
+            for job_index in pending
+        ]
+
+    def _replica_path(self, script_id: str, attempt: int, replica: int, logical: str) -> str:
+        return f"__run/{script_id}/a{attempt}/r{replica}/{logical}"
+
+    def _submit_attempt(
+        self,
+        prepared: PreparedScript,
+        pending: list[int],
+        replication: int,
+        script_id: str,
+        attempt_index: int,
+        verified_paths: dict[str, str],
+        verifier: Verifier | None,
+        attempt: _Attempt,
+    ) -> None:
+        graph = prepared.job_graph
+        internal = graph.internal_paths()
+        deps = graph.dependencies()
+        pending_set = set(pending)
+        attempt.deps = {i: {d for d in deps[i] if d in pending_set} for i in pending}
+
+        submitted: set[tuple[int, int]] = set()
+        done: set[tuple[int, int]] = set()
+
+        job_sids = dict(self._sids(prepared, pending, script_id, attempt_index))
+        for job_index in pending:
+            spec = graph.jobs[job_index]
+            if verifier is not None and job_has_verification(spec):
+                attempt.expected_verdicts.add(job_sids[job_index])
+                # Register up front: the timeout clock must cover stalls
+                # anywhere in the chain, including upstream jobs that
+                # keep this sid's replicas from ever being submitted.
+                verifier.register(job_sids[job_index], replication)
+            else:
+                for replica in range(replication):
+                    attempt.plain_jobs_pending.add((job_index, replica))
+                    if not spec.output_is_temp:
+                        attempt.plain_final_pending.add((job_index, replica))
+
+        def path_map_for(job_index: int, replica: int) -> dict[str, str]:
+            spec = graph.jobs[job_index]
+            mapping: dict[str, str] = {}
+            for path in spec.input_paths():
+                if path in verified_paths:
+                    mapping[path] = verified_paths[path]
+                elif path in internal:
+                    mapping[path] = self._replica_path(
+                        script_id, attempt_index, replica, path
+                    )
+            mapping[spec.output_path] = self._replica_path(
+                script_id, attempt_index, replica, spec.output_path
+            )
+            return mapping
+
+        def on_complete(run: JobRun, job_index: int, replica: int) -> None:
+            done.add((job_index, replica))
+            attempt.plain_jobs_pending.discard((job_index, replica))
+            attempt.plain_final_pending.discard((job_index, replica))
+            self.suspicion.record_job(run.nodes_used)
+            chain = set(run.nodes_used)
+            for dep in deps[job_index]:
+                if dep in pending_set:
+                    chain |= attempt.chain_nodes.get((dep, replica), set())
+            attempt.chain_nodes[(job_index, replica)] = chain
+            if verifier is not None and job_has_verification(run.spec):
+                verifier.replica_completed(run.sid, replica, chain)
+            submit_ready()
+
+        def submit_ready() -> None:
+            for job_index in pending:
+                job_deps = {d for d in deps[job_index] if d in pending_set}
+                for replica in range(replication):
+                    key = (job_index, replica)
+                    if key in submitted:
+                        continue
+                    if not all((d, replica) in done for d in job_deps):
+                        continue
+                    submitted.add(key)
+                    sid = job_sids[job_index]
+                    spec = graph.jobs[job_index]
+                    run = JobRun(
+                        job_id=f"{sid}.r{replica}",
+                        sid=sid,
+                        replica=replica,
+                        spec=spec,
+                        path_map=path_map_for(job_index, replica),
+                        scope=f"{script_id}.a{attempt_index}",
+                        digest_sink=verifier.on_report if verifier else None,
+                        on_complete=lambda run, i=job_index, k=replica: on_complete(
+                            run, i, k
+                        ),
+                        total_replicas=replication,
+                    )
+                    attempt.runs.append(run)
+                    attempt.runs_by_job.setdefault(job_index, []).append(run)
+                    self.engine.submit(run)
+
+        submit_ready()
+
+    def _on_verdict(self, attempt: _Attempt, outcome: VerificationOutcome) -> None:
+        attempt.outcomes[outcome.sid] = outcome
+
+    def _on_late_fault(self, fault) -> None:
+        """A replica that finished after its sid's verdict disagreed with
+        the winning digest vector."""
+        self.suspicion.record_fault(set(fault.nodes))
+        if fault.kind == COMMISSION:
+            self.fault_analyzer.observe(set(fault.nodes))
+
+    # ------------------------------------------------------------------
+    # outcome handling: suspicion, fault isolation, eviction
+    # ------------------------------------------------------------------
+
+    def _apply_outcomes(
+        self,
+        prepared: PreparedScript,
+        attempt: _Attempt,
+        outcomes: list[VerificationOutcome],
+    ) -> None:
+        for outcome in outcomes:
+            if outcome.status == VERIFIED:
+                # Losers are *known* faulty clusters: quorum proved the
+                # correct digests, these replicas disagreed.
+                for fault in outcome.faults:
+                    self.audit.record(
+                        self.loop.now,
+                        FAULT,
+                        outcome.sid,
+                        replica=fault.replica,
+                        fault_kind=fault.kind,
+                        nodes=tuple(sorted(fault.nodes)),
+                    )
+                    self.suspicion.record_fault(set(fault.nodes))
+                    if fault.kind == COMMISSION:
+                        self.fault_analyzer.observe(set(fault.nodes))
+            elif outcome.status == FAILED:
+                # No quorum: every cluster is a suspect, none is proven.
+                for fault in outcome.faults:
+                    self.suspicion.record_fault(set(fault.nodes))
+            elif outcome.status == TIMEOUT:
+                # Suspect only the replicas that never reported.
+                missing_nodes = self._missing_replica_nodes(attempt, outcome)
+                if missing_nodes:
+                    self.suspicion.record_fault(missing_nodes)
+        # Once the fault analyzer saturates (|D| = f), every fault must
+        # live inside its suspect set — exonerate the rest (paper §4.3).
+        if self.fault_analyzer.saturated:
+            cleared = self.suspicion.suspects() - self.fault_analyzer.suspects()
+            if cleared:
+                self.suspicion.clear_faults(cleared)
+        self._evict_suspects()
+
+    def _missing_replica_nodes(
+        self, attempt: _Attempt, outcome: VerificationOutcome
+    ) -> set[NodeId]:
+        """Nodes that touched a replica chain that never reported: the
+        stalled job's own nodes plus the finished upstream chain."""
+        nodes: set[NodeId] = set()
+        for job_index, runs in attempt.runs_by_job.items():
+            for run in runs:
+                if run.sid == outcome.sid and run.replica in outcome.missing_replicas:
+                    nodes |= run.nodes_used
+                    for dep in attempt.deps.get(job_index, set()):
+                        nodes |= attempt.chain_nodes.get((dep, run.replica), set())
+        return nodes
+
+    def _evict_suspects(self) -> None:
+        cfg = self.config.bft
+        for node_id in self.suspicion.over_threshold(cfg.suspicion_threshold):
+            state = self.suspicion.nodes[node_id]
+            if state.jobs_executed < cfg.suspicion_min_jobs:
+                continue
+            if not self.cluster.node(node_id).excluded:
+                self.cluster.exclude(node_id)
+                self.audit.record(
+                    self.loop.now,
+                    EVICTION,
+                    node_id,
+                    suspicion=round(state.level, 3),
+                    jobs=state.jobs_executed,
+                )
+
+    # ------------------------------------------------------------------
+    # output publication
+    # ------------------------------------------------------------------
+
+    def _copy_file(self, source: str, target: str) -> None:
+        records = self.dfs.read(source)
+        if self.dfs.exists(target):
+            self.dfs.delete(target)
+        self.dfs.write_file(target, records)
+
+    def _publish_outputs(
+        self,
+        prepared: PreparedScript,
+        script_id: str,
+        verified_paths: dict[str, str],
+        assured: bool,
+        last_attempt: _Attempt | None,
+    ) -> dict[str, list[Record]]:
+        outputs: dict[str, list[Record]] = {}
+        for job in prepared.job_graph.jobs:
+            if job.output_is_temp:
+                continue
+            logical = job.output_path
+            if logical in verified_paths:
+                source = verified_paths[logical]
+            else:
+                # Unassured fallback: best-effort replica 0 of the last
+                # attempt (flagged by ScriptResult.assured = False).
+                attempt_index = (last_attempt and len(last_attempt.runs)) or 0
+                source = None
+                if last_attempt:
+                    for run in last_attempt.runs:
+                        if run.spec.output_path == logical and run.replica == 0:
+                            source = run.physical_path(logical)
+                            break
+            if source is None or not self.dfs.exists(source):
+                outputs[logical] = []
+                continue
+            self._copy_file(source, logical)
+            outputs[logical] = self.dfs.read(logical)
+        return outputs
+
+    def _publish_replica_outputs(
+        self, prepared: PreparedScript, script_id: str, attempt: int, replica: int
+    ) -> dict[str, list[Record]]:
+        outputs: dict[str, list[Record]] = {}
+        for job in prepared.job_graph.jobs:
+            if job.output_is_temp:
+                continue
+            physical = self._replica_path(script_id, attempt, replica, job.output_path)
+            if self.dfs.exists(physical):
+                self._copy_file(physical, job.output_path)
+                outputs[job.output_path] = self.dfs.read(job.output_path)
+            else:
+                outputs[job.output_path] = []
+        return outputs

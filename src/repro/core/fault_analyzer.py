@@ -1,0 +1,118 @@
+"""Fault identification & isolation: the FAULT_ANALYZER of paper Fig. 7.
+
+Input events are *faulty job clusters*: the set of nodes that executed a
+replica whose digests lost the vote (a commission fault).  The analyzer
+maintains
+
+* ``D`` — disjoint faulty sets.  Because each replica cluster contains
+  at least one faulty node and sets in D are pairwise disjoint, once
+  ``|D| = f`` every set in D contains *exactly one* faulty node and no
+  node outside ``⋃D`` is faulty (under the ≤ f faults assumption), so
+  the suspect population stops growing (the effect Fig. 11/12 measure).
+* ``O`` — overlapping faulty sets kept aside; after ``|D| = f`` each new
+  or retained overlapping set that intersects exactly one member of D
+  shrinks that member to the intersection (stage two, Fig. 7 lines
+  13–23): if a faulty cluster touches only one candidate set, its fault
+  must live in the intersection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.ids import NodeId
+
+FaultySet = frozenset[NodeId]
+
+
+@dataclass
+class FaultAnalyzer:
+    """Online fault isolation over a stream of faulty job clusters."""
+
+    f: int = 1
+    disjoint: list[FaultySet] = field(default_factory=list)
+    overlapping: list[FaultySet] = field(default_factory=list)
+    observations: int = 0
+    #: Set on the observation where |D| first reached f (Fig. 11's y-axis
+    #: is the number of *jobs completed* at that moment; the caller maps
+    #: observations to jobs).
+    saturated_at: int | None = None
+
+    def observe(self, cluster: set[NodeId]) -> None:
+        """Feed one faulty job cluster (Fig. 7 FAULT_ANALYZER(S))."""
+        suspect_set = frozenset(cluster)
+        if not suspect_set:
+            return
+        self.observations += 1
+
+        if all(not (suspect_set & existing) for existing in self.disjoint):
+            # Stage 1a: disjoint from everything in D — a new fault site.
+            self.disjoint.append(suspect_set)
+        else:
+            subset_of = [
+                existing for existing in self.disjoint if suspect_set <= existing
+            ]
+            if subset_of:
+                # Stage 1b: a tighter cluster replaces its superset in D;
+                # the superset is demoted to O (it still holds a fault).
+                superset = subset_of[0]
+                self.disjoint.remove(superset)
+                self.overlapping.append(superset)
+                self.disjoint.append(suspect_set)
+            else:
+                # Stage 1c: intersects D without being contained — keep
+                # in O for the refinement stage.
+                self.overlapping.append(suspect_set)
+
+        if len(self.disjoint) >= self.f and self.saturated_at is None:
+            self.saturated_at = self.observations
+
+        if len(self.disjoint) >= self.f:
+            self._refine()
+
+    def _refine(self) -> None:
+        """Stage 2 (Fig. 7 lines 13–23): shrink members of D using
+        overlapping sets that intersect exactly one member."""
+        changed = True
+        while changed:
+            changed = False
+            for overlap in list(self.overlapping):
+                touching = [d for d in self.disjoint if d & overlap]
+                if len(touching) != 1:
+                    continue
+                target = touching[0]
+                intersection = target & overlap
+                if intersection and intersection != target:
+                    self.disjoint[self.disjoint.index(target)] = intersection
+                    changed = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def saturated(self) -> bool:
+        """True once |D| = f: the suspect population is final."""
+        return len(self.disjoint) >= self.f
+
+    def suspects(self) -> set[NodeId]:
+        """All nodes still under suspicion."""
+        out: set[NodeId] = set()
+        for suspect_set in self.disjoint:
+            out |= suspect_set
+        return out
+
+    def isolated_faults(self) -> list[NodeId]:
+        """Faulty nodes identified exactly (singleton sets in D)."""
+        return sorted(
+            next(iter(suspect_set))
+            for suspect_set in self.disjoint
+            if len(suspect_set) == 1
+        )
+
+    def describe(self) -> str:
+        d_text = ", ".join("{" + ",".join(sorted(s)) + "}" for s in self.disjoint)
+        return (
+            f"FaultAnalyzer(f={self.f}, |D|={len(self.disjoint)}, "
+            f"|O|={len(self.overlapping)}, D=[{d_text}])"
+        )

@@ -1,0 +1,97 @@
+"""Suspicion-level bookkeeping (paper §4.1/§4.2).
+
+"The suspicion level of a node is defined as total number of faults
+associated with the node divided by the total number of jobs executed on
+the node."  The resource manager evicts nodes whose level exceeds the
+administrator threshold; the §6.3 evaluation buckets levels into
+Low/Med/High bands, reproduced by :func:`band`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.ids import NodeId
+
+NO_SUSPICION = "none"
+LOW = "low"  # 0 < s <= 0.33
+MED = "med"  # 0.33 < s <= 0.66
+HIGH = "high"  # 0.66 < s <= 1
+
+
+def band(level: float) -> str:
+    """Bucket a suspicion level the way paper Fig. 12/13 does."""
+    if level <= 0.0:
+        return NO_SUSPICION
+    if level <= 0.33:
+        return LOW
+    if level <= 0.66:
+        return MED
+    return HIGH
+
+
+@dataclass
+class NodeSuspicion:
+    jobs_executed: int = 0
+    faults_associated: int = 0
+
+    @property
+    def level(self) -> float:
+        if self.jobs_executed == 0:
+            return 0.0
+        return self.faults_associated / self.jobs_executed
+
+
+@dataclass
+class SuspicionTracker:
+    """Per-node suspicion levels for the whole cluster."""
+
+    nodes: dict[NodeId, NodeSuspicion] = field(default_factory=dict)
+
+    def _node(self, node_id: NodeId) -> NodeSuspicion:
+        if node_id not in self.nodes:
+            self.nodes[node_id] = NodeSuspicion()
+        return self.nodes[node_id]
+
+    def record_job(self, node_ids: set[NodeId]) -> None:
+        """A job replica executed on these nodes (fault or not)."""
+        for node_id in node_ids:
+            self._node(node_id).jobs_executed += 1
+
+    def record_fault(self, node_ids: set[NodeId]) -> None:
+        """A job replica executed on these nodes returned a fault."""
+        for node_id in node_ids:
+            self._node(node_id).faults_associated += 1
+
+    def clear_faults(self, node_ids: set[NodeId]) -> None:
+        """Exonerate nodes (fault analyzer narrowed suspicion elsewhere)."""
+        for node_id in node_ids:
+            if node_id in self.nodes:
+                self.nodes[node_id].faults_associated = 0
+
+    def level(self, node_id: NodeId) -> float:
+        return self.nodes.get(node_id, NodeSuspicion()).level
+
+    def band(self, node_id: NodeId) -> str:
+        return band(self.level(node_id))
+
+    def suspects(self, minimum: float = 0.0) -> set[NodeId]:
+        return {
+            node_id
+            for node_id, state in self.nodes.items()
+            if state.level > minimum
+        }
+
+    def band_counts(self) -> dict[str, int]:
+        """Histogram of suspicion bands over all known nodes (Fig. 12)."""
+        counts = {NO_SUSPICION: 0, LOW: 0, MED: 0, HIGH: 0}
+        for state in self.nodes.values():
+            counts[band(state.level)] += 1
+        return counts
+
+    def over_threshold(self, threshold: float) -> set[NodeId]:
+        return {
+            node_id
+            for node_id, state in self.nodes.items()
+            if state.level > threshold
+        }

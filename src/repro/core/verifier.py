@@ -1,0 +1,283 @@
+"""The output verifier (paper §4.1, §4.2 step 6–7).
+
+Collects :class:`~repro.mapreduce.engine.DigestReport` messages from the
+untrusted tier and, per sub-graph id (sid), decides whether at least
+``f + 1`` replicas agree on *every* digest — across verification points,
+tasks, and incremental chunks (§6.4's approximation accuracy).
+
+Comparison is *offline*: it happens as digests stream in, off the
+critical path of the follow-up job, and the verdict event is delayed by
+a per-comparison cost so the latency the paper measures ("BFT Execution
+also includes the overhead of matching f+1 digests") is accounted.
+
+Outcomes:
+
+* ``VERIFIED`` — a quorum of completed replicas has identical digest
+  vectors; the losers (if any) are reported as faulty clusters.
+* ``FAILED`` — all expected replicas completed but no quorum exists
+  (e.g. r = f+1 with one commission fault).
+* ``TIMEOUT`` — the deadline passed first (omission failures or slow
+  replicas); the paper reruns the job "with a higher value for r".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.config import CostModelConfig
+from repro.common.ids import NodeId, SubGraphId
+from repro.mapreduce.engine import DigestReport
+from repro.simulation.events import EventLoop
+
+PENDING = "pending"
+VERIFIED = "verified"
+FAILED = "failed"
+TIMEOUT = "timeout"
+
+#: Fault kinds attributed to losing replicas (paper §2.1 taxonomy).
+COMMISSION = "commission"
+OMISSION = "omission"
+
+DigestKey = tuple[str, str, int]  # (vp_id, task_label, chunk_index)
+
+
+@dataclass
+class ReplicaFault:
+    replica: int
+    kind: str  # COMMISSION | OMISSION
+    nodes: frozenset[NodeId]
+
+
+@dataclass
+class VerificationOutcome:
+    sid: SubGraphId
+    status: str
+    winners: set[int] = field(default_factory=set)
+    faults: list[ReplicaFault] = field(default_factory=list)
+    missing_replicas: set[int] = field(default_factory=set)
+    comparisons: int = 0
+    decided_at: float = 0.0
+    first_mismatch_at: float | None = None
+
+
+class _SidState:
+    def __init__(self, sid: SubGraphId, expected: int, quorum: int) -> None:
+        self.sid = sid
+        self.expected = expected
+        self.quorum = quorum
+        self.vectors: dict[int, dict[DigestKey, bytes]] = {}
+        self.finalized: set[int] = set()
+        self.replica_nodes: dict[int, set[NodeId]] = {}
+        self.outcome: VerificationOutcome | None = None
+        self.comparisons = 0
+        self.first_mismatch_at: float | None = None
+
+
+class Verifier:
+    """Digest matcher for all sids of one script run."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        f: int,
+        cost: CostModelConfig,
+        timeout: float,
+        on_verdict: Callable[[VerificationOutcome], None] | None = None,
+        on_late_fault: Callable[[SubGraphId, ReplicaFault], None] | None = None,
+    ) -> None:
+        self.loop = loop
+        self.f = f
+        self.quorum = f + 1
+        self.cost = cost
+        self.timeout = timeout
+        self.on_verdict = on_verdict
+        #: Called for replicas that finish *after* a VERIFIED verdict and
+        #: disagree with the winning vector — verification is offline, so
+        #: fault attribution keeps going after the output is accepted.
+        self.on_late_fault = on_late_fault
+        self._sids: dict[SubGraphId, _SidState] = {}
+        self.total_comparisons = 0
+        self.reports_received = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, sid: SubGraphId, expected_replicas: int) -> None:
+        """Announce a replicated sub-graph; starts its timeout clock."""
+        if sid in self._sids:
+            return
+        self._sids[sid] = _SidState(sid, expected_replicas, self.quorum)
+        self.loop.schedule(
+            self.timeout, lambda: self._timeout(sid), label=f"verify-timeout:{sid}"
+        )
+
+    def on_report(self, report: DigestReport) -> None:
+        """Accumulate one digest message from a worker node."""
+        state = self._sids.get(report.sid)
+        if state is None:
+            return
+        if state.outcome is not None and state.outcome.status != VERIFIED:
+            return  # sid failed/timed out; a rerun supersedes these
+        self.reports_received += 1
+        vector = state.vectors.setdefault(report.replica, {})
+        for digest in report.digests:
+            key = (report.vp_id, report.task_label, digest.chunk_index)
+            vector[key] = digest.value
+            # Early (online) mismatch detection against other replicas.
+            for other_replica, other_vector in state.vectors.items():
+                if other_replica == report.replica:
+                    continue
+                other_value = other_vector.get(key)
+                if other_value is not None:
+                    state.comparisons += 1
+                    self.total_comparisons += 1
+                    if other_value != digest.value and state.first_mismatch_at is None:
+                        state.first_mismatch_at = self.loop.now
+
+    def replica_completed(
+        self, sid: SubGraphId, replica: int, nodes_used: set[NodeId]
+    ) -> None:
+        """The execution tracker saw this replica's job finish.  Digest
+        messages trail task completions, so finalization is deferred two
+        network hops before the vector is considered complete."""
+        state = self._sids.get(sid)
+        if state is None:
+            return
+        state.replica_nodes[replica] = set(nodes_used)
+
+        def finalize() -> None:
+            if state.outcome is not None:
+                self._check_late_replica(state, replica)
+                return
+            state.finalized.add(replica)
+            self._try_verdict(state)
+
+        self.loop.schedule(
+            2 * self.cost.digest_network_seconds,
+            finalize,
+            label=f"verify-finalize:{sid}:{replica}",
+        )
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+
+    def status(self, sid: SubGraphId) -> str:
+        state = self._sids.get(sid)
+        if state is None or state.outcome is None:
+            return PENDING
+        return state.outcome.status
+
+    def outcome(self, sid: SubGraphId) -> VerificationOutcome | None:
+        state = self._sids.get(sid)
+        return state.outcome if state else None
+
+    def _try_verdict(self, state: _SidState) -> None:
+        groups: dict[tuple, set[int]] = {}
+        for replica in state.finalized:
+            vector = state.vectors.get(replica, {})
+            signature = tuple(sorted((k, v) for k, v in vector.items()))
+            groups.setdefault(signature, set()).add(replica)
+        if not groups:
+            if len(state.finalized) >= state.expected:
+                self._decide(state, FAILED, winners=set())
+            return
+        best_signature, best_group = max(
+            groups.items(), key=lambda item: (len(item[1]), item[0])
+        )
+        if len(best_group) >= state.quorum:
+            self._decide(state, VERIFIED, winners=best_group)
+        elif len(state.finalized) >= state.expected:
+            # Everyone reported; no quorum possible.  Without a quorum
+            # there is no known-correct vector, so *no* replica can be
+            # exonerated: all clusters become suspects (winners = ∅).
+            self._decide(state, FAILED, winners=set())
+
+    def _check_late_replica(self, state: _SidState, replica: int) -> None:
+        """Attribute faults in replicas completing after the verdict."""
+        outcome = state.outcome
+        if (
+            outcome is None
+            or outcome.status != VERIFIED
+            or replica in outcome.winners
+            or replica in state.finalized
+        ):
+            return
+        state.finalized.add(replica)
+        winner_vector = state.vectors.get(min(outcome.winners), {})
+        vector = state.vectors.get(replica, {})
+        state.comparisons += len(vector)
+        self.total_comparisons += len(vector)
+        if vector == winner_vector:
+            return
+        is_subset = all(
+            winner_vector.get(key) == value for key, value in vector.items()
+        ) and len(vector) < len(winner_vector)
+        fault = ReplicaFault(
+            replica=replica,
+            kind=OMISSION if is_subset else COMMISSION,
+            nodes=frozenset(state.replica_nodes.get(replica, set())),
+        )
+        outcome.faults.append(fault)
+        if self.on_late_fault is not None:
+            self.on_late_fault(state.sid, fault)
+
+    def _timeout(self, sid: SubGraphId) -> None:
+        state = self._sids.get(sid)
+        if state is None or state.outcome is not None:
+            return
+        self._decide(state, TIMEOUT, winners=set())
+
+    def _decide(self, state: _SidState, status: str, winners: set[int]) -> None:
+        expected_replicas = set(range(state.expected))
+        missing = expected_replicas - state.finalized
+        faults: list[ReplicaFault] = []
+        winner_vector: dict[DigestKey, bytes] | None = None
+        if winners:
+            winner_vector = state.vectors.get(next(iter(winners)), {})
+        for replica in sorted(state.finalized - winners):
+            vector = state.vectors.get(replica, {})
+            kind = COMMISSION
+            if winner_vector is not None:
+                is_subset = all(
+                    winner_vector.get(key) == value for key, value in vector.items()
+                ) and len(vector) < len(winner_vector)
+                if is_subset:
+                    kind = OMISSION  # digests withheld, none wrong
+            faults.append(
+                ReplicaFault(
+                    replica=replica,
+                    kind=kind,
+                    nodes=frozenset(state.replica_nodes.get(replica, set())),
+                )
+            )
+        # Final offline pass: every digest of every losing/completed
+        # replica is compared against the winner's.
+        final_comparisons = sum(
+            len(state.vectors.get(replica, {}))
+            for replica in state.finalized - winners
+        )
+        state.comparisons += final_comparisons
+        self.total_comparisons += final_comparisons
+
+        outcome = VerificationOutcome(
+            sid=state.sid,
+            status=status,
+            winners=set(winners),
+            faults=faults,
+            missing_replicas=missing,
+            comparisons=state.comparisons,
+            first_mismatch_at=state.first_mismatch_at,
+        )
+        state.outcome = outcome
+
+        compare_delay = state.comparisons * self.cost.verifier_compare_seconds
+
+        def deliver() -> None:
+            outcome.decided_at = self.loop.now
+            if self.on_verdict is not None:
+                self.on_verdict(outcome)
+
+        self.loop.schedule(compare_delay, deliver, label=f"verdict:{state.sid}")

@@ -1,0 +1,23 @@
+"""Pig-style dataflow substrate: schemas, expressions, logical plans,
+a Pig Latin subset parser, and a local reference interpreter."""
+
+from repro.dataflow.builder import PlanBuilder, Relation
+from repro.dataflow.interpreter import interpret
+from repro.dataflow.optimizer import OptimizeReport, optimize
+from repro.dataflow.piglatin import parse_script
+from repro.dataflow.plan import LogicalPlan
+from repro.dataflow.schema import Field, Schema
+from repro.dataflow.unparse import unparse
+
+__all__ = [
+    "Field",
+    "LogicalPlan",
+    "OptimizeReport",
+    "PlanBuilder",
+    "Relation",
+    "Schema",
+    "interpret",
+    "optimize",
+    "parse_script",
+    "unparse",
+]

@@ -1,0 +1,166 @@
+"""Fluent plan-construction API.
+
+Mirrors Pig Latin's alias style without requiring the parser:
+
+>>> from repro.dataflow import builder as b, expressions as ex
+>>> from repro.dataflow.schema import Schema, INT
+>>> pb = b.PlanBuilder()
+>>> edges = pb.load("twitter", Schema.of(("user", INT), ("follower", INT)))
+>>> counts = (edges.filter(ex.not_null(ex.field("follower")))
+...                .group_by("user")
+...                .generate(("group", "user"), (ex.count(ex.field("edges")), "cnt")))
+>>> counts.store("follower_counts")  # doctest: +ELLIPSIS
+Relation(...)
+>>> plan = pb.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.common.errors import PlanError
+from repro.dataflow import expressions as ex
+from repro.dataflow.expressions import Expr
+from repro.dataflow.operators import (
+    DistinctOp,
+    FilterOp,
+    ForeachOp,
+    GroupOp,
+    JoinOp,
+    LimitOp,
+    LoadOp,
+    OrderOp,
+    Projection,
+    SortKey,
+    StoreOp,
+    UnionOp,
+)
+from repro.dataflow.plan import LogicalPlan, VertexId
+from repro.dataflow.schema import Schema
+
+
+def _as_expr(value: Expr | str | int | float) -> Expr:
+    """Coerce shorthand arguments: strings become field refs, numbers
+    literals, expressions pass through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return ex.field(value)
+    return ex.lit(value)
+
+
+class Relation:
+    """A handle to one plan vertex; every method adds a vertex and
+    returns the new handle, enabling chaining."""
+
+    def __init__(self, builder: "PlanBuilder", vid: VertexId, alias: str) -> None:
+        self.builder = builder
+        self.vid = vid
+        self.alias = alias
+
+    def __repr__(self) -> str:
+        return f"Relation({self.alias!r}, vid={self.vid})"
+
+    @property
+    def schema(self) -> Schema:
+        return self.builder.plan.schema_of(self.vid)
+
+    def _derive(self, op, inputs: list[VertexId], alias: str | None) -> "Relation":
+        name = alias or self.builder.fresh_alias(op.kind)
+        op.alias = name
+        vid = self.builder.plan.add(op, inputs)
+        return Relation(self.builder, vid, name)
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+
+    def filter(self, predicate: Expr, alias: str | None = None) -> "Relation":
+        return self._derive(FilterOp(predicate), [self.vid], alias)
+
+    def generate(self, *projections, alias: str | None = None) -> "Relation":
+        """FOREACH ... GENERATE.  Each projection is an expression, a
+        field-name string, or a ``(expr_or_name, output_name)`` pair."""
+        resolved = []
+        for projection in projections:
+            if isinstance(projection, tuple) and not isinstance(projection, Expr):
+                value, name = projection
+                resolved.append(Projection(_as_expr(value), name))
+            else:
+                resolved.append(Projection(_as_expr(projection)))
+        return self._derive(ForeachOp(resolved), [self.vid], alias)
+
+    foreach = generate
+
+    def group_by(self, *keys, alias: str | None = None) -> "Relation":
+        key_exprs = [_as_expr(k) for k in keys]
+        # The grouped-bag field is named after the input relation (Pig).
+        op = GroupOp(key_exprs, bag_name=self.alias)
+        return self._derive(op, [self.vid], alias)
+
+    def join(
+        self,
+        other: "Relation",
+        on: Sequence | None = None,
+        left_on: Sequence | None = None,
+        right_on: Sequence | None = None,
+        alias: str | None = None,
+    ) -> "Relation":
+        if on is not None:
+            left_on = right_on = list(on) if isinstance(on, (list, tuple)) else [on]
+        if not left_on or not right_on:
+            raise PlanError("join needs `on=` or both `left_on=`/`right_on=`")
+        left_keys = [_as_expr(k) for k in left_on]
+        right_keys = [_as_expr(k) for k in right_on]
+        op = JoinOp(
+            left_keys,
+            right_keys,
+            input_aliases=(self.alias, other.alias),
+        )
+        return self._derive(op, [self.vid, other.vid], alias)
+
+    def union(self, *others: "Relation", alias: str | None = None) -> "Relation":
+        inputs = [self.vid] + [other.vid for other in others]
+        return self._derive(UnionOp(), inputs, alias)
+
+    def distinct(self, alias: str | None = None) -> "Relation":
+        return self._derive(DistinctOp(), [self.vid], alias)
+
+    def order_by(self, *keys, alias: str | None = None) -> "Relation":
+        """Each key is a field name or ``(name, 'desc'|'asc')``."""
+        sort_keys = []
+        for key in keys:
+            if isinstance(key, tuple):
+                name, direction = key
+                sort_keys.append(SortKey(name, direction.lower() != "desc"))
+            else:
+                sort_keys.append(SortKey(key))
+        return self._derive(OrderOp(sort_keys), [self.vid], alias)
+
+    def limit(self, n: int, alias: str | None = None) -> "Relation":
+        return self._derive(LimitOp(n), [self.vid], alias)
+
+    def store(self, path: str) -> "Relation":
+        return self._derive(StoreOp(path), [self.vid], None)
+
+
+class PlanBuilder:
+    """Accumulates vertices into a :class:`LogicalPlan`."""
+
+    def __init__(self) -> None:
+        self.plan = LogicalPlan()
+        self._alias_counter = itertools.count(1)
+
+    def fresh_alias(self, kind: str) -> str:
+        return f"{kind}_{next(self._alias_counter)}"
+
+    def load(self, path: str, schema: Schema, alias: str | None = None) -> Relation:
+        name = alias or self.fresh_alias("load")
+        vid = self.plan.add(LoadOp(path, schema, alias=name))
+        return Relation(self, vid, name)
+
+    def build(self) -> LogicalPlan:
+        """Validate and return the plan."""
+        self.plan.validate()
+        return self.plan

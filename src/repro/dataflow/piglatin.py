@@ -1,0 +1,495 @@
+"""Parser for the Pig Latin subset the evaluation scripts use.
+
+Supported statements::
+
+    A = LOAD 'path' AS (user:int, follower:int);
+    B = FILTER A BY follower IS NOT NULL AND user > 0;
+    C = GROUP B BY user;                 -- also BY (k1, k2)
+    D = FOREACH C GENERATE group AS user, COUNT(B) AS cnt;
+    E = JOIN A BY user, B BY follower;
+    F = UNION A, B;
+    G = DISTINCT B;
+    H = ORDER D BY cnt DESC, user;
+    I = LIMIT H 20;
+    STORE I INTO 'out';
+
+Comments: ``-- line`` and ``/* block */``.  Keywords are
+case-insensitive; aliases and field names are case-sensitive (as in Pig).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ParseError
+from repro.dataflow import expressions as ex
+from repro.dataflow.expressions import FUNCTIONS, Expr
+from repro.dataflow.operators import (
+    DistinctOp,
+    FilterOp,
+    ForeachOp,
+    GroupOp,
+    JoinOp,
+    LimitOp,
+    LoadOp,
+    OrderOp,
+    Projection,
+    SortKey,
+    StoreOp,
+    UnionOp,
+)
+from repro.dataflow.plan import LogicalPlan, VertexId
+from repro.dataflow.schema import Field, Schema
+from repro.dataflow.schema import ANY, BOOLEAN, CHARARRAY, DOUBLE, FLOAT, INT, LONG
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+
+KEYWORDS = {
+    "LOAD", "AS", "FILTER", "BY", "GROUP", "FOREACH", "GENERATE", "JOIN",
+    "UNION", "DISTINCT", "ORDER", "LIMIT", "STORE", "INTO", "AND", "OR",
+    "NOT", "IS", "NULL", "DESC", "ASC",
+}
+
+TYPE_NAMES = {
+    "int": INT, "long": LONG, "float": FLOAT, "double": DOUBLE,
+    "chararray": CHARARRAY, "boolean": BOOLEAN,
+}
+
+SYMBOLS = [
+    "::", "==", "!=", "<=", ">=", "<", ">", "=", "(", ")", ",", ";",
+    ":", "$", ".", "+", "-", "*", "/", "%",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | EOF
+    text: str
+    line: int
+    column: int
+
+
+class Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif self.source.startswith("--", self.pos):
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            elif self.source.startswith("/*", self.pos):
+                end = self.source.find("*/", self.pos + 2)
+                if end == -1:
+                    raise self._error("unterminated block comment")
+                self._advance(end + 2 - self.pos)
+            else:
+                return
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                out.append(Token("EOF", "", self.line, self.column))
+                return out
+            out.append(self._next_token())
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self.source[self.pos]
+        if ch == "'":
+            return self._string(line, column)
+        if ch.isdigit() or (
+            ch == "." and self.pos + 1 < len(self.source)
+            and self.source[self.pos + 1].isdigit()
+        ):
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column)
+        for symbol in SYMBOLS:
+            if self.source.startswith(symbol, self.pos):
+                self._advance(len(symbol))
+                return Token("SYMBOL", symbol, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        start = self.pos
+        while self.pos < len(self.source) and self.source[self.pos] != "'":
+            self._advance()
+        if self.pos >= len(self.source):
+            raise ParseError("unterminated string", line, column)
+        text = self.source[start:self.pos]
+        self._advance()  # closing quote
+        return Token("STRING", text, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        seen_dot = False
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot:
+                # Don't consume `.` if it starts a bag projection (digit
+                # never precedes those in this grammar, so safe to take).
+                seen_dot = True
+                self._advance()
+            else:
+                break
+        return Token("NUMBER", self.source[start:self.pos], line, column)
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] == "_"
+        ):
+            self._advance()
+        text = self.source[start:self.pos]
+        if text.upper() in KEYWORDS:
+            return Token("KEYWORD", text.upper(), line, column)
+        return Token("IDENT", text, line, column)
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+
+class Parser:
+    """Recursive-descent parser building a :class:`LogicalPlan` directly."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = Lexer(source).tokens()
+        self.index = 0
+        self.plan = LogicalPlan()
+        self.aliases: dict[str, VertexId] = {}
+
+    # -- token helpers --------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(f"{message} (got {tok.kind} {tok.text!r})", tok.line, tok.column)
+
+    def _advance(self) -> Token:
+        tok = self.current
+        if tok.kind != "EOF":
+            self.index += 1
+        return tok
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        tok = self.current
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self._accept(kind, text)
+        if tok is None:
+            want = text or kind
+            raise self._error(f"expected {want}")
+        return tok
+
+    def _alias_vid(self, alias: str) -> VertexId:
+        if alias not in self.aliases:
+            raise self._error(f"undefined alias {alias!r}")
+        return self.aliases[alias]
+
+    # -- entry point ----------------------------------------------------
+
+    def parse(self) -> LogicalPlan:
+        while not self._check("EOF"):
+            self._statement()
+        self.plan.validate()
+        return self.plan
+
+    def _statement(self) -> None:
+        if self._accept("KEYWORD", "STORE"):
+            alias = self._expect("IDENT").text
+            self._expect("KEYWORD", "INTO")
+            path = self._expect("STRING").text
+            self._expect("SYMBOL", ";")
+            # STORE introduces no alias; naming it after the stored
+            # relation would shadow that relation in alias lookups.
+            self.plan.add(StoreOp(path), [self._alias_vid(alias)])
+            return
+        target = self._expect("IDENT").text
+        self._expect("SYMBOL", "=")
+        vid = self._relation_statement(target)
+        self.aliases[target] = vid
+        self._expect("SYMBOL", ";")
+
+    def _relation_statement(self, target: str) -> VertexId:
+        if self._accept("KEYWORD", "LOAD"):
+            return self._load(target)
+        if self._accept("KEYWORD", "FILTER"):
+            return self._filter(target)
+        if self._accept("KEYWORD", "GROUP"):
+            return self._group(target)
+        if self._accept("KEYWORD", "FOREACH"):
+            return self._foreach(target)
+        if self._accept("KEYWORD", "JOIN"):
+            return self._join(target)
+        if self._accept("KEYWORD", "UNION"):
+            return self._union(target)
+        if self._accept("KEYWORD", "DISTINCT"):
+            alias = self._expect("IDENT").text
+            return self.plan.add(DistinctOp(alias=target), [self._alias_vid(alias)])
+        if self._accept("KEYWORD", "ORDER"):
+            return self._order(target)
+        if self._accept("KEYWORD", "LIMIT"):
+            alias = self._expect("IDENT").text
+            count = int(self._expect("NUMBER").text)
+            return self.plan.add(LimitOp(count, alias=target), [self._alias_vid(alias)])
+        raise self._error("expected a relational operator")
+
+    # -- statements -----------------------------------------------------
+
+    def _load(self, target: str) -> VertexId:
+        path = self._expect("STRING").text
+        self._expect("KEYWORD", "AS")
+        self._expect("SYMBOL", "(")
+        fields = [self._schema_field()]
+        while self._accept("SYMBOL", ","):
+            fields.append(self._schema_field())
+        self._expect("SYMBOL", ")")
+        return self.plan.add(LoadOp(path, Schema(fields), alias=target))
+
+    def _schema_field(self) -> Field:
+        name = self._expect("IDENT").text
+        type_tag = ANY
+        if self._accept("SYMBOL", ":"):
+            type_name = self._expect("IDENT").text.lower()
+            if type_name not in TYPE_NAMES:
+                raise self._error(f"unknown type {type_name!r}")
+            type_tag = TYPE_NAMES[type_name]
+        return Field(name, type_tag)
+
+    def _filter(self, target: str) -> VertexId:
+        alias = self._expect("IDENT").text
+        self._expect("KEYWORD", "BY")
+        predicate = self._expression()
+        return self.plan.add(FilterOp(predicate, alias=target), [self._alias_vid(alias)])
+
+    def _group(self, target: str) -> VertexId:
+        alias = self._expect("IDENT").text
+        self._expect("KEYWORD", "BY")
+        keys = self._key_list()
+        op = GroupOp(keys, alias=target, bag_name=alias)
+        return self.plan.add(op, [self._alias_vid(alias)])
+
+    def _key_list(self) -> list[Expr]:
+        if self._accept("SYMBOL", "("):
+            keys = [self._expression()]
+            while self._accept("SYMBOL", ","):
+                keys.append(self._expression())
+            self._expect("SYMBOL", ")")
+            return keys
+        return [self._expression()]
+
+    def _foreach(self, target: str) -> VertexId:
+        alias = self._expect("IDENT").text
+        self._expect("KEYWORD", "GENERATE")
+        projections = [self._projection()]
+        while self._accept("SYMBOL", ","):
+            projections.append(self._projection())
+        return self.plan.add(
+            ForeachOp(projections, alias=target), [self._alias_vid(alias)]
+        )
+
+    def _projection(self) -> Projection:
+        expr = self._expression()
+        name = ""
+        if self._accept("KEYWORD", "AS"):
+            name = self._expect("IDENT").text
+        return Projection(expr, name)
+
+    def _join(self, target: str) -> VertexId:
+        left_alias = self._expect("IDENT").text
+        self._expect("KEYWORD", "BY")
+        left_keys = self._key_list()
+        self._expect("SYMBOL", ",")
+        right_alias = self._expect("IDENT").text
+        self._expect("KEYWORD", "BY")
+        right_keys = self._key_list()
+        left_vid = self._alias_vid(left_alias)
+        right_vid = self._alias_vid(right_alias)
+        op = JoinOp(
+            left_keys,
+            right_keys,
+            alias=target,
+            input_aliases=(left_alias, right_alias),
+        )
+        return self.plan.add(op, [left_vid, right_vid])
+
+    def _union(self, target: str) -> VertexId:
+        aliases = [self._expect("IDENT").text]
+        while self._accept("SYMBOL", ","):
+            aliases.append(self._expect("IDENT").text)
+        inputs = [self._alias_vid(a) for a in aliases]
+        return self.plan.add(UnionOp(alias=target), inputs)
+
+    def _order(self, target: str) -> VertexId:
+        alias = self._expect("IDENT").text
+        self._expect("KEYWORD", "BY")
+        keys = [self._sort_key()]
+        while self._accept("SYMBOL", ","):
+            keys.append(self._sort_key())
+        return self.plan.add(OrderOp(keys, alias=target), [self._alias_vid(alias)])
+
+    def _sort_key(self) -> SortKey:
+        ref = self._field_ref_text()
+        ascending = True
+        if self._accept("KEYWORD", "DESC"):
+            ascending = False
+        else:
+            self._accept("KEYWORD", "ASC")
+        return SortKey(ref, ascending)
+
+    def _field_ref_text(self) -> str:
+        if self._accept("SYMBOL", "$"):
+            return "$" + self._expect("NUMBER").text
+        if self._accept("KEYWORD", "GROUP"):
+            return "group"
+        name = self._expect("IDENT").text
+        if self._accept("SYMBOL", "::"):
+            name += "::" + self._expect("IDENT").text
+        return name
+
+    # -- expressions ------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept("KEYWORD", "OR"):
+            left = ex.BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept("KEYWORD", "AND"):
+            left = ex.BinOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept("KEYWORD", "NOT"):
+            return ex.UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        if self._accept("KEYWORD", "IS"):
+            negate = bool(self._accept("KEYWORD", "NOT"))
+            self._expect("KEYWORD", "NULL")
+            return ex.IsNull(left, negate=negate)
+        for symbol in ("==", "!=", "<=", ">=", "<", ">"):
+            if self._accept("SYMBOL", symbol):
+                return ex.BinOp(symbol, left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            if self._accept("SYMBOL", "+"):
+                left = ex.BinOp("+", left, self._multiplicative())
+            elif self._accept("SYMBOL", "-"):
+                left = ex.BinOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            matched = None
+            for symbol in ("*", "/", "%"):
+                if self._accept("SYMBOL", symbol):
+                    matched = symbol
+                    break
+            if matched is None:
+                return left
+            left = ex.BinOp(matched, left, self._unary())
+
+    def _unary(self) -> Expr:
+        if self._accept("SYMBOL", "-"):
+            return ex.UnaryOp("neg", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        if self._accept("SYMBOL", "("):
+            inner = self._expression()
+            self._expect("SYMBOL", ")")
+            return inner
+        if self._accept("SYMBOL", "$"):
+            index = self._expect("NUMBER").text
+            return ex.FieldRef(f"${index}")
+        if self._check("NUMBER"):
+            text = self._advance().text
+            return ex.Literal(float(text) if "." in text else int(text))
+        if self._check("STRING"):
+            return ex.Literal(self._advance().text)
+        if self._accept("KEYWORD", "NULL"):
+            return ex.Literal(None)
+        if self._accept("KEYWORD", "GROUP"):
+            # `group` is context-sensitive in Pig: inside expressions it
+            # names the grouping-key field produced by GROUP BY.
+            base: Expr = ex.FieldRef("group")
+            while self._accept("SYMBOL", "."):
+                base = ex.BagProject(base, self._expect("IDENT").text)
+            return base
+        if self._check("IDENT"):
+            return self._name_expr()
+        raise self._error("expected an expression")
+
+    def _name_expr(self) -> Expr:
+        name = self._advance().text
+        if name.upper() in FUNCTIONS and self._check("SYMBOL", "("):
+            self._advance()  # (
+            args: list[Expr] = []
+            if not self._check("SYMBOL", ")"):
+                args.append(self._expression())
+                while self._accept("SYMBOL", ","):
+                    args.append(self._expression())
+            self._expect("SYMBOL", ")")
+            return ex.FuncCall(name.upper(), tuple(args))
+        if self._accept("SYMBOL", "::"):
+            name += "::" + self._expect("IDENT").text
+        base: Expr = ex.FieldRef(name)
+        while self._accept("SYMBOL", "."):
+            field_name = self._expect("IDENT").text
+            base = ex.BagProject(base, field_name)
+        return base
+
+
+def parse_script(source: str) -> LogicalPlan:
+    """Parse a Pig Latin subset script into a validated logical plan."""
+    return Parser(source).parse()

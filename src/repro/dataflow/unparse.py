@@ -1,0 +1,176 @@
+"""Logical plan → Pig Latin text (the parser's inverse).
+
+Useful for debugging optimizer rewrites (print the plan a rewrite
+produced as a script), persisting generated plans, and as the anchor of
+the parse↔unparse round-trip property tests.
+
+Only *user-expressible* plans can be unparsed: instrumentation
+operators (``VerifyOp``) have no Pig syntax and raise.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import PlanError
+from repro.dataflow.expressions import (
+    BagProject,
+    BinOp,
+    Expr,
+    FieldRef,
+    FuncCall,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.dataflow.operators import (
+    DistinctOp,
+    FilterOp,
+    ForeachOp,
+    GroupOp,
+    JoinOp,
+    LimitOp,
+    LoadOp,
+    OrderOp,
+    StoreOp,
+    UnionOp,
+)
+from repro.dataflow.plan import LogicalPlan, VertexId
+from repro.dataflow.schema import ANY, Schema
+
+
+def expr_to_pig(expr: Expr) -> str:
+    """Serialize an expression; binary operations are parenthesized so
+    precedence never depends on the reader."""
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "NULL"
+        if isinstance(expr.value, bool):
+            return "1 == 1" if expr.value else "1 == 0"
+        if isinstance(expr.value, str):
+            return f"'{expr.value}'"
+        return repr(expr.value)
+    if isinstance(expr, FieldRef):
+        return expr.name
+    if isinstance(expr, BinOp):
+        op = expr.op.upper() if expr.op in ("and", "or") else expr.op
+        return f"({expr_to_pig(expr.left)} {op} {expr_to_pig(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return f"(NOT {expr_to_pig(expr.operand)})"
+        return f"(-{expr_to_pig(expr.operand)})"
+    if isinstance(expr, IsNull):
+        suffix = "IS NOT NULL" if expr.negate else "IS NULL"
+        return f"{expr_to_pig(expr.operand)} {suffix}"
+    if isinstance(expr, FuncCall):
+        args = ", ".join(expr_to_pig(a) for a in expr.args)
+        return f"{expr.name.upper()}({args})"
+    if isinstance(expr, BagProject):
+        return f"{expr_to_pig(expr.bag)}.{expr.field}"
+    raise PlanError(f"cannot unparse expression {expr!r}")
+
+
+def _schema_clause(schema: Schema) -> str:
+    parts = []
+    for field in schema:
+        if field.type == ANY:
+            parts.append(field.name)
+        else:
+            parts.append(f"{field.name}:{field.type}")
+    return ", ".join(parts)
+
+
+class _Unparser:
+    def __init__(self, plan: LogicalPlan) -> None:
+        self.plan = plan
+        self.names: dict[VertexId, str] = {}
+        self.used: set[str] = set()
+        self.lines: list[str] = []
+
+    def _name(self, vid: VertexId) -> str:
+        if vid in self.names:
+            return self.names[vid]
+        op = self.plan.op(vid)
+        base = op.alias or f"rel_{vid}"
+        name = base
+        counter = 1
+        while name in self.used:
+            counter += 1
+            name = f"{base}_{counter}"
+        self.used.add(name)
+        self.names[vid] = name
+        return name
+
+    def unparse(self) -> str:
+        for vid in self.plan.topological_order():
+            self._emit(vid)
+        return "\n".join(self.lines) + "\n"
+
+    def _emit(self, vid: VertexId) -> None:
+        op = self.plan.op(vid)
+        parents = self.plan.inputs(vid)
+        if isinstance(op, LoadOp):
+            self.lines.append(
+                f"{self._name(vid)} = LOAD '{op.path}' "
+                f"AS ({_schema_clause(op.load_schema)});"
+            )
+        elif isinstance(op, StoreOp):
+            self.lines.append(f"STORE {self._name(parents[0])} INTO '{op.path}';")
+        elif isinstance(op, FilterOp):
+            self.lines.append(
+                f"{self._name(vid)} = FILTER {self._name(parents[0])} "
+                f"BY {expr_to_pig(op.predicate)};"
+            )
+        elif isinstance(op, ForeachOp):
+            clauses = []
+            for projection in op.projections:
+                clause = expr_to_pig(projection.expr)
+                if projection.name:
+                    clause += f" AS {projection.name}"
+                clauses.append(clause)
+            self.lines.append(
+                f"{self._name(vid)} = FOREACH {self._name(parents[0])} "
+                f"GENERATE {', '.join(clauses)};"
+            )
+        elif isinstance(op, GroupOp):
+            keys = ", ".join(expr_to_pig(k) for k in op.key_exprs)
+            if len(op.key_exprs) > 1:
+                keys = f"({keys})"
+            # The parser names the bag after the *referenced* relation, so
+            # GROUP must reference a relation whose name matches bag_name.
+            self.lines.append(
+                f"{self._name(vid)} = GROUP {self._name(parents[0])} BY {keys};"
+            )
+        elif isinstance(op, JoinOp):
+            left = ", ".join(expr_to_pig(k) for k in op.left_keys)
+            right = ", ".join(expr_to_pig(k) for k in op.right_keys)
+            if len(op.left_keys) > 1:
+                left, right = f"({left})", f"({right})"
+            self.lines.append(
+                f"{self._name(vid)} = JOIN {self._name(parents[0])} BY {left}, "
+                f"{self._name(parents[1])} BY {right};"
+            )
+        elif isinstance(op, UnionOp):
+            inputs = ", ".join(self._name(p) for p in parents)
+            self.lines.append(f"{self._name(vid)} = UNION {inputs};")
+        elif isinstance(op, DistinctOp):
+            self.lines.append(
+                f"{self._name(vid)} = DISTINCT {self._name(parents[0])};"
+            )
+        elif isinstance(op, OrderOp):
+            keys = ", ".join(
+                f"{key.ref}{'' if key.ascending else ' DESC'}"
+                for key in op.sort_keys
+            )
+            self.lines.append(
+                f"{self._name(vid)} = ORDER {self._name(parents[0])} BY {keys};"
+            )
+        elif isinstance(op, LimitOp):
+            self.lines.append(
+                f"{self._name(vid)} = LIMIT {self._name(parents[0])} {op.limit};"
+            )
+        else:
+            raise PlanError(f"operator {op!r} has no Pig Latin syntax")
+
+
+def unparse(plan: LogicalPlan) -> str:
+    """Serialize a (user-expressible) plan back to Pig Latin."""
+    return _Unparser(plan).unparse()

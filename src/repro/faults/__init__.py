@@ -1,0 +1,37 @@
+"""Byzantine node behaviours and fault-injection plans."""
+
+from repro.faults.behaviors import (
+    CORRECT,
+    CommissionBehavior,
+    FlakyCommissionBehavior,
+    NodeBehavior,
+    OmissionBehavior,
+    SlowBehavior,
+    tamper,
+)
+from repro.faults.injection import (
+    FaultPlan,
+    combined,
+    commission_nodes,
+    no_faults,
+    single_commission,
+    single_omission,
+    slow_node,
+)
+
+__all__ = [
+    "CORRECT",
+    "CommissionBehavior",
+    "FaultPlan",
+    "FlakyCommissionBehavior",
+    "NodeBehavior",
+    "OmissionBehavior",
+    "SlowBehavior",
+    "combined",
+    "commission_nodes",
+    "no_faults",
+    "single_commission",
+    "single_omission",
+    "slow_node",
+    "tamper",
+]

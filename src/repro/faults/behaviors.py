@@ -1,0 +1,175 @@
+"""Byzantine node behaviours.
+
+The paper (§2.1, after Kihlstrom et al.) distinguishes *omission*
+failures (a process does not send an expected message), *commission*
+failures (it sends a message it should not — here: corrupt data), and
+non-detectable failures.  §2.3 adds two adversary strengths: a *strong*
+adversary controls every internal aspect of a node; a *weak* adversary
+only causes omission or commission faults.
+
+A behaviour object is attached to a worker node and consulted by the
+MapReduce runtime at the points where the node could deviate:
+
+* ``corrupt_records`` — applied to every record stream a task consumes
+  (commission: the node computes on — and emits — tampered data, which
+  downstream verification points then expose);
+* ``omits_completion`` — the node never reports the task finished
+  (omission at the execution level: the replica stalls);
+* ``omits_digest`` — the node withholds the verification message only
+  (omission at the verification level);
+* ``slowdown`` — multiplier on task duration (a correct-but-slow node,
+  used for paper Table 3 "case 2").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.records import Record
+
+
+class NodeBehavior:
+    """A correct node: the default, and the base class for faults."""
+
+    #: True when the behaviour can produce Byzantine deviations at all.
+    faulty = False
+
+    def corrupt_records(self, records: list[Record], rng: random.Random) -> list[Record]:
+        return records
+
+    def omits_completion(self, rng: random.Random) -> bool:
+        return False
+
+    def omits_digest(self, rng: random.Random) -> bool:
+        return False
+
+    def slowdown(self) -> float:
+        return 1.0
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+CORRECT = NodeBehavior()
+
+
+def tamper(record: Record) -> Record:
+    """Deterministically corrupt one record.
+
+    Every scalar field is mutated, so the corruption survives any
+    downstream projection — a tamper that only touched one column would
+    be invisible to queries that drop that column, which would let a
+    commission fault slip past verification points on the projected
+    stream (and make faults look milder than the Byzantine model allows).
+    """
+    fields = list(record.fields)
+    changed = False
+    for index, value in enumerate(fields):
+        if isinstance(value, bool):
+            fields[index] = not value
+            changed = True
+        elif isinstance(value, int):
+            fields[index] = value + 1
+            changed = True
+        elif isinstance(value, float):
+            fields[index] = value + 1.0
+            changed = True
+        elif isinstance(value, str):
+            fields[index] = value + "☠"
+            changed = True
+        elif value is None:
+            fields[index] = 0
+            changed = True
+    if not changed:
+        fields.append("corrupt")
+    return Record(tuple(fields))
+
+
+@dataclass
+class CommissionBehavior(NodeBehavior):
+    """With ``probability`` per task, corrupt the stream the task sees.
+
+    ``per_record_fraction`` controls how much of the stream is tampered
+    when a fault fires (the default corrupts a single record — the
+    hardest case for approximate digests to catch).
+    """
+
+    probability: float = 1.0
+    per_record_fraction: float = 0.0
+
+    faulty = True
+
+    def corrupt_records(self, records: list[Record], rng: random.Random) -> list[Record]:
+        if not records or rng.random() >= self.probability:
+            return records
+        corrupted = list(records)
+        if self.per_record_fraction > 0:
+            for index in range(len(corrupted)):
+                if rng.random() < self.per_record_fraction:
+                    corrupted[index] = tamper(corrupted[index])
+        victim = rng.randrange(len(corrupted))
+        corrupted[victim] = tamper(corrupted[victim])
+        return corrupted
+
+    def describe(self) -> str:
+        return f"commission(p={self.probability})"
+
+
+@dataclass
+class OmissionBehavior(NodeBehavior):
+    """With ``probability`` per task, never report completion; with
+    ``digest_probability``, withhold only the digest message."""
+
+    probability: float = 1.0
+    digest_probability: float = 0.0
+
+    faulty = True
+
+    def omits_completion(self, rng: random.Random) -> bool:
+        return rng.random() < self.probability
+
+    def omits_digest(self, rng: random.Random) -> bool:
+        return rng.random() < self.digest_probability
+
+    def describe(self) -> str:
+        return f"omission(p={self.probability})"
+
+
+@dataclass
+class SlowBehavior(NodeBehavior):
+    """A correct node that is ``factor``× slower than its peers.
+
+    Not Byzantine — used to reproduce Table 3 case 2, where one correct
+    replica misses the verifier timeout and forces a rerun.
+    """
+
+    factor: float = 10.0
+
+    def slowdown(self) -> float:
+        return self.factor
+
+    def describe(self) -> str:
+        return f"slow(x{self.factor})"
+
+
+@dataclass
+class FlakyCommissionBehavior(NodeBehavior):
+    """Commission faults that fire rarely — the paper's observation that
+    "an infected node may be mostly producing correct output, and produce
+    incorrect results occasionally" (§4.3), which slows fault isolation."""
+
+    probability: float = 0.1
+
+    faulty = True
+
+    def corrupt_records(self, records: list[Record], rng: random.Random) -> list[Record]:
+        if not records or rng.random() >= self.probability:
+            return records
+        corrupted = list(records)
+        victim = rng.randrange(len(corrupted))
+        corrupted[victim] = tamper(corrupted[victim])
+        return corrupted
+
+    def describe(self) -> str:
+        return f"flaky-commission(p={self.probability})"

@@ -1,0 +1,89 @@
+"""Fault-injection plans: which nodes misbehave, and how.
+
+A :class:`FaultPlan` maps node ids to behaviours and is applied to a
+cluster at construction time.  Helpers build the standard scenarios the
+paper evaluates (one always-commission node for Table 3; probabilistic
+commission nodes for the §6.3 isolation study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import FaultInjectionError
+from repro.common.ids import NodeId
+from repro.faults.behaviors import (
+    CommissionBehavior,
+    NodeBehavior,
+    OmissionBehavior,
+    SlowBehavior,
+)
+
+
+@dataclass
+class FaultPlan:
+    """Assignment of behaviours to nodes."""
+
+    behaviors: dict[NodeId, NodeBehavior] = field(default_factory=dict)
+
+    def assign(self, node_id: NodeId, behavior: NodeBehavior) -> "FaultPlan":
+        if node_id in self.behaviors:
+            raise FaultInjectionError(f"node {node_id} already has a behaviour")
+        self.behaviors[node_id] = behavior
+        return self
+
+    def behavior_for(self, node_id: NodeId) -> NodeBehavior:
+        from repro.faults.behaviors import CORRECT
+
+        return self.behaviors.get(node_id, CORRECT)
+
+    def faulty_nodes(self) -> set[NodeId]:
+        return {
+            node_id
+            for node_id, behavior in self.behaviors.items()
+            if behavior.faulty
+        }
+
+    def describe(self) -> str:
+        if not self.behaviors:
+            return "no faults"
+        return ", ".join(
+            f"{node}:{behavior.describe()}"
+            for node, behavior in sorted(self.behaviors.items())
+        )
+
+
+def no_faults() -> FaultPlan:
+    return FaultPlan()
+
+
+def single_commission(node_id: NodeId, probability: float = 1.0) -> FaultPlan:
+    """Paper Table 3 setup: "one node was set up to always produce
+    commission failures resulting in an incorrect digest"."""
+    return FaultPlan({node_id: CommissionBehavior(probability=probability)})
+
+
+def commission_nodes(node_ids: list[NodeId], probability: float) -> FaultPlan:
+    """Paper §6.3 setup: faulty nodes producing commission failures with
+    a given probability."""
+    return FaultPlan(
+        {node_id: CommissionBehavior(probability=probability) for node_id in node_ids}
+    )
+
+
+def single_omission(node_id: NodeId, probability: float = 1.0) -> FaultPlan:
+    return FaultPlan({node_id: OmissionBehavior(probability=probability)})
+
+
+def slow_node(node_id: NodeId, factor: float = 10.0) -> FaultPlan:
+    """Paper Table 3 case 2: a correct replica too slow for the verifier
+    timeout."""
+    return FaultPlan({node_id: SlowBehavior(factor=factor)})
+
+
+def combined(*plans: FaultPlan) -> FaultPlan:
+    merged = FaultPlan()
+    for plan in plans:
+        for node_id, behavior in plan.behaviors.items():
+            merged.assign(node_id, behavior)
+    return merged

@@ -1,0 +1,19 @@
+"""The 250-node fault-isolation simulator of paper §6.3."""
+
+from repro.isolation.simulator import (
+    RATIO_R1,
+    RATIO_R2,
+    IsolationSimulator,
+    IsolationStats,
+    TimelinePoint,
+    jobs_to_isolation,
+)
+
+__all__ = [
+    "RATIO_R1",
+    "RATIO_R2",
+    "IsolationSimulator",
+    "IsolationStats",
+    "TimelinePoint",
+    "jobs_to_isolation",
+]

@@ -1,0 +1,309 @@
+"""Fault-isolation simulator (paper §6.3).
+
+"We wrote a Java-based simulator that mimics resource allocation in a
+250 node Hadoop cluster.  Each node is given 3 slots on which tasks can
+be scheduled."  Jobs fall into three size categories — large (20–30
+slots), medium (10–15), small (3–5) — mixed by a configurable ratio
+(r1 = 6:3:1, r2 = 2:2:1), each with a random length in time units.
+
+Every job is replicated (4 replicas for f = 1, 7 for f = 2, as in the
+paper).  Replica clusters are placed on disjoint node sets; nodes host
+at most one slot per job, which maximizes the number of job-cluster
+intersections per node — the paper's overlap strategy.  Faulty nodes
+produce a commission fault with probability ``commission_probability``
+per job execution; the verifier identifies the faulty replica clusters
+(given an f+1 correct quorum) and feeds them to the suspicion tracker
+and the Fig. 7 fault analyzer.
+
+Outputs map directly onto the paper's figures:
+
+* :attr:`IsolationStats.jobs_at_saturation` — jobs completed when
+  |D| = f (Fig. 11's y-axis);
+* :attr:`IsolationStats.timeline` — per-time-unit Low/Med/High suspicion
+  band counts (Fig. 12/13).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.ids import NodeId
+from repro.common.rng import weighted_choice
+from repro.core.fault_analyzer import FaultAnalyzer
+from repro.core.suspicion import SuspicionTracker
+
+LARGE = "large"
+MEDIUM = "medium"
+SMALL = "small"
+
+SLOT_RANGES = {LARGE: (20, 30), MEDIUM: (10, 15), SMALL: (3, 5)}
+
+#: Paper ratios |large| : |medium| : |small|.
+RATIO_R1 = (6, 3, 1)
+RATIO_R2 = (2, 2, 1)
+
+
+@dataclass
+class SimJob:
+    job_id: int
+    category: str
+    slots: int
+    length: int
+    started_at: int
+    replicas: list[set[NodeId]] = field(default_factory=list)
+
+    @property
+    def finishes_at(self) -> int:
+        return self.started_at + self.length
+
+
+@dataclass
+class TimelinePoint:
+    time: int
+    jobs_completed: int
+    none: int
+    low: int
+    med: int
+    high: int
+    suspects: int
+    disjoint_sets: int
+
+
+@dataclass
+class IsolationStats:
+    """Everything the §6.3 figures need."""
+
+    jobs_completed: int = 0
+    jobs_at_saturation: int | None = None
+    saturation_time: int | None = None
+    timeline: list[TimelinePoint] = field(default_factory=list)
+    final_suspects: set[NodeId] = field(default_factory=set)
+    isolated_faults: list[NodeId] = field(default_factory=list)
+    true_faulty: set[NodeId] = field(default_factory=set)
+
+    @property
+    def exact_isolation(self) -> bool:
+        """Did the analyzer isolate exactly the true faulty nodes?"""
+        return set(self.isolated_faults) == self.true_faulty
+
+
+class IsolationSimulator:
+    """Discrete-time resource-allocation and fault-isolation simulator."""
+
+    def __init__(
+        self,
+        f: int = 1,
+        num_nodes: int = 250,
+        slots_per_node: int = 3,
+        ratio: tuple[int, int, int] = RATIO_R1,
+        commission_probability: float = 0.8,
+        length_range: tuple[int, int] = (3, 10),
+        replicas: int | None = None,
+        num_faulty: int | None = None,
+        seed: int = 63,
+        overlap_strategy: str = "overlap",
+    ) -> None:
+        if f < 1:
+            raise SimulationError("f must be >= 1")
+        self.f = f
+        self.num_nodes = num_nodes
+        self.slots_per_node = slots_per_node
+        self.ratio = ratio
+        self.commission_probability = commission_probability
+        self.length_range = length_range
+        # Paper: 4 replicas for f=1, 7 for f=2 (i.e. 3f+1).
+        self.replicas = replicas if replicas is not None else 3 * f + 1
+        if overlap_strategy not in ("overlap", "spread"):
+            raise SimulationError(f"unknown overlap strategy: {overlap_strategy!r}")
+        #: "overlap" (the paper's policy) packs job clusters onto busy
+        #: nodes to maximize intersections; "spread" is the ablation
+        #: baseline preferring idle nodes.
+        self.overlap_strategy = overlap_strategy
+        self.rng = random.Random(seed)
+
+        self.nodes: list[NodeId] = [f"n{i:03d}" for i in range(num_nodes)]
+        self.free_slots: dict[NodeId, int] = {
+            node: slots_per_node for node in self.nodes
+        }
+        faulty_count = num_faulty if num_faulty is not None else f
+        self.faulty_nodes: set[NodeId] = set(
+            self.rng.sample(self.nodes, faulty_count)
+        )
+
+        self.suspicion = SuspicionTracker()
+        self.analyzer = FaultAnalyzer(f=f)
+        self.active_jobs: list[SimJob] = []
+        self.jobs_completed = 0
+        self._job_counter = 0
+        self.time = 0
+
+    # ------------------------------------------------------------------
+    # job lifecycle
+    # ------------------------------------------------------------------
+
+    def _new_job(self) -> SimJob:
+        category = weighted_choice(
+            self.rng, [LARGE, MEDIUM, SMALL], list(self.ratio)
+        )
+        lo, hi = SLOT_RANGES[category]
+        slots = self.rng.randint(lo, hi)
+        length = self.rng.randint(*self.length_range)
+        self._job_counter += 1
+        return SimJob(
+            job_id=self._job_counter,
+            category=category,
+            slots=slots,
+            length=length,
+            started_at=self.time,
+        )
+
+    def _try_allocate(self, job: SimJob) -> bool:
+        """Place all replicas on disjoint node sets, one slot per node.
+
+        Overlap strategy: candidate nodes are sorted to prefer nodes
+        already hosting other jobs (more cluster intersections), with a
+        shuffled tie-break.
+        """
+        used_by_job: set[NodeId] = set()
+        replica_sets: list[set[NodeId]] = []
+        for _ in range(self.replicas):
+            candidates = [
+                node
+                for node in self.nodes
+                if self.free_slots[node] > 0 and node not in used_by_job
+            ]
+            if len(candidates) < job.slots:
+                return False
+            self.rng.shuffle(candidates)
+            # "overlap": busiest nodes (fewest free slots) first, giving
+            # maximal cluster intersections; "spread": idle nodes first.
+            candidates.sort(
+                key=lambda node: self.free_slots[node],
+                reverse=self.overlap_strategy == "spread",
+            )
+            chosen = set(candidates[: job.slots])
+            replica_sets.append(chosen)
+            used_by_job |= chosen
+        for replica in replica_sets:
+            for node in replica:
+                self.free_slots[node] -= 1
+        job.replicas = replica_sets
+        return True
+
+    def _complete_job(self, job: SimJob) -> None:
+        self.jobs_completed += 1
+        faulty_replicas: list[set[NodeId]] = []
+        for replica in job.replicas:
+            self.suspicion.record_job(replica)
+            fired = any(
+                node in self.faulty_nodes
+                and self.rng.random() < self.commission_probability
+                for node in replica
+            )
+            if fired:
+                faulty_replicas.append(replica)
+            for node in replica:
+                self.free_slots[node] += 1
+        correct = self.replicas - len(faulty_replicas)
+        if correct < self.f + 1:
+            # No quorum: all clusters suspect, no attribution possible.
+            for replica in job.replicas:
+                self.suspicion.record_fault(replica)
+            return
+        for replica in faulty_replicas:
+            cluster = set(replica)
+            if self.analyzer.saturated:
+                # After |D| = f no node outside ⋃D can be faulty: restrict
+                # attribution to the surviving suspects (this is why the
+                # paper's Fig. 12 suspect count stops growing).
+                narrowed = cluster & self.analyzer.suspects()
+                if narrowed:
+                    cluster = narrowed
+            self.suspicion.record_fault(cluster)
+            self.analyzer.observe(set(replica))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one time unit: finish due jobs, backfill new ones."""
+        self.time += 1
+        finished = [job for job in self.active_jobs if job.finishes_at <= self.time]
+        self.active_jobs = [
+            job for job in self.active_jobs if job.finishes_at > self.time
+        ]
+        saturated_before = self.analyzer.saturated
+        for job in finished:
+            self._complete_job(job)
+        if not saturated_before and self.analyzer.saturated:
+            self._jobs_at_saturation = self.jobs_completed
+            self._saturation_time = self.time
+        # Backfill: keep the cluster busy.
+        for _ in range(1000):
+            job = self._new_job()
+            if not self._try_allocate(job):
+                self._job_counter -= 1
+                break
+            self.active_jobs.append(job)
+
+    _jobs_at_saturation: int | None = None
+    _saturation_time: int | None = None
+
+    def run(self, max_time: int = 150, stop_at_saturation: bool = False) -> IsolationStats:
+        stats = IsolationStats(true_faulty=set(self.faulty_nodes))
+        for _ in range(max_time):
+            self.step()
+            bands = self.suspicion.band_counts()
+            stats.timeline.append(
+                TimelinePoint(
+                    time=self.time,
+                    jobs_completed=self.jobs_completed,
+                    none=bands["none"],
+                    low=bands["low"],
+                    med=bands["med"],
+                    high=bands["high"],
+                    suspects=len(self.suspicion.suspects()),
+                    disjoint_sets=len(self.analyzer.disjoint),
+                )
+            )
+            if stop_at_saturation and self.analyzer.saturated:
+                break
+        stats.jobs_completed = self.jobs_completed
+        stats.jobs_at_saturation = self._jobs_at_saturation
+        stats.saturation_time = self._saturation_time
+        stats.final_suspects = self.suspicion.suspects()
+        stats.isolated_faults = self.analyzer.isolated_faults()
+        return stats
+
+
+def jobs_to_isolation(
+    f: int,
+    ratio: tuple[int, int, int],
+    commission_probability: float,
+    trials: int = 5,
+    max_time: int = 600,
+    seed: int = 63,
+) -> float:
+    """Average jobs completed when |D| = f (one Fig. 11 data point).
+
+    Trials that never saturate contribute their total completed jobs
+    (a lower bound), matching the paper's bounded observation window.
+    """
+    total = 0.0
+    for trial in range(trials):
+        simulator = IsolationSimulator(
+            f=f,
+            ratio=ratio,
+            commission_probability=commission_probability,
+            seed=seed + 1000 * trial,
+        )
+        stats = simulator.run(max_time=max_time, stop_at_saturation=True)
+        total += (
+            stats.jobs_at_saturation
+            if stats.jobs_at_saturation is not None
+            else stats.jobs_completed
+        )
+    return total / trials

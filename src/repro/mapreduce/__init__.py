@@ -1,0 +1,26 @@
+"""In-process MapReduce engine driven by the discrete-event simulator."""
+
+from repro.mapreduce.cluster import Cluster, WorkerNode
+from repro.mapreduce.engine import DigestReport, JobRun, MapReduceEngine
+from repro.mapreduce.metrics import JobMetrics, RunMetrics, TaskMetrics
+from repro.mapreduce.scheduler import (
+    ClusterBFTScheduler,
+    NaiveScheduler,
+    TaskRef,
+    TaskScheduler,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterBFTScheduler",
+    "DigestReport",
+    "JobMetrics",
+    "JobRun",
+    "MapReduceEngine",
+    "NaiveScheduler",
+    "RunMetrics",
+    "TaskMetrics",
+    "TaskRef",
+    "TaskScheduler",
+    "WorkerNode",
+]

@@ -1,0 +1,113 @@
+"""Worker cluster model: nodes, slots, heartbeats.
+
+Mirrors Hadoop 1.x's structure (paper §5.1): a node offers a number of
+*task slots* (the paper's resource units, typically 3–4 per 4-core
+node), and announces free capacity via periodic heartbeat messages to
+the (trusted) execution tracker, which replies with task assignments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.config import ClusterConfig
+from repro.common.ids import NodeId, TaskId
+from repro.faults.behaviors import CORRECT, NodeBehavior
+from repro.faults.injection import FaultPlan
+
+
+@dataclass
+class WorkerNode:
+    """One virtual computation unit in the untrusted tier."""
+
+    node_id: NodeId
+    slots: int
+    behavior: NodeBehavior = CORRECT
+    running: set[TaskId] = field(default_factory=set)
+    #: Tasks whose completion was omitted still occupy a slot forever —
+    #: that is precisely the omission failure mode.
+    excluded: bool = False
+
+    @property
+    def free_slots(self) -> int:
+        return max(self.slots - len(self.running), 0)
+
+    @property
+    def is_faulty(self) -> bool:
+        return self.behavior.faulty
+
+    def start_task(self, task_id: TaskId) -> None:
+        self.running.add(task_id)
+
+    def finish_task(self, task_id: TaskId) -> None:
+        self.running.discard(task_id)
+
+
+class Cluster:
+    """The untrusted computation tier: a fixed set of worker nodes.
+
+    Node membership is controlled by the trusted tier's inclusion list
+    (paper §4.2): nodes whose suspicion exceeds the threshold are marked
+    ``excluded`` and stop receiving work.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        fault_plan: FaultPlan | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.rng = rng or random.Random(0)
+        fault_plan = fault_plan or FaultPlan()
+        self.nodes: dict[NodeId, WorkerNode] = {}
+        for index in range(config.num_nodes):
+            node_id = f"node_{index:04d}"
+            self.nodes[node_id] = WorkerNode(
+                node_id=node_id,
+                slots=config.slots_per_node,
+                behavior=fault_plan.behavior_for(node_id),
+            )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: NodeId) -> WorkerNode:
+        return self.nodes[node_id]
+
+    def node_ids(self) -> list[NodeId]:
+        return sorted(self.nodes)
+
+    def active_nodes(self) -> list[WorkerNode]:
+        return [n for n in self.nodes.values() if not n.excluded]
+
+    def faulty_node_ids(self) -> set[NodeId]:
+        return {n.node_id for n in self.nodes.values() if n.is_faulty}
+
+    def exclude(self, node_id: NodeId) -> None:
+        """Remove a node from the inclusion list (suspicion threshold hit)."""
+        self.nodes[node_id].excluded = True
+
+    def reinstate(self, node_id: NodeId) -> None:
+        """Administrator re-inserts a re-imaged node (paper §4.2)."""
+        node = self.nodes[node_id]
+        node.excluded = False
+        node.behavior = CORRECT
+
+    def total_slots(self) -> int:
+        return sum(n.slots for n in self.active_nodes())
+
+    def heartbeat_offsets(self) -> dict[NodeId, float]:
+        """Initial heartbeat phase per node.  Staggered so the execution
+        tracker sees a steady stream rather than synchronized bursts."""
+        period = self.config.heartbeat_period
+        offsets = {}
+        ids = self.node_ids()
+        for index, node_id in enumerate(ids):
+            if self.config.heartbeat_stagger:
+                offsets[node_id] = period * index / max(len(ids), 1)
+            else:
+                offsets[node_id] = 0.0
+        return offsets

@@ -1,0 +1,561 @@
+"""The MapReduce engine: heartbeat-driven job execution on the cluster.
+
+Plays the role of Hadoop's JobTracker/TaskTrackers (the paper keeps
+Hadoop's JobTracker as its *execution tracker* unmodified, §5.3).  The
+engine is a discrete-event simulation around a *real* data path: tasks
+actually execute their pipelines over real records — producing real
+SHA-256 digests and really-corrupted outputs on faulty nodes — while
+their *durations* come from the cost model.
+
+Key reproducibility property: job output files are assembled in task
+order (maps by (branch, block), reduces by partition), so the outputs of
+correct replicas are byte-identical, intermediate files split into
+identical blocks, and per-task digests are comparable across replicas.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.config import CostModelConfig
+from repro.common.hashing import Digest
+from repro.common.rng import derive_seed
+from repro.common.ids import JobId, NodeId, SubGraphId
+from repro.common.errors import MapReduceError
+from repro.common.records import Record
+from repro.compiler.jobspec import JobSpec
+from repro.mapreduce.cluster import Cluster, WorkerNode
+from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+from repro.mapreduce.runtime import (
+    MapTaskOutput,
+    ReduceTaskOutput,
+    TapResult,
+    execute_map_task,
+    execute_reduce_task,
+)
+from repro.mapreduce.scheduler import TaskRef, TaskScheduler
+from repro.simulation.events import EventLoop
+from repro.storage.dfs import TrustedDFS
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+OMITTED = "omitted"  # completion never reported (omission failure)
+
+
+@dataclass(frozen=True)
+class DigestReport:
+    """One verification message from a worker node to the trusted tier."""
+
+    sid: SubGraphId
+    replica: int
+    job_id: JobId
+    vp_id: str
+    task_label: str  # e.g. "m0.3" (branch 0, block 3) or "r2"
+    node_id: NodeId
+    digests: tuple[Digest, ...]
+    record_count: int
+    sent_at: float
+
+
+@dataclass
+class Split:
+    branch_index: int
+    block_index: int
+    size_bytes: int
+    locations: tuple[NodeId, ...]
+
+
+@dataclass
+class _TaskState:
+    status: str = PENDING
+    node: NodeId | None = None
+    started_at: float = 0.0
+    #: A backup attempt was launched (speculative execution).
+    speculated: bool = False
+
+
+class JobRun:
+    """One replica execution of one compiled job."""
+
+    def __init__(
+        self,
+        job_id: JobId,
+        sid: SubGraphId,
+        replica: int,
+        spec: JobSpec,
+        path_map: dict[str, str],
+        scope: str,
+        digest_sink: Callable[[DigestReport], None] | None = None,
+        on_complete: Callable[["JobRun"], None] | None = None,
+        total_replicas: int = 1,
+        allowed_nodes: set[NodeId] | None = None,
+    ) -> None:
+        self.job_id = job_id
+        self.sid = sid
+        self.replica = replica
+        self.total_replicas = max(total_replicas, replica + 1)
+        #: Explicit placement constraint (dummy-job probing, §3.3): when
+        #: set, only these nodes may execute this run's tasks.
+        self.allowed_nodes = set(allowed_nodes) if allowed_nodes is not None else None
+        self.spec = spec
+        self.path_map = dict(path_map)
+        self.scope = scope
+        self.digest_sink = digest_sink
+        self.on_complete = on_complete
+
+        self.splits: list[Split] = []
+        self.map_states: list[_TaskState] = []
+        self.reduce_states: list[_TaskState] = []
+        self.map_results: dict[int, MapTaskOutput] = {}
+        self.reduce_results: dict[int, ReduceTaskOutput] = {}
+        self.metrics = JobMetrics(job_id=job_id)
+        self.nodes_used: set[NodeId] = set()
+        self.state = PENDING
+        self.cancelled = False
+        #: Durations of finished tasks by kind — the speculation baseline.
+        self.completed_durations: dict[str, list[float]] = {"map": [], "reduce": []}
+        self.speculative_attempts = 0
+
+    # -- state queries ----------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == RUNNING and not self.cancelled
+
+    @property
+    def num_reduces(self) -> int:
+        return 0 if self.spec.is_map_only else self.spec.num_reducers
+
+    def physical_path(self, logical: str) -> str:
+        return self.path_map.get(logical, logical)
+
+    def maps_finished(self) -> bool:
+        return all(s.status == DONE for s in self.map_states)
+
+    def all_finished(self) -> bool:
+        return self.maps_finished() and all(
+            s.status == DONE for s in self.reduce_states
+        )
+
+    def has_omitted_task(self) -> bool:
+        return any(
+            s.status == OMITTED
+            for s in list(self.map_states) + list(self.reduce_states)
+        )
+
+    def ready_map_tasks(self, node_id: NodeId) -> tuple[list[int], list[int]]:
+        """(data-local, remote) pending map task indices for a node."""
+        local: list[int] = []
+        remote: list[int] = []
+        for index, state in enumerate(self.map_states):
+            if state.status != PENDING:
+                continue
+            if node_id in self.splits[index].locations:
+                local.append(index)
+            else:
+                remote.append(index)
+        return local, remote
+
+    def ready_reduce_tasks(self) -> list[int]:
+        if not self.maps_finished():
+            return []
+        return [
+            index
+            for index, state in enumerate(self.reduce_states)
+            if state.status == PENDING
+        ]
+
+    def has_ready_tasks(self) -> bool:
+        if any(s.status == PENDING for s in self.map_states):
+            return True
+        return bool(self.ready_reduce_tasks())
+
+    def mark_scheduled(self, kind: str, index: int, node_id: NodeId) -> None:
+        states = self.map_states if kind == "map" else self.reduce_states
+        states[index].status = RUNNING
+        states[index].node = node_id
+        self.nodes_used.add(node_id)
+
+    def speculatable_tasks(
+        self, now: float, slowdown: float, floor: float, exclude_node: NodeId
+    ) -> list[tuple[str, int]]:
+        """(kind, index) of attempts lagging far behind their finished
+        siblings — candidates for a backup attempt on another node.
+
+        With no finished sibling of the same kind (a slow node may hoard
+        them all), fall back to the other kind's durations, then to the
+        absolute ``floor``.
+        """
+        candidates: list[tuple[str, int]] = []
+        for kind, states in (("map", self.map_states), ("reduce", self.reduce_states)):
+            durations = (
+                self.completed_durations[kind]
+                or self.completed_durations["reduce" if kind == "map" else "map"]
+            )
+            if durations:
+                ordered = sorted(durations)
+                median = ordered[len(ordered) // 2]
+                threshold = max(median * slowdown, 1e-9)
+            else:
+                threshold = floor
+            for index, state in enumerate(states):
+                if state.status not in (RUNNING, OMITTED) or state.speculated:
+                    continue
+                if state.node == exclude_node:
+                    continue
+                if now - state.started_at > threshold:
+                    candidates.append((kind, index))
+        return candidates
+
+    def reduce_input(self, partition: int) -> list:
+        """Shuffle: gather one partition from all maps in task order."""
+        keyed = []
+        for map_index in range(len(self.splits)):
+            output = self.map_results[map_index]
+            keyed.extend(output.partitions.get(partition, []))
+        return keyed
+
+    def assemble_output(self) -> list[Record]:
+        """Final output records in deterministic task order.
+
+        Missing entries only occur for empty-input jobs that completed
+        without spawning tasks; their output is empty.
+        """
+        records: list[Record] = []
+        if self.spec.is_map_only:
+            for index in range(len(self.splits)):
+                result = self.map_results.get(index)
+                if result is not None:
+                    records.extend(result.output_records)
+        else:
+            for index in range(self.num_reduces):
+                result = self.reduce_results.get(index)
+                if result is not None:
+                    records.extend(result.output_records)
+        return records
+
+
+class MapReduceEngine:
+    """Heartbeat-driven executor for :class:`JobRun`."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        dfs: TrustedDFS,
+        cluster: Cluster,
+        scheduler: TaskScheduler,
+        cost: CostModelConfig,
+        rng: random.Random,
+    ) -> None:
+        self.loop = loop
+        self.dfs = dfs
+        self.cluster = cluster
+        self.scheduler = scheduler
+        if hasattr(scheduler, "set_cluster"):
+            scheduler.set_cluster(cluster)
+        self.cost = cost.validate()
+        self.rng = rng
+        self._run_seed = rng.randrange(1 << 62)
+        self.runs: list[JobRun] = []
+        self._heartbeats_running = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, run: JobRun) -> None:
+        """Queue a job run; tasks start flowing on upcoming heartbeats."""
+        self._compute_splits(run)
+        run.metrics.submitted_at = self.loop.now
+        run.state = RUNNING
+        self.runs.append(run)
+        if not run.map_states:
+            # Degenerate job over an empty input: complete after the
+            # fixed job-startup overhead.
+            self.loop.schedule(
+                self.cost.job_startup_seconds,
+                lambda: self._complete_job(run),
+                label=f"{run.job_id}:empty",
+            )
+            return
+        self._ensure_heartbeats()
+
+    def _compute_splits(self, run: JobRun) -> None:
+        for branch_index, branch in enumerate(run.spec.branches):
+            physical = run.physical_path(branch.input_path)
+            if not self.dfs.exists(physical):
+                raise MapReduceError(
+                    f"input {physical!r} missing for job {run.job_id}"
+                )
+            info = self.dfs.file_info(physical)
+            for block in info.blocks:
+                run.splits.append(
+                    Split(
+                        branch_index=branch_index,
+                        block_index=block.index,
+                        size_bytes=block.size_bytes,
+                        locations=block.locations,
+                    )
+                )
+        run.map_states = [_TaskState() for _ in run.splits]
+        run.reduce_states = [_TaskState() for _ in range(run.num_reduces)]
+
+    def cancel(self, run: JobRun) -> None:
+        """Abort a run: pending tasks are dropped; running tasks' effects
+        are discarded when their completion events fire."""
+        run.cancelled = True
+        for state in list(run.map_states) + list(run.reduce_states):
+            if state.status == PENDING:
+                state.status = DONE  # never scheduled; nothing to free
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+
+    def _ensure_heartbeats(self) -> None:
+        if self._heartbeats_running:
+            return
+        self._heartbeats_running = True
+        for node_id, offset in self.cluster.heartbeat_offsets().items():
+            self.loop.schedule(
+                offset,
+                lambda nid=node_id: self._heartbeat(nid),
+                label=f"hb:{node_id}",
+            )
+
+    def _active_runs(self) -> list[JobRun]:
+        return [run for run in self.runs if run.is_active]
+
+    def _work_remains(self) -> bool:
+        return any(
+            run.is_active and not run.all_finished() for run in self.runs
+        )
+
+    def _heartbeat(self, node_id: NodeId) -> None:
+        if not self._work_remains():
+            self._heartbeats_running = False
+            return
+        node = self.cluster.node(node_id)
+        if not node.excluded:
+            schedulable = [
+                run for run in self._active_runs() if run.has_ready_tasks()
+            ]
+            for ref in self.scheduler.assign(node, schedulable):
+                self._start_task(node, ref)
+            if self.cluster.config.speculative_execution and node.free_slots > 0:
+                self._speculate(node)
+        self.loop.schedule(
+            self.cluster.config.heartbeat_period,
+            lambda: self._heartbeat(node_id),
+            label=f"hb:{node_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+
+    def _speculate(self, node: WorkerNode) -> None:
+        """Launch backup attempts for straggling tasks (Hadoop-style
+        speculative execution): rescues slow — and even silently hung —
+        attempts without waiting for the verifier timeout."""
+        slowdown = self.cluster.config.speculation_slowdown
+        floor = self.cluster.config.speculation_floor
+        for run in self._active_runs():
+            if node.free_slots <= 0:
+                return
+            if not self.scheduler.eligible(node, run):
+                continue
+            for kind, index in run.speculatable_tasks(
+                self.loop.now, slowdown, floor, exclude_node=node.node_id
+            ):
+                if node.free_slots <= 0:
+                    return
+                states = run.map_states if kind == "map" else run.reduce_states
+                states[index].speculated = True
+                states[index].status = RUNNING  # rescues OMITTED attempts
+                run.nodes_used.add(node.node_id)
+                run.speculative_attempts += 1
+                self.scheduler.note_assignment(
+                    node, TaskRef(run, kind, index)
+                )
+                self._start_task(node, TaskRef(run, kind, index), backup=True)
+
+    def _start_task(self, node: WorkerNode, ref: TaskRef, backup: bool = False) -> None:
+        run = ref.run
+        attempt_tag = "~backup" if backup else ""
+        task_key = f"{run.job_id}:{ref.kind}{ref.index}{attempt_tag}"
+        node.start_task(task_key)
+        behavior = node.behavior
+        # Deterministic per-task stream: independent of scheduling order,
+        # stable across replicas only in structure (node id + task key),
+        # so a probabilistic fault on one node cannot accidentally strike
+        # the same record in every replica.
+        node_rng = random.Random(
+            derive_seed(self._run_seed, f"{node.node_id}/{task_key}")
+        )
+
+        states = run.map_states if ref.kind == "map" else run.reduce_states
+        state = states[ref.index]
+        if not backup:
+            state.started_at = self.loop.now
+
+        if ref.kind == "map":
+            result, task_metrics = self._execute_map(node, run, ref.index, node_rng)
+        else:
+            result, task_metrics = self._execute_reduce(node, run, ref.index, node_rng)
+
+        duration = task_metrics.duration_seconds
+        if behavior.omits_completion(node_rng):
+            # The node hangs: slot stays occupied, completion never fires
+            # (unless speculation later launches a backup attempt).
+            if state.status != DONE:
+                state.status = OMITTED
+            return
+
+        def complete() -> None:
+            node.finish_task(task_key)
+            if run.cancelled or state.status == DONE:
+                return  # a sibling attempt already delivered this task
+            state.status = DONE
+            if ref.kind == "map":
+                run.map_results[ref.index] = result
+            else:
+                run.reduce_results[ref.index] = result
+            run.metrics.absorb_task(task_metrics)
+            run.completed_durations[ref.kind].append(task_metrics.duration_seconds)
+            self._emit_digests(run, ref, result, node, node_rng)
+            if run.all_finished():
+                self._complete_job(run)
+
+        self.loop.schedule(duration, complete, label=task_key)
+
+    def _execute_map(
+        self, node: WorkerNode, run: JobRun, index: int, node_rng: random.Random
+    ) -> tuple[MapTaskOutput, TaskMetrics]:
+        split = run.splits[index]
+        branch = run.spec.branches[split.branch_index]
+        physical = run.physical_path(branch.input_path)
+        block = self.dfs.read_block(physical, split.block_index, scope=run.scope)
+        result = execute_map_task(
+            run.spec,
+            split.branch_index,
+            block.records,
+            block.size_bytes,
+            node.behavior,
+            node_rng,
+        )
+        digest_bytes = sum(t.bytes_hashed for t in result.taps)
+        digest_records = sum(t.record_count for t in result.taps)
+        compute = result.bytes_in / self.cost.map_throughput_bps
+        hashing = (
+            digest_bytes / self.cost.digest_bps
+            + digest_records * self.cost.digest_per_record_seconds
+        )
+        read_time = result.bytes_in / self.cost.dfs_read_bps
+        if run.spec.is_map_only:
+            write_time = result.bytes_out / self.cost.dfs_write_bps
+            file_write = 0
+        else:
+            write_time = result.bytes_out / self.cost.shuffle_throughput_bps
+            file_write = result.bytes_out
+        duration = (
+            self.cost.task_startup_seconds + read_time + compute + hashing + write_time
+        ) * node.behavior.slowdown()
+        metrics = TaskMetrics(
+            task_id=f"{run.job_id}_m_{index:06d}",
+            node_id=node.node_id,
+            kind="map",
+            hdfs_read=result.bytes_in,
+            # hdfs_write for map-only outputs is charged once at job
+            # completion when the assembled file is written.
+            file_write=file_write,
+            digest_bytes=digest_bytes,
+            records_in=result.records_in,
+            records_out=result.records_out,
+            cpu_seconds=(compute + hashing) * node.behavior.slowdown(),
+            duration_seconds=duration,
+        )
+        return result, metrics
+
+    def _execute_reduce(
+        self, node: WorkerNode, run: JobRun, index: int, node_rng: random.Random
+    ) -> tuple[ReduceTaskOutput, TaskMetrics]:
+        keyed = run.reduce_input(index)
+        result = execute_reduce_task(run.spec, keyed, node.behavior, node_rng)
+        digest_bytes = sum(t.bytes_hashed for t in result.taps)
+        digest_records = sum(t.record_count for t in result.taps)
+        shuffle_time = result.bytes_in / self.cost.shuffle_throughput_bps
+        compute = result.bytes_in / self.cost.reduce_throughput_bps
+        hashing = (
+            digest_bytes / self.cost.digest_bps
+            + digest_records * self.cost.digest_per_record_seconds
+        )
+        write_time = result.bytes_out / self.cost.dfs_write_bps
+        duration = (
+            self.cost.task_startup_seconds + shuffle_time + compute + hashing + write_time
+        ) * node.behavior.slowdown()
+        metrics = TaskMetrics(
+            task_id=f"{run.job_id}_r_{index:06d}",
+            node_id=node.node_id,
+            kind="reduce",
+            # hdfs_write is charged once at job completion.
+            file_read=result.bytes_in,
+            digest_bytes=digest_bytes,
+            records_in=result.records_in,
+            records_out=result.records_out,
+            cpu_seconds=(compute + hashing) * node.behavior.slowdown(),
+            duration_seconds=duration,
+        )
+        return result, metrics
+
+    def _emit_digests(
+        self,
+        run: JobRun,
+        ref: TaskRef,
+        result: MapTaskOutput | ReduceTaskOutput,
+        node: WorkerNode,
+        node_rng: random.Random,
+    ) -> None:
+        if run.digest_sink is None or not result.taps:
+            return
+        if node.behavior.omits_digest(node_rng):
+            return
+        if ref.kind == "map":
+            split = run.splits[ref.index]
+            label = f"m{split.branch_index}.{split.block_index}"
+        else:
+            label = f"r{ref.index}"
+        for tap in result.taps:
+            report = DigestReport(
+                sid=run.sid,
+                replica=run.replica,
+                job_id=run.job_id,
+                vp_id=tap.vp_id,
+                task_label=label,
+                node_id=node.node_id,
+                digests=tuple(tap.digests),
+                record_count=tap.record_count,
+                sent_at=self.loop.now,
+            )
+            self.loop.schedule(
+                self.cost.digest_network_seconds,
+                lambda r=report: run.digest_sink(r),
+                label=f"digest:{run.job_id}:{tap.vp_id}",
+            )
+
+    def _complete_job(self, run: JobRun) -> None:
+        if run.cancelled or run.state == DONE:
+            return
+        run.state = DONE
+        records = run.assemble_output()
+        physical_out = run.physical_path(run.spec.output_path)
+        if self.dfs.exists(physical_out):
+            self.dfs.delete(physical_out)
+        self.dfs.write_file(physical_out, records, scope=run.scope)
+        run.metrics.finished_at = self.loop.now
+        run.metrics.hdfs_write += sum(r.size_bytes() for r in records)
+        if run.on_complete is not None:
+            run.on_complete(run)

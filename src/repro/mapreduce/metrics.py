@@ -1,0 +1,112 @@
+"""Per-job and per-run metrics.
+
+Paper Table 3 reports five rows per configuration — latency, CPU time,
+local-file read/write bytes, and HDFS write bytes — as multipliers over
+an unreplicated baseline.  These counters mirror Hadoop's counter groups
+closely enough to regenerate that table:
+
+* ``hdfs_read/write`` — bytes through the trusted DFS;
+* ``file_read/write`` — local intermediate I/O (map-output spill on the
+  write side, shuffle fetch + merge on the read side);
+* ``cpu_seconds`` — summed simulated task compute time (excludes queue
+  wait, includes digest hashing);
+* ``latency`` derives from submit/finish timestamps kept by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskMetrics:
+    """Metrics for one task attempt."""
+
+    task_id: str = ""
+    node_id: str = ""
+    kind: str = ""  # "map" | "reduce"
+    hdfs_read: int = 0
+    hdfs_write: int = 0
+    file_read: int = 0
+    file_write: int = 0
+    digest_bytes: int = 0
+    records_in: int = 0
+    records_out: int = 0
+    cpu_seconds: float = 0.0
+    duration_seconds: float = 0.0
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated metrics for one job replica execution."""
+
+    job_id: str = ""
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+    hdfs_read: int = 0
+    hdfs_write: int = 0
+    file_read: int = 0
+    file_write: int = 0
+    digest_bytes: int = 0
+    records_in: int = 0
+    records_out: int = 0
+    cpu_seconds: float = 0.0
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+
+    @property
+    def latency(self) -> float:
+        return max(self.finished_at - self.submitted_at, 0.0)
+
+    def absorb_task(self, task: TaskMetrics) -> None:
+        self.hdfs_read += task.hdfs_read
+        self.hdfs_write += task.hdfs_write
+        self.file_read += task.file_read
+        self.file_write += task.file_write
+        self.digest_bytes += task.digest_bytes
+        self.records_in += task.records_in
+        self.records_out += task.records_out
+        self.cpu_seconds += task.cpu_seconds
+        if task.kind == "map":
+            self.map_tasks += 1
+        elif task.kind == "reduce":
+            self.reduce_tasks += 1
+
+
+@dataclass
+class RunMetrics:
+    """Metrics across a whole script run (all jobs, all replicas)."""
+
+    latency: float = 0.0
+    cpu_seconds: float = 0.0
+    hdfs_read: int = 0
+    hdfs_write: int = 0
+    file_read: int = 0
+    file_write: int = 0
+    digest_bytes: int = 0
+    jobs: int = 0
+    verification_comparisons: int = 0
+    reruns: int = 0
+
+    def absorb_job(self, job: JobMetrics) -> None:
+        self.cpu_seconds += job.cpu_seconds
+        self.hdfs_read += job.hdfs_read
+        self.hdfs_write += job.hdfs_write
+        self.file_read += job.file_read
+        self.file_write += job.file_write
+        self.digest_bytes += job.digest_bytes
+        self.jobs += 1
+
+    def ratios_over(self, baseline: "RunMetrics") -> dict[str, float]:
+        """Table 3-style multipliers over an unreplicated baseline."""
+
+        def ratio(ours: float, theirs: float) -> float:
+            return ours / theirs if theirs else float("inf")
+
+        return {
+            "latency": ratio(self.latency, baseline.latency),
+            "cpu": ratio(self.cpu_seconds, baseline.cpu_seconds),
+            "file_read": ratio(self.file_read, baseline.file_read),
+            "file_write": ratio(self.file_write, baseline.file_write),
+            "hdfs_write": ratio(self.hdfs_write, baseline.hdfs_write),
+        }

@@ -1,0 +1,238 @@
+"""Task execution logic: the pure data-path of map and reduce tasks.
+
+The engine (``repro.mapreduce.engine``) decides *when* and *where* a
+task runs; this module decides *what* it computes.  Everything here is
+deterministic given its inputs, which is what makes replica digests
+comparable:
+
+* reduce keys are grouped and emitted in canonical key order;
+* verification taps sort their observed stream canonically before
+  chunked digesting, so chunk boundaries agree across replicas;
+* job outputs are assembled in task-index order by the engine, so
+  intermediate files are byte-identical across correct replicas and
+  block/split structure matches.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.common.hashing import Digest, StreamingDigest, sha256
+from repro.common.records import Record, encode_record, encode_value
+from repro.compiler.jobspec import JobSpec, PipelineOp
+from repro.dataflow.operators import VerifyOp
+from repro.faults.behaviors import NodeBehavior
+
+#: A shuffled record: (reduce key, input tag, record).
+KeyedRecord = tuple[object, int, Record]
+
+
+def partition_for(key: object, num_reducers: int) -> int:
+    """Deterministic hash partitioner (stable across processes/replicas)."""
+    digest = sha256(encode_value(key if isinstance(key, tuple) else (key,)))
+    return int.from_bytes(digest[:4], "big") % num_reducers
+
+
+@dataclass
+class TapResult:
+    """Digests observed at one verification point within one task."""
+
+    vp_id: str
+    digests: list[Digest]
+    record_count: int
+    bytes_hashed: int
+
+
+class _Tap:
+    """Collects the records passing a VerifyOp inside a task."""
+
+    def __init__(self, vp_id: str, chunk_records: int) -> None:
+        self.vp_id = vp_id
+        self.chunk_records = chunk_records
+        self.encodings: list[bytes] = []
+        self.records: list[Record] = []
+
+    def observe(self, record: Record) -> None:
+        self.records.append(record)
+
+    def finalize(self) -> TapResult:
+        # Sort canonically so chunk boundaries agree across replicas.
+        ordered = sorted(self.records, key=encode_record)
+        streaming = StreamingDigest(chunk_size=self.chunk_records)
+        streaming.update_all(ordered)
+        streaming.finalize()
+        bytes_hashed = sum(r.size_bytes() for r in ordered)
+        return TapResult(
+            vp_id=self.vp_id,
+            digests=streaming.all_digests(),
+            record_count=len(ordered),
+            bytes_hashed=bytes_hashed,
+        )
+
+
+def run_pipeline(
+    records: list[Record], pipeline: list[PipelineOp]
+) -> tuple[list[Record], list[TapResult]]:
+    """Stream ``records`` through a compiled pipeline, tapping VerifyOps."""
+    taps: dict[int, _Tap] = {}
+    for index, stage in enumerate(pipeline):
+        if isinstance(stage.op, VerifyOp):
+            taps[index] = _Tap(stage.op.vp_id, stage.op.chunk_records)
+
+    current = list(records)
+    for index, stage in enumerate(pipeline):
+        if index in taps:
+            tap = taps[index]
+            for record in current:
+                tap.observe(record)
+            continue  # VerifyOp is identity on the stream
+        next_records: list[Record] = []
+        for record in current:
+            next_records.extend(stage.op.process(record, stage.input_schema))
+        current = next_records
+    return current, [taps[i].finalize() for i in sorted(taps)]
+
+
+@dataclass
+class MapTaskOutput:
+    """Result of one map task."""
+
+    output_records: list[Record] = field(default_factory=list)  # map-only jobs
+    partitions: dict[int, list[KeyedRecord]] = field(default_factory=dict)
+    taps: list[TapResult] = field(default_factory=list)
+    records_in: int = 0
+    records_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    omitted: bool = False
+
+
+def execute_map_task(
+    spec: JobSpec,
+    branch_index: int,
+    records: list[Record],
+    bytes_in: int,
+    behavior: NodeBehavior,
+    rng: random.Random,
+) -> MapTaskOutput:
+    """Run one map task over one input block."""
+    branch = spec.branches[branch_index]
+    records = behavior.corrupt_records(records, rng)
+    out_records, taps = run_pipeline(records, branch.pipeline)
+
+    result = MapTaskOutput(
+        taps=taps,
+        records_in=len(records),
+        records_out=len(out_records),
+        bytes_in=bytes_in,
+    )
+    if spec.blocking is None:
+        result.output_records = out_records
+        result.bytes_out = sum(r.size_bytes() for r in out_records)
+        return result
+
+    partitions: dict[int, list[KeyedRecord]] = defaultdict(list)
+    bytes_out = 0
+    if spec.combiner is not None:
+        # Map-side combining: one partial record per key instead of the
+        # whole bag (COUNT/SUM/MIN/MAX are order-insensitive, so no sort
+        # is needed for replica determinism).
+        per_key: dict = defaultdict(list)
+        for record in out_records:
+            key = spec.blocking.reduce_key(
+                record, branch.tag, spec.blocking_input_schemas
+            )
+            per_key[key].append(record)
+        for key, group in per_key.items():
+            partial = spec.combiner.initial_partial(group)
+            part = partition_for(key, spec.num_reducers)
+            partitions[part].append((key, branch.tag, partial))
+            bytes_out += partial.size_bytes() + len(encode_value(key))
+        result.records_out = len(per_key)
+    else:
+        for record in out_records:
+            key = spec.blocking.reduce_key(
+                record, branch.tag, spec.blocking_input_schemas
+            )
+            part = partition_for(key, spec.num_reducers)
+            partitions[part].append((key, branch.tag, record))
+            bytes_out += record.size_bytes() + len(encode_value(key))
+    result.partitions = dict(partitions)
+    result.bytes_out = bytes_out
+    return result
+
+
+@dataclass
+class ReduceTaskOutput:
+    """Result of one reduce task."""
+
+    output_records: list[Record] = field(default_factory=list)
+    taps: list[TapResult] = field(default_factory=list)
+    records_in: int = 0
+    records_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    omitted: bool = False
+
+
+def execute_reduce_task(
+    spec: JobSpec,
+    keyed_records: list[KeyedRecord],
+    behavior: NodeBehavior,
+    rng: random.Random,
+) -> ReduceTaskOutput:
+    """Run one reduce task over its shuffled partition."""
+    bytes_in = sum(
+        record.size_bytes() + len(encode_value(key))
+        for key, _, record in keyed_records
+    )
+    # A commission-faulty reducer computes on tampered values.
+    raw_records = [record for _, _, record in keyed_records]
+    corrupted = behavior.corrupt_records(raw_records, rng)
+    keyed_records = [
+        (key, tag, new_record)
+        for (key, tag, _), new_record in zip(keyed_records, corrupted)
+    ]
+
+    groups: dict = defaultdict(list)
+    for key, tag, record in keyed_records:
+        groups[key].append((tag, record))
+
+    reduced: list[Record] = []
+    if spec.combiner is not None:
+        # Merge map-side partials and produce the FOREACH's output
+        # directly; the remaining pipeline (after that FOREACH) applies
+        # as usual.
+        for key in sorted(
+            groups, key=lambda k: encode_value(k if isinstance(k, tuple) else (k,))
+        ):
+            partials = [record for _, record in groups[key]]
+            merged = spec.combiner.merge(partials)
+            reduced.append(spec.combiner.finalize(key, merged))
+        pipeline = spec.reduce_pipeline[1:]
+    else:
+        for key in sorted(
+            groups, key=lambda k: encode_value(k if isinstance(k, tuple) else (k,))
+        ):
+            reduced.extend(
+                spec.blocking.reduce(key, groups[key], spec.blocking_input_schemas)
+            )
+        pipeline = spec.reduce_pipeline
+
+    out_records, taps = run_pipeline(reduced, pipeline)
+    if spec.fused_limit is not None:
+        out_records = out_records[: spec.fused_limit]
+    if spec.post_limit_pipeline:
+        out_records, post_taps = run_pipeline(out_records, spec.post_limit_pipeline)
+        taps = taps + post_taps
+
+    return ReduceTaskOutput(
+        output_records=out_records,
+        taps=taps,
+        records_in=len(keyed_records),
+        records_out=len(out_records),
+        bytes_in=bytes_in,
+        bytes_out=sum(r.size_bytes() for r in out_records),
+    )

@@ -1,0 +1,5 @@
+"""Output formatting shared by benchmarks and examples."""
+
+from repro.reporting.tables import Series, Table, percentage_overhead, render_figure
+
+__all__ = ["Series", "Table", "percentage_overhead", "render_figure"]

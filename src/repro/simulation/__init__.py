@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate: event loop and message network."""
+
+from repro.simulation.events import EventHandle, EventLoop
+from repro.simulation.network import LatencyModel, SimNetwork, partition
+
+__all__ = ["EventHandle", "EventLoop", "LatencyModel", "SimNetwork", "partition"]

@@ -1,0 +1,143 @@
+"""Discrete-event simulation core.
+
+Everything in the reproduction that the paper measured in wall-clock
+time (task execution, shuffle, digest transmission, verifier timeouts,
+BFT message rounds) is scheduled on one :class:`EventLoop`.  The loop is
+single-threaded and deterministic: events at equal timestamps fire in
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    >>> loop = EventLoop()
+    >>> fired = []
+    >>> _ = loop.schedule(2.0, lambda: fired.append("b"))
+    >>> _ = loop.schedule(1.0, lambda: fired.append("a"))
+    >>> loop.run_until_idle()
+    >>> fired
+    ['a', 'b']
+    >>> loop.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(self, time: float, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now={self._now})"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the single earliest event; return False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain.  ``max_events`` guards against
+        runaway self-rescheduling loops (e.g. unbounded heartbeats)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError(f"run_until_idle exceeded {max_events} events")
+
+    def run_until(self, deadline: float, max_events: int = 10_000_000) -> None:
+        """Run events with ``time <= deadline``; advance clock to deadline."""
+        for _ in range(max_events):
+            if not self._queue:
+                break
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+        else:
+            raise SimulationError(f"run_until exceeded {max_events} events")
+        self._now = max(self._now, deadline)
+
+    def run_while(self, condition: Callable[[], bool], max_events: int = 10_000_000) -> None:
+        """Run while ``condition()`` holds and events remain."""
+        for _ in range(max_events):
+            if not condition():
+                return
+            if not self.step():
+                return
+        raise SimulationError(f"run_while exceeded {max_events} events")

@@ -1,0 +1,139 @@
+"""Simulated message network.
+
+Used by the BFT replication library (control-tier replicas exchanging
+protocol messages) and by worker nodes sending digests/heartbeats to the
+trusted tier.  Latency is sampled per message from a seeded stream, so
+runs are reproducible; per-link partitions and drop rules model the
+adversary's (limited) network powers — recall the paper's system model
+forbids the adversary from *preventing* communication, but a Byzantine
+*endpoint* may still refuse to send (omission).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.common.errors import SimulationError
+from repro.simulation.events import EventLoop
+
+MessageHandler = Callable[[str, Any], None]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Uniform latency in ``[base, base + jitter]`` seconds."""
+
+    base: float = 0.001
+    jitter: float = 0.002
+
+    def sample(self, rng: random.Random) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.random() * self.jitter
+
+
+class NetworkFilter(Protocol):
+    """Hook deciding whether a message is delivered.
+
+    Implementations model Byzantine senders (selective omission) or test
+    scenarios (partitions).  Return ``True`` to deliver.
+    """
+
+    def __call__(self, sender: str, receiver: str, message: Any) -> bool: ...
+
+
+class SimNetwork:
+    """Point-to-point message delivery over the event loop.
+
+    Endpoints register a handler by name; :meth:`send` schedules delivery
+    after a sampled latency.  Messages between live endpoints are never
+    reordered per-link beyond what latency jitter induces, matching an
+    asynchronous network without FIFO guarantees.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: random.Random,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self.loop = loop
+        self.rng = rng
+        self.latency = latency or LatencyModel()
+        self._handlers: dict[str, MessageHandler] = {}
+        self._filters: list[NetworkFilter] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    def register(self, name: str, handler: MessageHandler) -> None:
+        """Register (or replace) the endpoint called ``name``."""
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._handlers
+
+    def add_filter(self, rule: NetworkFilter) -> None:
+        """Install a delivery filter (all filters must approve delivery)."""
+        self._filters.append(rule)
+
+    def remove_filter(self, rule: NetworkFilter) -> None:
+        self._filters.remove(rule)
+
+    def send(self, sender: str, receiver: str, message: Any, size_bytes: int = 0) -> None:
+        """Send ``message``; delivery happens asynchronously (or never, if
+        the receiver is unknown or a filter rejects it)."""
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        for rule in self._filters:
+            if not rule(sender, receiver, message):
+                self.messages_dropped += 1
+                return
+        delay = self.latency.sample(self.rng)
+
+        def deliver() -> None:
+            handler = self._handlers.get(receiver)
+            if handler is None:
+                # Receiver crashed/unregistered meanwhile: silently drop,
+                # as a real datagram network would.
+                self.messages_dropped += 1
+                return
+            self.messages_delivered += 1
+            handler(sender, message)
+
+        self.loop.schedule(delay, deliver, label=f"net:{sender}->{receiver}")
+
+    def broadcast(self, sender: str, receivers: list[str], message: Any, size_bytes: int = 0) -> None:
+        """Send ``message`` to every receiver independently."""
+        for receiver in receivers:
+            self.send(sender, receiver, message, size_bytes)
+
+    def send_sync(self, sender: str, receiver: str, message: Any) -> None:
+        """Immediate delivery (no event-loop hop) — only for test setup."""
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            raise SimulationError(f"unknown endpoint: {receiver}")
+        handler(sender, message)
+
+
+def partition(groups: list[set[str]]) -> NetworkFilter:
+    """Build a filter that only delivers within a group.
+
+    Endpoints absent from every group communicate freely.
+    """
+
+    def rule(sender: str, receiver: str, message: Any) -> bool:
+        for group in groups:
+            sender_in = sender in group
+            receiver_in = receiver in group
+            if sender_in != receiver_in:
+                return False
+        return True
+
+    return rule

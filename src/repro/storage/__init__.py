@@ -1,0 +1,11 @@
+"""Trusted storage layer (paper §2.3 assumes one; we model it)."""
+
+from repro.storage.dfs import (
+    DEFAULT_BLOCK_BYTES,
+    Block,
+    DfsFile,
+    StorageCounters,
+    TrustedDFS,
+)
+
+__all__ = ["DEFAULT_BLOCK_BYTES", "Block", "DfsFile", "StorageCounters", "TrustedDFS"]

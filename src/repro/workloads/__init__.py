@@ -1,0 +1,20 @@
+"""Synthetic workloads standing in for the paper's three data-sets,
+plus the corresponding Pig Latin evaluation scripts."""
+
+from repro.workloads.airline import TOP_AIRPORTS, flight_records
+from repro.workloads.twitter import (
+    FOLLOWER_ANALYSIS,
+    TWO_HOP_ANALYSIS,
+    follower_edges,
+)
+from repro.workloads.weather import AVERAGE_TEMPERATURE, daily_temperatures
+
+__all__ = [
+    "AVERAGE_TEMPERATURE",
+    "FOLLOWER_ANALYSIS",
+    "TOP_AIRPORTS",
+    "TWO_HOP_ANALYSIS",
+    "daily_temperatures",
+    "flight_records",
+    "follower_edges",
+]

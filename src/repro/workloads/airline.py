@@ -1,0 +1,93 @@
+"""Synthetic RITA on-time-performance data (stand-in for [2]).
+
+Paper §6.2 runs "a multi-store query ... that finds the top 20 airports
+with respect to incoming flights, outgoing flights, and overall" over a
+1.3 GB RITA subset.  The query's cost structure depends on airport
+frequency skew (hub-and-spoke), reproduced with a Zipf over airports.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.records import Record
+from repro.common.rng import zipf_sample
+
+#: A realistic airport code pool (IATA-like three-letter codes).
+AIRPORTS = [
+    "ATL", "ORD", "DFW", "LAX", "PHX", "DEN", "IAH", "LAS", "DTW", "MSP",
+    "EWR", "SLC", "CLT", "SFO", "MCO", "PHL", "SEA", "BOS", "LGA", "JFK",
+    "CVG", "BWI", "MIA", "TPA", "SAN", "MDW", "DCA", "STL", "PDX", "FLL",
+    "HNL", "OAK", "MEM", "CLE", "SMF", "SJC", "MCI", "IAD", "RDU", "SAT",
+    "MKE", "BNA", "SNA", "AUS", "PIT", "IND", "ABQ", "CMH", "ONT", "BUR",
+    "JAX", "BUF", "OMA", "ANC", "TUS", "PBI", "OKC", "RNO", "TUL", "BDL",
+]
+
+CARRIERS = ["WN", "AA", "DL", "UA", "US", "NW", "CO", "MQ", "OO", "XE"]
+
+
+def flight_records(
+    num_flights: int,
+    alpha: float = 0.9,
+    cancelled_fraction: float = 0.02,
+    rng: random.Random | None = None,
+) -> list[Record]:
+    """Generate flight records:
+    (year, month, day, carrier, origin, dest, dep_delay, arr_delay, cancelled).
+    """
+    rng = rng or random.Random(2)
+    records: list[Record] = []
+    n = len(AIRPORTS)
+    for _ in range(num_flights):
+        origin = AIRPORTS[zipf_sample(rng, n, alpha) - 1]
+        dest = AIRPORTS[zipf_sample(rng, n, alpha) - 1]
+        while dest == origin:
+            dest = AIRPORTS[zipf_sample(rng, n, alpha) - 1]
+        cancelled = rng.random() < cancelled_fraction
+        dep_delay = 0 if cancelled else max(-10, int(rng.gauss(8, 25)))
+        arr_delay = 0 if cancelled else dep_delay + int(rng.gauss(0, 12))
+        records.append(
+            Record(
+                (
+                    rng.randint(2006, 2008),
+                    rng.randint(1, 12),
+                    rng.randint(1, 28),
+                    rng.choice(CARRIERS),
+                    origin,
+                    dest,
+                    dep_delay,
+                    arr_delay,
+                    1 if cancelled else 0,
+                )
+            )
+        )
+    return records
+
+
+#: Paper §6.2 (and Fig. 8 (iii)): the multi-store top-20-airports query.
+#: Three stores: outbound, inbound, and overall traffic.
+TOP_AIRPORTS = """
+flights  = LOAD 'airline/flights' AS (year:int, month:int, day:int,
+            carrier:chararray, origin:chararray, dest:chararray,
+            dep_delay:int, arr_delay:int, cancelled:int);
+flown    = FILTER flights BY cancelled == 0;
+
+by_orig  = GROUP flown BY origin;
+out_cnt  = FOREACH by_orig GENERATE group AS airport, COUNT(flown) AS flights;
+out_ord  = ORDER out_cnt BY flights DESC;
+out_top  = LIMIT out_ord 20;
+STORE out_top INTO 'airline/top_outbound';
+
+by_dest  = GROUP flown BY dest;
+in_cnt   = FOREACH by_dest GENERATE group AS airport, COUNT(flown) AS flights;
+in_ord   = ORDER in_cnt BY flights DESC;
+in_top   = LIMIT in_ord 20;
+STORE in_top INTO 'airline/top_inbound';
+
+all_cnt  = UNION out_cnt, in_cnt;
+by_all   = GROUP all_cnt BY airport;
+tot_cnt  = FOREACH by_all GENERATE group AS airport, SUM(all_cnt.flights) AS flights;
+tot_ord  = ORDER tot_cnt BY flights DESC;
+tot_top  = LIMIT tot_ord 20;
+STORE tot_top INTO 'airline/top_overall';
+"""

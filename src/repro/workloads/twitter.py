@@ -1,0 +1,66 @@
+"""Synthetic Twitter follower data-set (stand-in for Kwak et al. [22]).
+
+The paper's data-set is two numeric columns, ``user-id`` and
+``follower-id``.  What the two evaluation scripts exercise is the *skew*
+of follower counts (group sizes for Follower Analysis, join fan-out for
+Two-Hop Analysis), so users are sampled from a truncated Zipf — the
+well-known shape of the real Twitter graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.records import Record
+from repro.common.rng import zipf_sample
+
+
+def follower_edges(
+    num_edges: int,
+    num_users: int = 1000,
+    alpha: float = 1.1,
+    empty_fraction: float = 0.02,
+    rng: random.Random | None = None,
+) -> list[Record]:
+    """Generate ``(user_id, follower_id)`` edges.
+
+    ``empty_fraction`` of records get a NULL follower — the "empty
+    records" the Follower Analysis script filters out.
+    """
+    rng = rng or random.Random(22)
+    edges: list[Record] = []
+    for _ in range(num_edges):
+        user = zipf_sample(rng, num_users, alpha)
+        if rng.random() < empty_fraction:
+            edges.append(Record((user, None)))
+            continue
+        follower = rng.randint(1, num_users)
+        while follower == user:
+            follower = rng.randint(1, num_users)
+        edges.append(Record((user, follower)))
+    return edges
+
+
+#: Paper §6.1 script 1: "counts the number of followers for each user.
+#: It loads the data, filters out empty records, groups the record by
+#: user-id, calculates the counts and saves".
+FOLLOWER_ANALYSIS = """
+edges   = LOAD 'twitter/followers' AS (user:int, follower:int);
+clean   = FILTER edges BY follower IS NOT NULL;
+grouped = GROUP clean BY user;
+counts  = FOREACH grouped GENERATE group AS user, COUNT(clean) AS followers;
+STORE counts INTO 'twitter/follower_counts';
+"""
+
+#: Paper §6.1 script 2: "lists pairs of users that are two hops away
+#: from one another.  This job does a self-join that matches one user
+#: with all its follower's followers."
+TWO_HOP_ANALYSIS = """
+a        = LOAD 'twitter/followers' AS (user:int, follower:int);
+b        = LOAD 'twitter/followers' AS (user:int, follower:int);
+clean    = FILTER b BY follower IS NOT NULL;
+joined   = JOIN a BY user, clean BY follower;
+pairs    = FOREACH joined GENERATE a::follower AS src, clean::user AS dst;
+uniq     = DISTINCT pairs;
+STORE uniq INTO 'twitter/two_hop_pairs';
+"""

@@ -1,0 +1,58 @@
+"""Synthetic Daily Surface Summary of Day weather data (NCDC [26]).
+
+Paper §6.4 uses a 640 MB GSOD subset: "finding average temperature over
+multiple years for each weather station followed by counting the number
+of stations with the same average".  Station temperatures are modelled
+as a per-station climate mean plus seasonal and daily noise; averages
+are truncated (paper §5.4's determinism workaround) before the second
+grouping so replicas agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.common.records import Record
+
+
+def station_ids(num_stations: int) -> list[str]:
+    return [f"STN{index:05d}" for index in range(num_stations)]
+
+
+def daily_temperatures(
+    num_stations: int,
+    readings_per_station: int,
+    start_year: int = 2005,
+    rng: random.Random | None = None,
+) -> list[Record]:
+    """Generate ``(station, year, day_of_year, temp_f)`` records."""
+    rng = rng or random.Random(26)
+    records: list[Record] = []
+    for station in station_ids(num_stations):
+        climate_mean = rng.uniform(20.0, 80.0)  # Fahrenheit
+        seasonal_amp = rng.uniform(5.0, 30.0)
+        for reading in range(readings_per_station):
+            year = start_year + reading // 365
+            day = reading % 365
+            seasonal = seasonal_amp * math.sin(2 * math.pi * day / 365)
+            noise = rng.gauss(0, 4)
+            temp = round(climate_mean + seasonal + noise, 1)
+            records.append(Record((station, year, day, temp)))
+    return records
+
+
+#: Paper §6.4 script: average temperature per station, then a histogram
+#: of stations per (truncated) average.
+AVERAGE_TEMPERATURE = """
+readings = LOAD 'weather/daily' AS (station:chararray, year:int,
+            day:int, temp:double);
+valid    = FILTER readings BY temp IS NOT NULL;
+by_stn   = GROUP valid BY station;
+averages = FOREACH by_stn GENERATE group AS station,
+            TRUNC(AVG(valid.temp), 0) AS avg_temp;
+by_avg   = GROUP averages BY avg_temp;
+histo    = FOREACH by_avg GENERATE group AS avg_temp,
+            COUNT(averages) AS stations;
+STORE histo INTO 'weather/avg_histogram';
+"""

@@ -1,0 +1,92 @@
+"""Tests for the PBFT client protocol."""
+
+import random
+
+from repro.bft.client import BFTClient
+from repro.bft.messages import Reply
+from repro.bft.service import ReplicatedService
+from repro.simulation.events import EventLoop
+from repro.simulation.network import SimNetwork
+
+
+def make_client(f=1):
+    loop = EventLoop()
+    network = SimNetwork(loop, random.Random(0))
+    replica_ids = [f"r{i}" for i in range(3 * f + 1)]
+    client = BFTClient("client", replica_ids, f, network, loop)
+    return loop, network, client
+
+
+def reply(request_id, replica, result, view=0):
+    return Reply(
+        view=view, request_id=request_id, client="client", replica=replica,
+        result=result,
+    )
+
+
+class TestReplyQuorum:
+    def test_f_plus_one_matching_accepts(self):
+        loop, network, client = make_client()
+        done = []
+        request_id = client.submit("payload", callback=done.append)
+        client._on_message("r0", reply(request_id, "r0", "answer"))
+        assert not client.is_done(request_id)
+        client._on_message("r1", reply(request_id, "r1", "answer"))
+        assert client.is_done(request_id)
+        assert client.result(request_id) == "answer"
+        assert done == ["answer"]
+
+    def test_mismatching_replies_do_not_count_together(self):
+        loop, network, client = make_client()
+        request_id = client.submit("payload")
+        client._on_message("r0", reply(request_id, "r0", "good"))
+        client._on_message("r1", reply(request_id, "r1", "evil"))
+        assert not client.is_done(request_id)
+        client._on_message("r2", reply(request_id, "r2", "good"))
+        assert client.result(request_id) == "good"
+
+    def test_duplicate_replica_votes_ignored(self):
+        loop, network, client = make_client()
+        request_id = client.submit("payload")
+        client._on_message("r0", reply(request_id, "r0", "x"))
+        client._on_message("r0", reply(request_id, "r0", "x"))
+        assert not client.is_done(request_id)
+
+    def test_replies_after_done_ignored(self):
+        loop, network, client = make_client()
+        request_id = client.submit("payload")
+        for replica in ("r0", "r1"):
+            client._on_message(replica, reply(request_id, replica, "x"))
+        client._on_message("r2", reply(request_id, "r2", "late"))
+        assert client.result(request_id) == "x"
+
+    def test_view_learned_from_replies(self):
+        loop, network, client = make_client()
+        request_id = client.submit("payload")
+        client._on_message("r1", reply(request_id, "r1", "x", view=3))
+        assert client.view == 3
+
+
+class TestRetransmission:
+    def test_retransmit_broadcasts_until_done(self):
+        loop, network, client = make_client()
+        inbox = []
+        for replica_id in client.replica_ids:
+            network.register(replica_id, lambda s, m, r=replica_id: inbox.append(r))
+        client.submit("payload")
+        loop.run_until(client.retransmit_timeout + 0.5)
+        # Initial unicast to the primary + one broadcast round.
+        assert inbox.count("r0") >= 2
+        assert inbox.count("r1") >= 1
+
+    def test_retransmits_bounded(self):
+        loop, network, client = make_client()
+        client.max_retransmits = 2
+        client.submit("payload")  # nobody answers
+        loop.run_until_idle()
+        pending = client._pending[0]
+        assert pending.retransmits == 2
+
+    def test_end_to_end_quorum_over_network(self):
+        service = ReplicatedService(f=1, handler=lambda p: p.upper())
+        assert service.call("abc") == "ABC"

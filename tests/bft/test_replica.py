@@ -1,0 +1,115 @@
+"""Tests for PBFT normal-case operation."""
+
+import pytest
+
+from repro.bft.messages import QuorumTracker, Request, request_digest
+from repro.bft.replica import primary_for_view
+from repro.bft.service import ReplicatedService
+
+
+class TestMessages:
+    def test_request_digest_depends_on_all_fields(self):
+        base = request_digest("c", 1, "x")
+        assert base != request_digest("c", 2, "x")
+        assert base != request_digest("d", 1, "x")
+        assert base != request_digest("c", 1, "y")
+        assert base == Request("c", 1, "x").digest
+
+    def test_quorum_tracker_fires_once(self):
+        tracker = QuorumTracker(needed=2)
+        assert not tracker.vote("a")
+        assert tracker.vote("b")
+        assert not tracker.vote("c")
+
+    def test_quorum_tracker_dedupes_voters(self):
+        tracker = QuorumTracker(needed=2)
+        assert not tracker.vote("a")
+        assert not tracker.vote("a")
+        assert not tracker.reached
+
+
+class TestPrimarySelection:
+    def test_round_robin(self):
+        ids = ["r0", "r1", "r2", "r3"]
+        assert primary_for_view(0, ids) == "r0"
+        assert primary_for_view(1, ids) == "r1"
+        assert primary_for_view(4, ids) == "r0"
+
+
+class TestNormalCase:
+    def test_single_request(self):
+        service = ReplicatedService(f=1, handler=lambda p: p * 2)
+        assert service.call(21) == 42
+
+    def test_sequence_of_requests(self):
+        service = ReplicatedService(f=1, handler=lambda p: p + 1)
+        assert [service.call(i) for i in range(10)] == list(range(1, 11))
+
+    def test_replicas_execute_in_same_order(self):
+        log: dict[str, list] = {}
+
+        def handler(payload):
+            return payload
+
+        service = ReplicatedService(f=1, handler=handler)
+        for i in range(8):
+            service.call(i)
+        digests = {r.state_digest() for r in service.replicas}
+        assert len(digests) == 1  # identical state logs
+
+    def test_requires_3f_plus_1_replicas(self):
+        import random
+
+        from repro.bft.replica import PBFTReplica
+        from repro.simulation.events import EventLoop
+        from repro.simulation.network import SimNetwork
+
+        loop = EventLoop()
+        network = SimNetwork(loop, random.Random(0))
+        with pytest.raises(ValueError):
+            PBFTReplica("r0", ["r0", "r1"], 1, network, loop, lambda r: None)
+
+    def test_duplicate_request_replies_cached_result(self):
+        calls = []
+
+        def handler(payload):
+            calls.append(payload)
+            return payload
+
+        service = ReplicatedService(f=1, handler=handler)
+        service.call("x")
+        executions = calls.count("x")  # once per replica
+        # Retransmit the identical request directly to the primary.
+        request = Request(service.client.client_id, 0, "x")
+        service.network.send("rh_client", "rh_0", request)
+        service.loop.run_until_idle()
+        assert calls.count("x") == executions  # replied from cache
+
+    def test_f2_configuration(self):
+        service = ReplicatedService(f=2, handler=lambda p: p)
+        assert len(service.replicas) == 7
+        assert service.call("ok") == "ok"
+
+
+class TestByzantineReplicas:
+    def test_corrupt_replica_masked_by_quorum(self):
+        service = ReplicatedService(f=1, handler=lambda p: ("v", p))
+        service.corrupt_replica(2)
+        assert service.call("data") == ("v", "data")
+
+    def test_two_corrupt_replicas_masked_with_f2(self):
+        service = ReplicatedService(f=2, handler=lambda p: p)
+        service.corrupt_replica(1)
+        service.corrupt_replica(5)
+        assert service.call("data") == "data"
+
+    def test_crashed_backup_tolerated(self):
+        service = ReplicatedService(f=1, handler=lambda p: p)
+        service.crash_replica(3)  # not the primary
+        assert service.call("still-works") == "still-works"
+
+    def test_latency_reported(self):
+        service = ReplicatedService(f=1, handler=lambda p: p)
+        result, latency = service.request_latency("x")
+        assert result == "x"
+        assert latency > 0

@@ -1,0 +1,53 @@
+"""Byzantine control-tier scenarios for the replicated service."""
+
+from repro.bft.service import ReplicatedService
+
+
+class TestCorruptPrimary:
+    def test_corrupt_primary_execution_masked(self):
+        """The view-0 primary executes requests but lies about results;
+        ordering still succeeds and the f+1 reply quorum masks the lie."""
+        service = ReplicatedService(f=1, handler=lambda p: ("v", p))
+        service.corrupt_replica(0)  # primary corrupts *execution* only
+        assert service.call("x") == ("v", "x")
+
+    def test_corrupt_primary_and_backup_with_f2(self):
+        service = ReplicatedService(f=2, handler=lambda p: p * 2)
+        service.corrupt_replica(0)
+        service.corrupt_replica(4)
+        assert service.call(5) == 10
+
+    def test_state_digests_expose_corrupt_replica(self):
+        service = ReplicatedService(f=1, handler=lambda p: p)
+        service.corrupt_replica(3)
+        for i in range(4):
+            service.call(i)
+        digests = [r.state_digest() for r in service.replicas]
+        honest = {d for i, d in enumerate(digests) if i != 3}
+        assert len(honest) == 1
+        assert digests[3] not in honest
+
+
+class TestThroughput:
+    def test_many_requests_one_view(self):
+        service = ReplicatedService(f=1, handler=lambda p: p + 1)
+        results = [service.call(i) for i in range(40)]
+        assert results == [i + 1 for i in range(40)]
+        assert all(r.view == 0 for r in service.replicas)
+        # Every replica executed every request exactly once, in order.
+        assert all(r.last_executed == 39 for r in service.replicas)
+
+    def test_interleaved_clients(self):
+        from repro.bft.client import BFTClient
+
+        service = ReplicatedService(f=1, handler=lambda p: p)
+        second = BFTClient(
+            "client2", service.replica_ids, 1, service.network, service.loop
+        )
+        id_a = service.client.submit("a")
+        id_b = second.submit("b")
+        service.loop.run_while(
+            lambda: not (service.client.is_done(id_a) and second.is_done(id_b))
+        )
+        assert service.client.result(id_a) == "a"
+        assert second.result(id_b) == "b"

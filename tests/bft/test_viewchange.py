@@ -1,0 +1,59 @@
+"""Tests for PBFT view changes (primary failure handling)."""
+
+from repro.bft.replica import primary_for_view
+from repro.bft.service import ReplicatedService
+
+
+def quick_service(f=1):
+    return ReplicatedService(f=f, handler=lambda p: ("ok", p), view_change_timeout=1.0)
+
+
+class TestViewChange:
+    def test_crashed_primary_replaced(self):
+        service = quick_service()
+        service.crash_replica(0)  # view-0 primary
+        assert service.call("x") == ("ok", "x")
+        live_views = {r.view for r in service.replicas if not r.crashed}
+        assert live_views == {1}
+
+    def test_new_primary_is_round_robin_successor(self):
+        service = quick_service()
+        service.crash_replica(0)
+        service.call("x")
+        view = next(r.view for r in service.replicas if not r.crashed)
+        assert primary_for_view(view, service.replica_ids) == "rh_1"
+
+    def test_requests_after_view_change_execute(self):
+        service = quick_service()
+        service.crash_replica(0)
+        assert service.call("first") == ("ok", "first")
+        assert service.call("second") == ("ok", "second")
+        assert service.call("third") == ("ok", "third")
+
+    def test_client_learns_new_view(self):
+        service = quick_service()
+        service.crash_replica(0)
+        service.call("x")
+        assert service.client.view >= 1
+        # Next request targets the new primary directly: latency is the
+        # normal-case round, not another view-change timeout.
+        _, latency = service.request_latency("y")
+        assert latency < 1.0
+
+    def test_f2_double_crash_including_primary(self):
+        service = ReplicatedService(
+            f=2, handler=lambda p: p, view_change_timeout=1.0
+        )
+        service.crash_replica(0)
+        service.crash_replica(2)
+        assert service.call("resilient") == "resilient"
+
+    def test_state_consistent_after_view_change(self):
+        service = quick_service()
+        service.call("pre")
+        service.crash_replica(0)
+        service.call("post")
+        digests = {
+            r.state_digest() for r in service.replicas if not r.crashed and r.last_executed >= 1
+        }
+        assert len(digests) == 1

@@ -1,0 +1,98 @@
+"""Tests for the record model and its canonical encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.records import (
+    Record,
+    encode_record,
+    encode_value,
+    records_from_rows,
+    total_bytes,
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+
+
+class TestRecord:
+    def test_indexing_and_len(self):
+        r = Record((1, "a", None))
+        assert r[0] == 1 and r[2] is None and len(r) == 3
+
+    def test_equality_and_hash(self):
+        assert Record((1, 2)) == Record((1, 2))
+        assert hash(Record((1, 2))) == hash(Record((1, 2)))
+        assert Record((1, 2)) != Record((2, 1))
+
+    def test_project(self):
+        assert Record((1, 2, 3)).project([2, 0]) == Record((3, 1))
+
+    def test_append_returns_new(self):
+        base = Record((1,))
+        assert base.append(2, 3) == Record((1, 2, 3))
+        assert base == Record((1,))
+
+    def test_concat(self):
+        assert Record((1,)).concat(Record((2,))) == Record((1, 2))
+
+    def test_size_bytes_positive(self):
+        assert Record((1, "hello", 2.5)).size_bytes() > 0
+
+
+class TestEncoding:
+    @given(st.tuples(scalars, scalars, scalars))
+    @settings(max_examples=200)
+    def test_encoding_roundtrip_equality(self, fields):
+        a, b = Record(fields), Record(fields)
+        assert encode_record(a) == encode_record(b)
+
+    @given(
+        st.lists(scalars, min_size=1, max_size=4),
+        st.lists(scalars, min_size=1, max_size=4),
+    )
+    @settings(max_examples=200)
+    def test_encoding_injective(self, left, right):
+        a, b = Record(tuple(left)), Record(tuple(right))
+        if a != b:
+            assert encode_record(a) != encode_record(b)
+
+    def test_type_tags_distinguish_int_from_string(self):
+        assert encode_value(1) != encode_value("1")
+
+    def test_type_tags_distinguish_bool_from_int(self):
+        assert encode_value(True) != encode_value(1)
+
+    def test_none_encoding(self):
+        assert encode_value(None) == b"N;"
+
+    def test_bag_encoding_is_order_independent(self):
+        a = [Record((1,)), Record((2,))]
+        b = [Record((2,)), Record((1,))]
+        assert encode_value(a) == encode_value(b)
+
+    def test_tuple_encoding_is_order_dependent(self):
+        assert encode_value((1, 2)) != encode_value((2, 1))
+
+    def test_nested_record_encodes_as_tuple(self):
+        assert encode_value(Record((1, 2))) == encode_value((1, 2))
+
+    def test_rejects_unsupported_type(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+
+class TestHelpers:
+    def test_records_from_rows(self):
+        records = records_from_rows([(1, 2), (3, 4)])
+        assert records == [Record((1, 2)), Record((3, 4))]
+
+    def test_total_bytes_is_sum(self):
+        records = records_from_rows([(1,), (2,)])
+        assert total_bytes(records) == sum(r.size_bytes() for r in records)

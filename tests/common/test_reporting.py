@@ -1,0 +1,64 @@
+"""Tests for the table/series reporting helpers."""
+
+import pytest
+
+from repro.reporting.tables import Series, Table, percentage_overhead, render_figure
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("Title", ["name", "value"])
+        table.add_row("a", 1.5)
+        table.add_row("long-name", 10)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "1.50" in text  # floats get 2 decimals
+        assert "long-name" in text
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        assert "T" in Table("T", ["a"]).render()
+
+
+class TestSeries:
+    def test_points_and_ys(self):
+        series = Series("s")
+        series.add(0.1, 5.0)
+        series.add(0.2, 3.0)
+        assert series.ys() == [5.0, 3.0]
+
+    def test_render_figure(self):
+        a = Series("alpha")
+        b = Series("beta")
+        for x in (1, 2):
+            a.add(x, x * 1.0)
+            b.add(x, x * 2.0)
+        text = render_figure("Fig", "x", [a, b])
+        assert "alpha" in text and "beta" in text
+        assert "2.00" in text and "4.00" in text
+
+    def test_render_figure_handles_short_series(self):
+        a = Series("alpha")
+        a.add(1, 1.0)
+        a.add(2, 2.0)
+        b = Series("beta")
+        b.add(1, 9.0)
+        text = render_figure("Fig", "x", [a, b])
+        assert "-" in text  # missing point placeholder
+
+
+class TestOverhead:
+    def test_basic(self):
+        assert percentage_overhead(11.0, 10.0) == pytest.approx(10.0)
+
+    def test_zero_baseline(self):
+        assert percentage_overhead(1.0, 0.0) == float("inf")
+
+    def test_negative_overhead(self):
+        assert percentage_overhead(9.0, 10.0) == pytest.approx(-10.0)

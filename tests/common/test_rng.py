@@ -1,0 +1,112 @@
+"""Tests for deterministic RNG streams and samplers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import (
+    RngRegistry,
+    derive_seed,
+    shuffled,
+    weighted_choice,
+    zipf_sample,
+)
+
+
+class TestDeriveSeed:
+    def test_stable_mapping(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_distinct_names_distinct_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = RngRegistry(7)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("x")
+        b = RngRegistry(7).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        a = RngRegistry(7)
+        first = a.stream("x").random()
+        b = RngRegistry(7)
+        b.stream("y")  # new consumer
+        assert b.stream("x").random() == first
+
+    def test_fork_derives_new_root(self):
+        registry = RngRegistry(7)
+        fork = registry.fork("child")
+        assert fork.seed != registry.seed
+        assert fork.seed == RngRegistry(7).fork("child").seed
+
+
+class TestZipf:
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50)
+    def test_samples_in_range(self, n, offset):
+        import random
+
+        rng = random.Random(offset)
+        value = zipf_sample(rng, n, 1.2)
+        assert 1 <= value <= n
+
+    def test_skew_favours_small_ranks(self):
+        import random
+
+        rng = random.Random(0)
+        samples = [zipf_sample(rng, 1000, 1.2) for _ in range(5000)]
+        top = sum(1 for s in samples if s <= 10)
+        bottom = sum(1 for s in samples if s > 900)
+        assert top > 5 * max(bottom, 1)
+
+
+class TestWeightedChoice:
+    def test_rejects_mismatched_lengths(self):
+        import random
+
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), ["a"], [1.0, 2.0])
+
+    def test_rejects_zero_total(self):
+        import random
+
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), ["a", "b"], [0.0, 0.0])
+
+    def test_respects_weights(self):
+        import random
+
+        rng = random.Random(0)
+        picks = [weighted_choice(rng, ["a", "b"], [9.0, 1.0]) for _ in range(2000)]
+        assert picks.count("a") > 1500
+
+    def test_zero_weight_never_picked(self):
+        import random
+
+        rng = random.Random(0)
+        picks = {weighted_choice(rng, ["a", "b"], [1.0, 0.0]) for _ in range(500)}
+        assert picks == {"a"}
+
+
+class TestShuffled:
+    def test_does_not_mutate_input(self):
+        import random
+
+        items = [1, 2, 3, 4, 5]
+        shuffled(random.Random(0), items)
+        assert items == [1, 2, 3, 4, 5]
+
+    def test_is_permutation(self):
+        import random
+
+        items = list(range(50))
+        result = shuffled(random.Random(0), items)
+        assert sorted(result) == items

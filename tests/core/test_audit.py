@@ -1,0 +1,96 @@
+"""Tests for the audit log and its controller integration."""
+
+from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.common.records import records_from_rows
+from repro.core.audit import (
+    COMMIT,
+    EVICTION,
+    FAULT,
+    RERUN,
+    SUBMIT,
+    VERDICT,
+    AuditLog,
+)
+from repro.core.controller import ClusterBFTController
+from repro.faults.injection import single_commission
+
+SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+G = GROUP A BY k;
+C = FOREACH G GENERATE group AS k, COUNT(A) AS n;
+STORE C INTO 'out';
+"""
+
+
+class TestAuditLog:
+    def test_record_and_query(self):
+        log = AuditLog()
+        log.record(1.0, VERDICT, "sid1", status="verified")
+        log.record(2.0, FAULT, "sid1", nodes=("n1",))
+        log.record(3.0, VERDICT, "sid2", status="failed")
+        assert len(log) == 3
+        assert len(log.events(kind=VERDICT)) == 2
+        assert len(log.events(subject="sid1")) == 2
+        assert len(log.events(since=2.5)) == 1
+        assert len(log.events(kind=VERDICT, subject="sid2")) == 1
+
+    def test_node_history_matches_details(self):
+        log = AuditLog()
+        log.record(1.0, FAULT, "sid1", nodes=("n1", "n2"))
+        log.record(2.0, EVICTION, "n1", suspicion=1.0)
+        log.record(3.0, FAULT, "sid2", nodes=("n3",))
+        history = log.node_history("n1")
+        assert len(history) == 2
+
+    def test_render(self):
+        log = AuditLog()
+        log.record(1.5, VERDICT, "sid1", status="verified")
+        text = log.render()
+        assert "verdict" in text and "sid1" in text and "1.500" in text
+
+    def test_render_limit(self):
+        log = AuditLog()
+        for i in range(5):
+            log.record(float(i), VERDICT, f"sid{i}")
+        assert log.render(limit=2).count("\n") == 1
+
+
+class TestControllerIntegration:
+    def make_controller(self, fault_plan=None):
+        config = SystemConfig(
+            cluster=ClusterConfig(num_nodes=8, slots_per_node=3, heartbeat_period=0.5),
+            bft=ClusterBFTConfig(f=1, replication=3, verifier_timeout=30.0),
+        )
+        controller = ClusterBFTController(config, fault_plan=fault_plan, block_bytes=2048)
+        controller.load_input("in", records_from_rows([(i % 5, i) for i in range(200)]))
+        return controller
+
+    def test_clean_run_logs_submit_verdict_commit(self):
+        controller = self.make_controller()
+        result = controller.run_assured(SCRIPT)
+        assert result.assured
+        assert controller.audit.events(kind=SUBMIT)
+        verdicts = controller.audit.events(kind=VERDICT)
+        assert verdicts and all(
+            e.details["status"] == "verified" for e in verdicts
+        )
+        assert controller.audit.events(kind=COMMIT)
+        assert not controller.audit.events(kind=FAULT)
+
+    def test_faulty_run_logs_fault_attribution(self):
+        controller = self.make_controller(single_commission("node_0000"))
+        result = controller.run_assured(SCRIPT)
+        assert result.assured
+        faults = controller.audit.events(kind=FAULT)
+        if faults:  # attribution requires the faulty chain to lose a vote
+            assert any("node_0000" in e.details["nodes"] for e in faults)
+
+    def test_rerun_logged(self):
+        controller = self.make_controller(single_commission("node_0000"))
+        # r = 2: a corrupted replica forces escalation.
+        result = controller.run_assured(SCRIPT, replication=2)
+        assert result.assured
+        if result.attempts > 1:
+            reruns = controller.audit.events(kind=RERUN)
+            assert reruns
+            assert reruns[0].details["replication"] >= 3

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_cell, load_csv, main
+
+SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+B = FILTER A BY v IS NOT NULL;
+G = GROUP B BY k;
+C = FOREACH G GENERATE group AS k, COUNT(B) AS n;
+STORE C INTO 'out';
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    script = tmp_path / "job.pig"
+    script.write_text(SCRIPT)
+    csv = tmp_path / "data.csv"
+    csv.write_text("1,10\n1,20\n2,\n2,30\n")
+    return script, csv
+
+
+class TestCsvParsing:
+    def test_cell_types(self):
+        assert _parse_cell("42") == 42
+        assert _parse_cell("4.5") == 4.5
+        assert _parse_cell("abc") == "abc"
+        assert _parse_cell("") is None
+        assert _parse_cell("  7 ") == 7
+
+    def test_load_csv(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("1,a\n2,\n\n3,c\n")
+        records = load_csv(str(path))
+        assert len(records) == 3
+        assert records[1].fields == (2, None)
+
+
+class TestRunCommand:
+    def test_assured_run(self, workspace, capsys):
+        script, csv = workspace
+        code = main(
+            ["run", str(script), "--input", f"in={csv}", "--nodes", "8",
+             "--timeout", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "assured   : True" in out
+        assert "out (2 records)" in out
+
+    def test_plain_run(self, workspace, capsys):
+        script, csv = workspace
+        code = main(
+            ["run", str(script), "--input", f"in={csv}", "--mode", "plain",
+             "--nodes", "8"]
+        )
+        assert code == 0
+        assert "assured   : False" in capsys.readouterr().out
+
+    def test_single_mode(self, workspace, capsys):
+        script, csv = workspace
+        assert main(
+            ["run", str(script), "--input", f"in={csv}", "--mode", "single",
+             "--nodes", "8"]
+        ) == 0
+
+    def test_bad_input_spec(self, workspace):
+        script, csv = workspace
+        with pytest.raises(SystemExit):
+            main(["run", str(script), "--input", "no-equals-sign"])
+
+    def test_output_truncation(self, workspace, capsys):
+        script, csv = workspace
+        main(
+            ["run", str(script), "--input", f"in={csv}", "--nodes", "8",
+             "--show-output", "1"]
+        )
+        assert "1 more" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_explain_shows_plan_and_jobs(self, workspace, capsys):
+        script, csv = workspace
+        code = main(["explain", str(script), "--input", f"in={csv}"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Logical plan:" in out
+        assert "Verification points:" in out
+        assert "Job graph:" in out
+        assert "group" in out

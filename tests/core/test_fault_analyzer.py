@@ -1,0 +1,113 @@
+"""Tests for the Fig. 7 fault analyzer."""
+
+from repro.core.fault_analyzer import FaultAnalyzer
+
+
+class TestStageOne:
+    def test_disjoint_clusters_accumulate(self):
+        analyzer = FaultAnalyzer(f=2)
+        analyzer.observe({"a", "b"})
+        analyzer.observe({"c", "d"})
+        assert len(analyzer.disjoint) == 2
+        assert analyzer.suspects() == {"a", "b", "c", "d"}
+
+    def test_subset_replaces_superset(self):
+        analyzer = FaultAnalyzer(f=1)
+        analyzer.observe({"a", "b", "c"})
+        analyzer.observe({"a", "b"})
+        assert analyzer.disjoint == [frozenset({"a", "b"})]
+        assert frozenset({"a", "b", "c"}) in analyzer.overlapping
+
+    def test_overlapping_set_parked(self):
+        analyzer = FaultAnalyzer(f=2)
+        analyzer.observe({"a", "b"})
+        analyzer.observe({"b", "c"})  # overlaps, not subset
+        assert analyzer.disjoint == [frozenset({"a", "b"})]
+        assert frozenset({"b", "c"}) in analyzer.overlapping
+
+    def test_empty_cluster_ignored(self):
+        analyzer = FaultAnalyzer(f=1)
+        analyzer.observe(set())
+        assert analyzer.observations == 0
+
+
+class TestSaturation:
+    def test_saturates_at_f_disjoint_sets(self):
+        analyzer = FaultAnalyzer(f=2)
+        analyzer.observe({"a"})
+        assert not analyzer.saturated
+        analyzer.observe({"b"})
+        assert analyzer.saturated
+        assert analyzer.saturated_at == 2
+
+    def test_suspects_stop_growing_after_saturation(self):
+        """The paper's key observation (Fig. 12): once |D| = f the
+        suspect population is final."""
+        analyzer = FaultAnalyzer(f=1)
+        analyzer.observe({"a", "b"})
+        before = analyzer.suspects()
+        analyzer.observe({"c", "d", "a"})  # overlaps D — refines, never adds
+        assert analyzer.suspects() <= before
+
+
+class TestStageTwo:
+    def test_intersection_narrows_single_touched_set(self):
+        """Paper: "if there are f subsets in D and a new set of faulty
+        nodes intersects with only one of those f subsets, then the nodes
+        in the intersection must be faulty"."""
+        analyzer = FaultAnalyzer(f=1)
+        analyzer.observe({"a", "b", "c"})
+        analyzer.observe({"b", "c", "d"})
+        assert analyzer.disjoint == [frozenset({"b", "c"})]
+        analyzer.observe({"c", "e"})
+        assert analyzer.disjoint == [frozenset({"c"})]
+        assert analyzer.isolated_faults() == ["c"]
+
+    def test_ambiguous_overlap_does_not_narrow(self):
+        analyzer = FaultAnalyzer(f=2)
+        analyzer.observe({"a", "b"})
+        analyzer.observe({"c", "d"})
+        # Touches both members of D: attribution ambiguous, no narrowing.
+        analyzer.observe({"b", "c"})
+        assert frozenset({"a", "b"}) in analyzer.disjoint
+        assert frozenset({"c", "d"}) in analyzer.disjoint
+
+    def test_retained_overlaps_replayed_on_refinement(self):
+        """An overlap parked before saturation still narrows D later."""
+        analyzer = FaultAnalyzer(f=2)
+        analyzer.observe({"a", "b"})
+        analyzer.observe({"b", "x", "y"})  # parked: overlaps {a,b}
+        analyzer.observe({"c", "d"})  # saturates; replays the parked set
+        # {b,x,y} touches only {a,b} => that member narrows to {b}.
+        assert frozenset({"b"}) in analyzer.disjoint
+
+    def test_two_faults_fully_isolated(self):
+        analyzer = FaultAnalyzer(f=2)
+        analyzer.observe({"a", "b"})
+        analyzer.observe({"c", "d"})
+        analyzer.observe({"a", "e"})
+        analyzer.observe({"c", "f"})
+        assert sorted(analyzer.isolated_faults()) == ["a", "c"]
+
+    def test_describe_is_informative(self):
+        analyzer = FaultAnalyzer(f=1)
+        analyzer.observe({"a"})
+        text = analyzer.describe()
+        assert "f=1" in text and "a" in text
+
+
+class TestRealisticStream:
+    def test_single_flaky_node_isolated_from_noisy_clusters(self):
+        """Clusters of varying size all containing the one faulty node
+        eventually shrink D to exactly that node."""
+        import random
+
+        rng = random.Random(0)
+        nodes = [f"n{i}" for i in range(50)]
+        faulty = "n7"
+        analyzer = FaultAnalyzer(f=1)
+        for _ in range(30):
+            cluster = set(rng.sample(nodes, rng.randint(3, 10)))
+            cluster.add(faulty)
+            analyzer.observe(cluster)
+        assert analyzer.isolated_faults() == [faulty]

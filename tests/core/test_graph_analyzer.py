@@ -1,0 +1,153 @@
+"""Tests for input ratios and the marker function (paper Fig. 3/4/5)."""
+
+import pytest
+
+from repro.common.config import ADVERSARY_STRONG, ADVERSARY_WEAK
+from repro.common.errors import PlanError
+from repro.core.graph_analyzer import (
+    analyze,
+    candidate_vertices,
+    input_ratios,
+    mark,
+    undirected_distances,
+)
+from repro.dataflow import expressions as ex
+from repro.dataflow.operators import (
+    FilterOp,
+    JoinOp,
+    LoadOp,
+    StoreOp,
+)
+from repro.dataflow.plan import LogicalPlan
+from repro.dataflow.schema import INT, Schema
+
+EDGES = Schema.of(("user", INT), ("follower", INT))
+
+
+def fig4_plan():
+    """The paper's Fig. 4 shape: three loads (10G/20G/30G), a join of
+    loads 1+2, a filter on load 3, and a final join."""
+    plan = LogicalPlan()
+    l1 = plan.add(LoadOp("in1", EDGES, alias="Load1"))
+    l2 = plan.add(LoadOp("in2", EDGES, alias="Load2"))
+    l3 = plan.add(LoadOp("in3", EDGES, alias="Load3"))
+    j1 = plan.add(
+        JoinOp([ex.field("user")], [ex.field("user")], alias="Join1"), [l1, l2]
+    )
+    f3 = plan.add(FilterOp(ex.lit(True), alias="Filter3"), [l3])
+    j2 = plan.add(
+        JoinOp([ex.field("$0")], [ex.field("user")], alias="Join2"), [j1, f3]
+    )
+    plan.add(StoreOp("out"), [j2])
+    sizes = {"in1": 10, "in2": 20, "in3": 30}
+    return plan, sizes, (l1, l2, l3, j1, f3, j2)
+
+
+class TestInputRatios:
+    def test_fig4_load_ratios(self):
+        """Paper Fig. 4 annotates the loads .16 / .33 / .5."""
+        plan, sizes, (l1, l2, l3, *_rest) = fig4_plan()
+        ratios = input_ratios(plan, sizes)
+        assert ratios[l1] == pytest.approx(10 / 60)
+        assert ratios[l2] == pytest.approx(20 / 60)
+        assert ratios[l3] == pytest.approx(30 / 60)
+
+    def test_fig4_second_level_ratios(self):
+        """Join1 and Filter3 split the full level-1 mass: Join1 carries
+        (1/6+1/3)/1 = .5 and Filter3 .5/1 = .5."""
+        plan, sizes, (_l1, _l2, _l3, j1, f3, _j2) = fig4_plan()
+        ratios = input_ratios(plan, sizes)
+        assert ratios[j1] == pytest.approx(0.5)
+        assert ratios[f3] == pytest.approx(0.5)
+
+    def test_fig4_final_join_carries_everything(self):
+        plan, sizes, (*_rest, j2) = fig4_plan()
+        ratios = input_ratios(plan, sizes)
+        assert ratios[j2] == pytest.approx(1.0)
+
+    def test_missing_input_size_rejected(self):
+        plan, sizes, _ = fig4_plan()
+        del sizes["in2"]
+        with pytest.raises(PlanError):
+            input_ratios(plan, sizes)
+
+    def test_zero_total_degenerates_to_zero_ratios(self):
+        plan, _, _ = fig4_plan()
+        ratios = input_ratios(plan, {"in1": 0, "in2": 0, "in3": 0})
+        assert set(ratios.values()) == {0.0}
+
+    def test_negative_size_rejected(self):
+        plan, _, _ = fig4_plan()
+        with pytest.raises(PlanError):
+            input_ratios(plan, {"in1": -1, "in2": 0, "in3": 0})
+
+
+class TestDistances:
+    def test_bfs_from_loads(self):
+        plan, _sizes, (l1, l2, l3, j1, f3, j2) = fig4_plan()
+        distances = undirected_distances(plan, {l1, l2, l3})
+        assert distances[l1] == 0
+        assert distances[j1] == 1
+        assert distances[f3] == 1
+        assert distances[j2] == 2
+
+    def test_distance_from_marked_vertex(self):
+        plan, _sizes, (l1, _l2, _l3, j1, _f3, j2) = fig4_plan()
+        distances = undirected_distances(plan, {j1})
+        assert distances[j1] == 0
+        assert distances[l1] == 1
+        assert distances[j2] == 1
+
+
+class TestMarker:
+    def test_first_point_balances_ratio_and_depth(self):
+        """With one point requested, the marker lands mid-graph (Join2 in
+        Fig. 4: ratio 1.0 + distance 2 beats everything)."""
+        plan, sizes, (*_rest, j2) = fig4_plan()
+        result = analyze(plan, sizes, n=1, adversary=ADVERSARY_WEAK)
+        assert result.marked == [j2]
+
+    def test_second_point_repels_from_first(self):
+        plan, sizes, (l1, l2, l3, j1, f3, j2) = fig4_plan()
+        result = analyze(plan, sizes, n=2, adversary=ADVERSARY_WEAK)
+        assert result.marked[0] == j2
+        # The second point must not be adjacent to the first when an
+        # equally-weighted farther vertex exists.
+        assert result.marked[1] != j2
+
+    def test_marks_at_most_candidates(self):
+        plan, sizes, _ = fig4_plan()
+        result = analyze(plan, sizes, n=50, adversary=ADVERSARY_WEAK)
+        assert len(result.marked) == len(set(result.marked))
+        assert len(result.marked) <= len(plan.vertices())
+
+    def test_zero_points(self):
+        plan, sizes, _ = fig4_plan()
+        ratios = input_ratios(plan, sizes)
+        assert mark(plan, 0, ratios).marked == []
+
+    def test_scores_monotonically_available(self):
+        plan, sizes, _ = fig4_plan()
+        result = analyze(plan, sizes, n=3, adversary=ADVERSARY_WEAK)
+        assert len(result.scores) == len(result.marked)
+
+
+class TestCandidates:
+    def test_weak_adversary_allows_all_but_sinks(self):
+        plan, _sizes, vertices = fig4_plan()
+        candidates = candidate_vertices(plan, ADVERSARY_WEAK)
+        assert set(candidates) == set(vertices)
+
+    def test_strong_adversary_restricts_to_boundaries(self):
+        plan, _sizes, (l1, l2, l3, j1, f3, j2) = fig4_plan()
+        candidates = candidate_vertices(plan, ADVERSARY_STRONG)
+        # Loads and the streaming filter don't end a job; the joins do.
+        assert j1 in candidates and j2 in candidates
+        assert l1 not in candidates and f3 not in candidates
+
+    def test_unknown_adversary_rejected(self):
+        from repro.common.errors import ConfigError
+
+        plan, _sizes, _ = fig4_plan()
+        with pytest.raises(ConfigError):
+            candidate_vertices(plan, "medium")

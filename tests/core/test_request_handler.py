@@ -1,0 +1,88 @@
+"""Tests for request-handler preparation (analyze → instrument → compile)."""
+
+import pytest
+
+from repro.common.config import ADVERSARY_WEAK, ClusterBFTConfig
+from repro.core.request_handler import (
+    RequestHandler,
+    job_has_verification,
+    output_coverage,
+)
+from repro.dataflow.piglatin import parse_script
+from repro.workloads.airline import TOP_AIRPORTS
+from repro.workloads.twitter import FOLLOWER_ANALYSIS
+
+SIZES = {"twitter/followers": 1_000_000, "airline/flights": 5_000_000}
+
+
+def prepare(script=FOLLOWER_ANALYSIS, **config_kwargs):
+    handler = RequestHandler(ClusterBFTConfig(**config_kwargs))
+    return handler.prepare(script, SIZES)
+
+
+class TestPrepare:
+    def test_produces_job_graph(self):
+        prepared = prepare()
+        assert prepared.job_graph.jobs
+        assert prepared.config.replication == 4
+
+    def test_marker_selects_requested_points(self):
+        prepared = prepare(verification_points=1)
+        assert len(prepared.marked_vertices) == 1
+        assert len(prepared.marker_scores) == 1
+
+    def test_zero_points_still_instruments_outputs(self):
+        prepared = prepare(verification_points=0)
+        assert prepared.marked_vertices == []
+        assert prepared.instrumented.points  # the store digest
+
+    def test_explicit_points_bypass_marker(self):
+        handler = RequestHandler(ClusterBFTConfig(verification_points=3))
+        plan = parse_script(FOLLOWER_ANALYSIS)
+        group = plan.find_by_alias("grouped")
+        prepared = handler.prepare(plan, SIZES, explicit_points=[group])
+        assert prepared.marked_vertices == [group]
+
+    def test_jobs_with_digests_listed(self):
+        prepared = prepare(verification_points=1)
+        with_digests = prepared.jobs_with_digests()
+        assert with_digests
+        for index in with_digests:
+            assert job_has_verification(prepared.job_graph.jobs[index])
+
+    def test_strong_adversary_marks_job_boundaries(self):
+        prepared = prepare(script=TOP_AIRPORTS, verification_points=2)
+        plan = prepared.plan
+        handler = RequestHandler(ClusterBFTConfig())
+        boundaries = set(handler.candidate_vertices(plan))
+        assert set(prepared.marked_vertices) <= boundaries
+
+    def test_weak_adversary_has_more_candidates(self):
+        plan = parse_script(TOP_AIRPORTS)
+        strong = RequestHandler(ClusterBFTConfig()).candidate_vertices(plan)
+        weak = RequestHandler(
+            ClusterBFTConfig(adversary=ADVERSARY_WEAK)
+        ).candidate_vertices(plan)
+        assert len(weak) > len(strong)
+
+
+class TestOutputCoverage:
+    def test_marked_boundary_vp_covers_job_output(self):
+        prepared = prepare(verification_points=1)
+        covered = [output_coverage(job) for job in prepared.job_graph.jobs]
+        assert any(covered)
+
+    def test_final_store_jobs_always_covered(self):
+        prepared = prepare(script=TOP_AIRPORTS, verification_points=2)
+        for job in prepared.job_graph.jobs:
+            if not job.output_is_temp:
+                assert output_coverage(job) is not None
+
+    def test_uninstrumented_job_not_covered(self):
+        handler = RequestHandler(ClusterBFTConfig(verification_points=0))
+        prepared = handler.prepare(
+            FOLLOWER_ANALYSIS, SIZES, include_output_points=False
+        )
+        for job in prepared.job_graph.jobs:
+            assert output_coverage(job) is None
+            assert not job_has_verification(job)

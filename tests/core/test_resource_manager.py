@@ -1,0 +1,105 @@
+"""Tests for the resource manager (resource table, inclusion list)."""
+
+import random
+
+from repro.common.config import ClusterConfig, CostModelConfig
+from repro.common.records import records_from_rows
+from repro.compiler.mr_compiler import CompileOptions, compile_plan
+from repro.core.resource_manager import ResourceManager
+from repro.core.suspicion import SuspicionTracker
+from repro.dataflow.piglatin import parse_script
+from repro.faults.injection import FaultPlan
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.engine import JobRun, MapReduceEngine
+from repro.mapreduce.scheduler import ClusterBFTScheduler
+from repro.simulation.events import EventLoop
+from repro.storage.dfs import TrustedDFS
+
+
+def make_setup(nodes=4):
+    loop = EventLoop()
+    dfs = TrustedDFS(block_bytes=256)
+    cluster = Cluster(ClusterConfig(num_nodes=nodes, slots_per_node=3))
+    dfs.set_placement_nodes(cluster.node_ids())
+    engine = MapReduceEngine(
+        loop, dfs, cluster, ClusterBFTScheduler(), CostModelConfig(), random.Random(0)
+    )
+    suspicion = SuspicionTracker()
+    manager = ResourceManager(cluster, engine, suspicion, suspicion_threshold=0.5)
+    return loop, dfs, cluster, engine, suspicion, manager
+
+
+class TestTable:
+    def test_idle_table_shape(self):
+        _, _, cluster, _, _, manager = make_setup(nodes=3)
+        rows = manager.table()
+        assert len(rows) == 3
+        for row in rows:
+            assert row.resource_units == 3
+            assert row.free_units == 3
+            assert row.sids == ()
+            assert row.suspicion == 0.0
+            assert not row.excluded
+
+    def test_running_job_appears_in_sids(self):
+        loop, dfs, cluster, engine, _, manager = make_setup()
+        dfs.write_file("in", records_from_rows([(i % 3, i) for i in range(50)]))
+        graph = compile_plan(
+            parse_script(
+                "A = LOAD 'in' AS (k:int, v:int);\nG = GROUP A BY k;\n"
+                "C = FOREACH G GENERATE group;\nSTORE C INTO 'out';"
+            ),
+            CompileOptions(num_reducers=2),
+        )
+        run = JobRun("j0", "sid7", 0, graph.jobs[0], {"out": "r/out"}, scope="s")
+        engine.submit(run)
+        loop.run_until(2.0)
+        busy = [row for row in manager.table() if row.sids]
+        assert busy
+        assert all(row.sids == ("sid7",) for row in busy)
+        assert manager.overlap_degree() == 1.0
+
+    def test_row_lookup(self):
+        _, _, _, _, _, manager = make_setup()
+        assert manager.row("node_0001").node_id == "node_0001"
+        import pytest
+
+        with pytest.raises(KeyError):
+            manager.row("ghost")
+
+
+class TestInclusionList:
+    def test_eviction_respects_threshold_and_evidence(self):
+        _, _, cluster, _, suspicion, manager = make_setup()
+        # One fault in one job: over threshold but under min evidence.
+        suspicion.record_job({"node_0000"})
+        suspicion.record_fault({"node_0000"})
+        assert manager.apply_suspicion_policy() == []
+        # More evidence: now evictable.
+        suspicion.record_job({"node_0000"})
+        suspicion.record_job({"node_0000"})
+        suspicion.record_fault({"node_0000"})
+        assert manager.apply_suspicion_policy() == ["node_0000"]
+        assert "node_0000" not in manager.inclusion_list()
+
+    def test_eviction_idempotent(self):
+        _, _, _, _, suspicion, manager = make_setup()
+        for _ in range(3):
+            suspicion.record_job({"node_0000"})
+            suspicion.record_fault({"node_0000"})
+        assert manager.apply_suspicion_policy() == ["node_0000"]
+        assert manager.apply_suspicion_policy() == []
+
+    def test_reinitialize_restores_node(self):
+        _, _, cluster, _, suspicion, manager = make_setup()
+        for _ in range(3):
+            suspicion.record_job({"node_0000"})
+            suspicion.record_fault({"node_0000"})
+        manager.apply_suspicion_policy()
+        manager.reinitialize_node("node_0000")
+        assert "node_0000" in manager.inclusion_list()
+        assert suspicion.level("node_0000") == 0.0
+
+    def test_overlap_degree_zero_when_idle(self):
+        _, _, _, _, _, manager = make_setup()
+        assert manager.overlap_degree() == 0.0

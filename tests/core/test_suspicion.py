@@ -1,0 +1,81 @@
+"""Tests for suspicion-level bookkeeping."""
+
+from repro.core.suspicion import HIGH, LOW, MED, NO_SUSPICION, SuspicionTracker, band
+
+
+class TestBands:
+    def test_band_boundaries(self):
+        assert band(0.0) == NO_SUSPICION
+        assert band(0.2) == LOW
+        assert band(0.33) == LOW
+        assert band(0.5) == MED
+        assert band(0.66) == MED
+        assert band(0.9) == HIGH
+        assert band(1.0) == HIGH
+
+
+class TestTracker:
+    def test_level_is_faults_over_jobs(self):
+        tracker = SuspicionTracker()
+        tracker.record_job({"n1"})
+        tracker.record_job({"n1"})
+        tracker.record_fault({"n1"})
+        assert tracker.level("n1") == 0.5
+
+    def test_unknown_node_has_zero_level(self):
+        assert SuspicionTracker().level("ghost") == 0.0
+
+    def test_level_decays_with_clean_jobs(self):
+        """The paper's convergence mechanism: innocent nodes keep running
+        clean jobs, pushing their level toward zero."""
+        tracker = SuspicionTracker()
+        tracker.record_job({"n1"})
+        tracker.record_fault({"n1"})
+        assert tracker.band("n1") == HIGH
+        for _ in range(9):
+            tracker.record_job({"n1"})
+        assert tracker.band("n1") == LOW
+
+    def test_faulty_node_stays_high(self):
+        tracker = SuspicionTracker()
+        for _ in range(10):
+            tracker.record_job({"bad"})
+            tracker.record_fault({"bad"})
+        assert tracker.band("bad") == HIGH
+
+    def test_suspects_with_minimum(self):
+        tracker = SuspicionTracker()
+        tracker.record_job({"a", "b"})
+        tracker.record_fault({"a"})
+        assert tracker.suspects() == {"a"}
+        assert tracker.suspects(minimum=2.0) == set()
+
+    def test_band_counts_histogram(self):
+        tracker = SuspicionTracker()
+        tracker.record_job({"clean", "low", "high"})
+        tracker.record_fault({"high"})
+        tracker.record_job({"low"} | {"clean"})
+        tracker.record_job({"low"})
+        tracker.record_job({"low"})  # 1 fault / 4 jobs = 0.25 -> LOW
+        tracker.record_fault({"low"})
+        counts = tracker.band_counts()
+        assert counts[HIGH] == 1
+        assert counts[LOW] == 1
+        assert counts[NO_SUSPICION] == 1
+
+    def test_over_threshold(self):
+        tracker = SuspicionTracker()
+        tracker.record_job({"a", "b"})
+        tracker.record_fault({"a"})
+        assert tracker.over_threshold(0.95) == {"a"}
+        assert tracker.over_threshold(1.0) == set()
+
+    def test_clear_faults_exonerates(self):
+        tracker = SuspicionTracker()
+        tracker.record_job({"a"})
+        tracker.record_fault({"a"})
+        tracker.clear_faults({"a"})
+        assert tracker.level("a") == 0.0
+
+    def test_clear_faults_unknown_node_noop(self):
+        SuspicionTracker().clear_faults({"ghost"})

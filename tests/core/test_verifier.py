@@ -1,0 +1,229 @@
+"""Tests for the digest verifier (quorum logic, timeouts, attribution)."""
+
+from repro.common.config import CostModelConfig
+from repro.common.hashing import Digest, corrupt_digest, digest_of
+from repro.common.records import records_from_rows
+from repro.core.verifier import (
+    COMMISSION,
+    FAILED,
+    OMISSION,
+    PENDING,
+    TIMEOUT,
+    VERIFIED,
+    Verifier,
+)
+from repro.mapreduce.engine import DigestReport
+from repro.simulation.events import EventLoop
+
+COST = CostModelConfig()
+GOOD = digest_of(records_from_rows([(1, 2), (3, 4)]))
+BAD = corrupt_digest(GOOD)
+
+
+def make_verifier(f=1, timeout=100.0):
+    loop = EventLoop()
+    verdicts = []
+    verifier = Verifier(loop, f, COST, timeout, on_verdict=verdicts.append)
+    return loop, verifier, verdicts
+
+
+def report(replica, digest=GOOD, vp="vp0", task="r0", sid="s0"):
+    return DigestReport(
+        sid=sid,
+        replica=replica,
+        job_id=f"j{replica}",
+        vp_id=vp,
+        task_label=task,
+        node_id=f"n{replica}",
+        digests=(digest,),
+        record_count=digest.record_count,
+        sent_at=0.0,
+    )
+
+
+def complete(verifier, loop, replica, nodes=None, sid="s0"):
+    verifier.replica_completed(sid, replica, nodes or {f"n{replica}"})
+
+
+class TestQuorum:
+    def test_verified_at_f_plus_one_matching(self):
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=4)
+        for replica in (0, 1):
+            verifier.on_report(report(replica))
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        assert verdicts and verdicts[0].status == VERIFIED
+        assert verdicts[0].winners == {0, 1}
+
+    def test_pending_before_quorum(self):
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=3)
+        verifier.on_report(report(0))
+        complete(verifier, loop, 0)
+        loop.run_until(1.0)
+        assert verifier.status("s0") == PENDING
+
+    def test_mismatching_replica_attributed_commission(self):
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=3)
+        verifier.on_report(report(0))
+        verifier.on_report(report(1, digest=BAD))
+        verifier.on_report(report(2))
+        for replica in (0, 1, 2):
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        outcome = verdicts[0]
+        assert outcome.status == VERIFIED and outcome.winners == {0, 2}
+        assert [(f.replica, f.kind) for f in outcome.faults] == [(1, COMMISSION)]
+        assert outcome.faults[0].nodes == frozenset({"n1"})
+
+    def test_withheld_digest_attributed_omission(self):
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=3)
+        verifier.on_report(report(0))
+        verifier.on_report(report(2))
+        # Replica 1 completes but never sends its digest.
+        for replica in (0, 1, 2):
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        outcome = verdicts[0]
+        assert outcome.status == VERIFIED
+        assert [(f.replica, f.kind) for f in outcome.faults] == [(1, OMISSION)]
+
+    def test_failed_when_no_quorum_possible(self):
+        """r = f+1 with one commission fault: 1 vs 1, no winner."""
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=2)
+        verifier.on_report(report(0))
+        verifier.on_report(report(1, digest=BAD))
+        for replica in (0, 1):
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        outcome = verdicts[0]
+        assert outcome.status == FAILED
+        assert outcome.winners == set()
+        # Without a quorum nobody is exonerated.
+        assert {f.replica for f in outcome.faults} == {0, 1}
+
+    def test_multiple_vps_and_tasks_must_all_match(self):
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=2)
+        verifier.on_report(report(0, vp="vp0", task="r0"))
+        verifier.on_report(report(0, vp="vp1", task="r1"))
+        verifier.on_report(report(1, vp="vp0", task="r0"))
+        verifier.on_report(report(1, vp="vp1", task="r1", digest=BAD))
+        for replica in (0, 1):
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        assert verdicts[0].status == FAILED
+
+    def test_chunked_digests_compared_per_chunk(self):
+        chunk0 = Digest(GOOD.value, 10, chunk_index=0, final=False)
+        chunk1 = Digest(BAD.value, 20, chunk_index=1, final=False)
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=2)
+        for replica in (0, 1):
+            verifier.on_report(
+                DigestReport(
+                    sid="s0", replica=replica, job_id="j", vp_id="vp0",
+                    task_label="r0", node_id=f"n{replica}",
+                    digests=(chunk0, chunk1, GOOD), record_count=30, sent_at=0.0,
+                )
+            )
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        assert verdicts[0].status == VERIFIED
+
+
+class TestTimeout:
+    def test_timeout_fires_without_quorum(self):
+        loop, verifier, verdicts = make_verifier(f=1, timeout=10.0)
+        verifier.register("s0", expected_replicas=3)
+        verifier.on_report(report(0))
+        complete(verifier, loop, 0)
+        loop.run_until_idle()
+        outcome = verdicts[0]
+        assert outcome.status == TIMEOUT
+        assert outcome.missing_replicas == {1, 2}
+
+    def test_verdict_before_timeout_wins(self):
+        loop, verifier, verdicts = make_verifier(f=1, timeout=10.0)
+        verifier.register("s0", expected_replicas=2)
+        for replica in (0, 1):
+            verifier.on_report(report(replica))
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        assert [v.status for v in verdicts] == [VERIFIED]
+
+
+class TestLateFaults:
+    def test_late_mismatching_replica_reported(self):
+        loop = EventLoop()
+        verdicts, late = [], []
+        verifier = Verifier(
+            loop, 1, COST, 100.0,
+            on_verdict=verdicts.append,
+            on_late_fault=lambda sid, fault: late.append(fault),
+        )
+        verifier.register("s0", expected_replicas=3)
+        for replica in (0, 1):
+            verifier.on_report(report(replica))
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        assert verdicts[0].status == VERIFIED
+        # Replica 2 finishes afterwards with a corrupt digest.
+        verifier.on_report(report(2, digest=BAD))
+        complete(verifier, loop, 2)
+        loop.run_until_idle()
+        assert [(f.replica, f.kind) for f in late] == [(2, COMMISSION)]
+        assert verdicts[0].faults[-1].replica == 2
+
+    def test_late_matching_replica_not_reported(self):
+        loop = EventLoop()
+        late = []
+        verifier = Verifier(
+            loop, 1, COST, 100.0, on_late_fault=lambda sid, fault: late.append(fault)
+        )
+        verifier.register("s0", expected_replicas=3)
+        for replica in (0, 1):
+            verifier.on_report(report(replica))
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        verifier.on_report(report(2))
+        complete(verifier, loop, 2)
+        loop.run_until_idle()
+        assert late == []
+
+
+class TestBookkeeping:
+    def test_comparisons_counted(self):
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=2)
+        for replica in (0, 1):
+            verifier.on_report(report(replica))
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        assert verifier.total_comparisons > 0
+        assert verdicts[0].comparisons > 0
+
+    def test_unknown_sid_report_ignored(self):
+        loop, verifier, _ = make_verifier()
+        verifier.on_report(report(0, sid="ghost"))
+        assert verifier.reports_received == 0
+
+    def test_double_registration_ignored(self):
+        loop, verifier, _ = make_verifier()
+        verifier.register("s0", 2)
+        verifier.register("s0", 5)
+        assert verifier._sids["s0"].expected == 2
+
+    def test_first_mismatch_timestamp_recorded(self):
+        loop, verifier, verdicts = make_verifier(f=1)
+        verifier.register("s0", expected_replicas=2)
+        verifier.on_report(report(0))
+        verifier.on_report(report(1, digest=BAD))
+        for replica in (0, 1):
+            complete(verifier, loop, replica)
+        loop.run_until_idle()
+        assert verdicts[0].first_mismatch_at is not None

@@ -1,0 +1,92 @@
+"""Tests for the fluent plan-builder API."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.common.records import records_from_rows
+from repro.dataflow import expressions as ex
+from repro.dataflow.builder import PlanBuilder
+from repro.dataflow.interpreter import interpret
+from repro.dataflow.schema import INT, Schema
+
+EDGES = Schema.of(("user", INT), ("follower", INT))
+
+
+def run(builder, inputs):
+    return interpret(builder.build(), inputs=inputs)
+
+
+class TestBuilder:
+    def test_filter_group_count_chain(self):
+        pb = PlanBuilder()
+        edges = pb.load("in", EDGES, alias="edges")
+        (
+            edges.filter(ex.not_null(ex.field("follower")), alias="clean")
+            .group_by("user")
+            # The grouped bag is named after the *input* relation (Pig).
+            .generate(("group", "user"), (ex.count(ex.field("clean")), "cnt"))
+            .store("out")
+        )
+        out = run(pb, {"in": records_from_rows([(1, 2), (1, None), (2, 3)])})
+        assert sorted(r.fields for r in out["out"]) == [(1, 1), (2, 1)]
+
+    def test_join_with_on(self):
+        pb = PlanBuilder()
+        a = pb.load("in", EDGES, alias="a")
+        b = pb.load("in", EDGES, alias="b")
+        a.join(b, left_on=["user"], right_on=["follower"]).generate(
+            "a::follower", "b::user"
+        ).store("out")
+        # a=(1,2) joins b=(2,1) on 1: emits (2, 2); a=(2,1) joins b=(1,2).
+        out = run(pb, {"in": records_from_rows([(1, 2), (2, 1)])})
+        assert sorted(r.fields for r in out["out"]) == [(1, 1), (2, 2)]
+
+    def test_join_requires_keys(self):
+        pb = PlanBuilder()
+        a = pb.load("in", EDGES)
+        b = pb.load("in", EDGES)
+        with pytest.raises(PlanError):
+            a.join(b)
+
+    def test_union_distinct(self):
+        pb = PlanBuilder()
+        a = pb.load("in", EDGES)
+        b = pb.load("in", EDGES)
+        a.union(b).distinct().store("out")
+        rows = [(1, 2), (3, 4)]
+        out = run(pb, {"in": records_from_rows(rows)})
+        assert sorted(r.fields for r in out["out"]) == rows
+
+    def test_order_and_limit(self):
+        pb = PlanBuilder()
+        a = pb.load("in", EDGES)
+        a.order_by(("follower", "desc")).limit(2).store("out")
+        out = run(pb, {"in": records_from_rows([(1, 5), (2, 9), (3, 1)])})
+        assert [r.fields for r in out["out"]] == [(2, 9), (1, 5)]
+
+    def test_generate_coerces_strings_and_numbers(self):
+        pb = PlanBuilder()
+        a = pb.load("in", EDGES)
+        a.generate("user", (ex.lit(1), "one")).store("out")
+        out = run(pb, {"in": records_from_rows([(7, 8)])})
+        assert out["out"][0].fields == (7, 1)
+
+    def test_schema_property(self):
+        pb = PlanBuilder()
+        a = pb.load("in", EDGES)
+        assert a.schema.names() == ["user", "follower"]
+        grouped = a.group_by("user")
+        assert grouped.schema.names()[0] == "group"
+
+    def test_fresh_aliases_unique(self):
+        pb = PlanBuilder()
+        a = pb.load("in", EDGES)
+        f1 = a.filter(ex.lit(True))
+        f2 = a.filter(ex.lit(True))
+        assert f1.alias != f2.alias
+
+    def test_build_validates(self):
+        pb = PlanBuilder()
+        pb.load("in", EDGES)  # no store
+        with pytest.raises(PlanError):
+            pb.build()

@@ -1,0 +1,201 @@
+"""Tests for logical-operator semantics (streaming and blocking)."""
+
+import pytest
+
+from repro.common.errors import PlanError, SchemaError
+from repro.common.records import Record, records_from_rows
+from repro.dataflow import expressions as ex
+from repro.dataflow.operators import (
+    DistinctOp,
+    FilterOp,
+    ForeachOp,
+    GroupOp,
+    JoinOp,
+    LimitOp,
+    LoadOp,
+    OrderOp,
+    Projection,
+    SortKey,
+    StoreOp,
+    UnionOp,
+    VerifyOp,
+    canonical_sort,
+)
+from repro.dataflow.schema import BAG, INT, Schema
+
+EDGES = Schema.of(("user", INT), ("follower", INT))
+
+
+class TestStreamingOperators:
+    def test_filter_passes_and_drops(self):
+        op = FilterOp(ex.gt(ex.field("user"), ex.lit(1)))
+        assert op.process(Record((2, 3)), EDGES) == [Record((2, 3))]
+        assert op.process(Record((1, 3)), EDGES) == []
+
+    def test_filter_schema_passthrough(self):
+        op = FilterOp(ex.not_null(ex.field("user")))
+        assert op.derive_schema([EDGES]) == EDGES
+
+    def test_filter_validates_references(self):
+        op = FilterOp(ex.field("ghost"))
+        with pytest.raises(SchemaError):
+            op.derive_schema([EDGES])
+
+    def test_foreach_projects(self):
+        op = ForeachOp([Projection(ex.field("follower"), "f")])
+        assert op.process(Record((1, 2)), EDGES) == [Record((2,))]
+        assert op.derive_schema([EDGES]).names() == ["f"]
+
+    def test_foreach_needs_projections(self):
+        with pytest.raises(PlanError):
+            ForeachOp([])
+
+    def test_verify_is_identity(self):
+        op = VerifyOp("vp1")
+        assert op.process(Record((1, 2)), EDGES) == [Record((1, 2))]
+        assert op.derive_schema([EDGES]) == EDGES
+
+    def test_union_schema_checks_arity(self):
+        op = UnionOp()
+        with pytest.raises(SchemaError):
+            op.derive_schema([EDGES, Schema.of("only_one")])
+
+    def test_union_needs_two_inputs(self):
+        with pytest.raises(PlanError):
+            UnionOp().derive_schema([EDGES])
+
+
+class TestGroup:
+    def test_groups_by_key(self):
+        op = GroupOp([ex.field("user")], bag_name="edges")
+        tagged = [(0, r) for r in records_from_rows([(1, 2), (1, 3), (2, 4)])]
+        grouped = {}
+        for tag, record in tagged:
+            key = op.reduce_key(record, 0, [EDGES])
+            grouped.setdefault(key, []).append((tag, record))
+        out1 = op.reduce(1, grouped[1], [EDGES])
+        assert out1 == [Record((1, (Record((1, 2)), Record((1, 3)))))]
+
+    def test_bag_is_canonically_sorted(self):
+        op = GroupOp([ex.field("user")])
+        forward = op.reduce(1, [(0, Record((1, 2))), (0, Record((1, 3)))], [EDGES])
+        backward = op.reduce(1, [(0, Record((1, 3))), (0, Record((1, 2)))], [EDGES])
+        assert forward == backward
+
+    def test_schema_carries_inner_bag_schema(self):
+        op = GroupOp([ex.field("user")], bag_name="edges")
+        schema = op.derive_schema([EDGES])
+        assert schema.names() == ["group", "edges"]
+        assert schema.field(1).type == BAG
+        assert schema.field(1).inner == EDGES
+
+    def test_multi_key_group(self):
+        op = GroupOp([ex.field("user"), ex.field("follower")])
+        key = op.reduce_key(Record((1, 2)), 0, [EDGES])
+        assert key == (1, 2)
+        assert op.derive_schema([EDGES]).field(0).type == "tuple"
+
+    def test_needs_keys(self):
+        with pytest.raises(PlanError):
+            GroupOp([])
+
+
+class TestJoin:
+    def setup_method(self):
+        self.op = JoinOp([ex.field("user")], [ex.field("follower")])
+        self.schemas = [EDGES, EDGES]
+
+    def test_keys_by_side(self):
+        assert self.op.reduce_key(Record((1, 2)), 0, self.schemas) == 1
+        assert self.op.reduce_key(Record((1, 2)), 1, self.schemas) == 2
+
+    def test_cross_product_per_key(self):
+        tagged = [
+            (0, Record((1, 10))),
+            (0, Record((1, 11))),
+            (1, Record((5, 1))),
+        ]
+        out = self.op.reduce(1, tagged, self.schemas)
+        assert sorted(r.fields for r in out) == [(1, 10, 5, 1), (1, 11, 5, 1)]
+
+    def test_no_match_emits_nothing(self):
+        assert self.op.reduce(1, [(0, Record((1, 2)))], self.schemas) == []
+
+    def test_schema_concat(self):
+        assert len(self.op.derive_schema(self.schemas)) == 4
+
+    def test_qualified_schema_with_aliases(self):
+        op = JoinOp(
+            [ex.field("user")],
+            [ex.field("follower")],
+            input_aliases=("A", "B"),
+        )
+        schema = op.derive_schema(self.schemas)
+        assert schema.names() == ["A::user", "A::follower", "B::user", "B::follower"]
+
+    def test_mismatched_key_lists_rejected(self):
+        with pytest.raises(PlanError):
+            JoinOp([ex.field("a")], [])
+
+
+class TestDistinctOrderLimit:
+    def test_distinct_keeps_one(self):
+        op = DistinctOp()
+        out = op.reduce((1, 2), [(0, Record((1, 2))), (0, Record((1, 2)))], [EDGES])
+        assert out == [Record((1, 2))]
+
+    def test_order_sorts_descending(self):
+        op = OrderOp([SortKey("follower", ascending=False)])
+        tagged = [(0, r) for r in records_from_rows([(1, 2), (1, 9), (1, 5)])]
+        out = op.reduce(OrderOp.GLOBAL_KEY, tagged, [EDGES])
+        assert [r[1] for r in out] == [9, 5, 2]
+
+    def test_order_multi_key_stable(self):
+        op = OrderOp([SortKey("user"), SortKey("follower", ascending=False)])
+        tagged = [(0, r) for r in records_from_rows([(2, 1), (1, 1), (1, 9)])]
+        out = op.reduce(OrderOp.GLOBAL_KEY, tagged, [EDGES])
+        assert [r.fields for r in out] == [(1, 9), (1, 1), (2, 1)]
+
+    def test_order_tolerates_nulls_and_mixed_types(self):
+        op = OrderOp([SortKey("user")])
+        tagged = [(0, Record((None, 1))), (0, Record((2, 1))), (0, Record(("a", 1)))]
+        out = op.reduce(OrderOp.GLOBAL_KEY, tagged, [EDGES])
+        assert [r[0] for r in out] == [None, 2, "a"]
+
+    def test_order_wants_single_reducer(self):
+        assert OrderOp([SortKey("user")]).preferred_reducers() == 1
+
+    def test_limit_slices_deterministically(self):
+        op = LimitOp(2)
+        tagged = [(0, r) for r in records_from_rows([(3, 1), (1, 1), (2, 1)])]
+        out1 = op.reduce(OrderOp.GLOBAL_KEY, tagged, [EDGES])
+        out2 = op.reduce(OrderOp.GLOBAL_KEY, list(reversed(tagged)), [EDGES])
+        assert out1 == out2 and len(out1) == 2
+
+    def test_limit_rejects_negative(self):
+        with pytest.raises(PlanError):
+            LimitOp(-1)
+
+
+class TestSourcesSinks:
+    def test_load_schema(self):
+        op = LoadOp("path", EDGES)
+        assert op.derive_schema([]) == EDGES
+        with pytest.raises(PlanError):
+            op.derive_schema([EDGES])
+
+    def test_store_passthrough(self):
+        op = StoreOp("out")
+        assert op.derive_schema([EDGES]) == EDGES
+        with pytest.raises(PlanError):
+            op.derive_schema([])
+
+    def test_kind_names(self):
+        assert LoadOp("p", EDGES).kind == "load"
+        assert GroupOp([ex.field("user")]).kind == "group"
+
+
+def test_canonical_sort_is_total_and_stable():
+    records = records_from_rows([(2,), (1,), (None,), ("a",)])
+    once = canonical_sort(records)
+    assert canonical_sort(list(reversed(records))) == once

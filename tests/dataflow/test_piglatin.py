@@ -1,0 +1,202 @@
+"""Tests for the Pig Latin subset parser."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.common.records import records_from_rows
+from repro.dataflow.interpreter import interpret
+from repro.dataflow.operators import (
+    DistinctOp,
+    FilterOp,
+    GroupOp,
+    JoinOp,
+    LimitOp,
+    OrderOp,
+    UnionOp,
+)
+from repro.dataflow.piglatin import Lexer, parse_script
+
+
+def parse_ok(script):
+    return parse_script(script)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = Lexer("load LOAD LoAd").tokens()
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD"] * 3
+
+    def test_identifiers_case_sensitive(self):
+        tokens = Lexer("myAlias MYALIAS").tokens()
+        assert [t.text for t in tokens[:-1]] == ["myAlias", "MYALIAS"]
+
+    def test_line_comments_skipped(self):
+        tokens = Lexer("a -- a comment\nb").tokens()
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        tokens = Lexer("a /* multi\nline */ b").tokens()
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            Lexer("a /* oops").tokens()
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            Lexer("'no end").tokens()
+
+    def test_numbers(self):
+        tokens = Lexer("42 3.14").tokens()
+        assert [t.text for t in tokens[:-1]] == ["42", "3.14"]
+
+    def test_position_tracking(self):
+        tokens = Lexer("a\n  b").tokens()
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            Lexer("a @ b").tokens()
+
+
+class TestStatements:
+    def test_load_with_types(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (x:int, y:chararray, z:double);\nSTORE A INTO 'o';"
+        )
+        schema = plan.schema_of(plan.find_by_alias("A"))
+        assert schema.names() == ["x", "y", "z"]
+        assert schema.type_of("z") == "double"
+
+    def test_load_untyped_fields(self):
+        plan = parse_ok("A = LOAD 'in' AS (x, y);\nSTORE A INTO 'o';")
+        assert plan.schema_of(plan.find_by_alias("A")).type_of("x") == "any"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ok("A = LOAD 'in' AS (x:quaternion);\nSTORE A INTO 'o';")
+
+    @pytest.mark.parametrize(
+        "stmt,op_type",
+        [
+            ("B = FILTER A BY x > 1;", FilterOp),
+            ("B = GROUP A BY x;", GroupOp),
+            ("B = DISTINCT A;", DistinctOp),
+            ("B = ORDER A BY x DESC;", OrderOp),
+            ("B = LIMIT A 5;", LimitOp),
+        ],
+    )
+    def test_unary_relational_statements(self, stmt, op_type):
+        plan = parse_ok(f"A = LOAD 'in' AS (x:int);\n{stmt}\nSTORE B INTO 'o';")
+        assert isinstance(plan.op(plan.find_by_alias("B")), op_type)
+
+    def test_join_statement(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (x:int);\nB = LOAD 'in2' AS (y:int);\n"
+            "J = JOIN A BY x, B BY y;\nSTORE J INTO 'o';"
+        )
+        join = plan.op(plan.find_by_alias("J"))
+        assert isinstance(join, JoinOp)
+        assert join.input_aliases == ("A", "B")
+
+    def test_union_statement(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (x:int);\nB = LOAD 'in2' AS (x:int);\n"
+            "U = UNION A, B;\nSTORE U INTO 'o';"
+        )
+        assert isinstance(plan.op(plan.find_by_alias("U")), UnionOp)
+
+    def test_undefined_alias_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ok("B = FILTER nope BY x > 1;\nSTORE B INTO 'o';")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ok("A = LOAD 'in' AS (x:int)\nSTORE A INTO 'o';")
+
+    def test_alias_reassignment_shadows(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (x:int);\nA = FILTER A BY x > 1;\nSTORE A INTO 'o';"
+        )
+        assert isinstance(plan.op(plan.find_by_alias("A")), FilterOp)
+
+
+class TestExpressions:
+    def run(self, predicate, rows):
+        plan = parse_ok(
+            f"A = LOAD 'in' AS (x:int, y:int);\nB = FILTER A BY {predicate};\n"
+            "STORE B INTO 'o';"
+        )
+        out = interpret(plan, inputs={"in": records_from_rows(rows)})
+        return [r.fields for r in out["o"]]
+
+    def test_comparison_and_arithmetic(self):
+        assert self.run("x + 1 > y * 2", [(5, 2), (1, 2)]) == [(5, 2)]
+
+    def test_precedence_multiplication_first(self):
+        assert self.run("x == 2 + 3 * 2", [(8, 0), (10, 0)]) == [(8, 0)]
+
+    def test_parentheses(self):
+        assert self.run("x == (2 + 3) * 2", [(8, 0), (10, 0)]) == [(10, 0)]
+
+    def test_boolean_connectives(self):
+        assert self.run("x > 1 AND NOT y > 1 OR x == 0", [(2, 0), (2, 5), (0, 9)]) == [
+            (2, 0),
+            (0, 9),
+        ]
+
+    def test_is_null(self):
+        assert self.run("y IS NULL", [(1, None), (2, 3)]) == [(1, None)]
+        assert self.run("y IS NOT NULL", [(1, None), (2, 3)]) == [(2, 3)]
+
+    def test_unary_minus(self):
+        assert self.run("x == -1", [(-1, 0), (1, 0)]) == [(-1, 0)]
+
+    def test_string_literal(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (s:chararray);\nB = FILTER A BY s == 'hi';\n"
+            "STORE B INTO 'o';"
+        )
+        out = interpret(plan, inputs={"in": records_from_rows([("hi",), ("no",)])})
+        assert [r.fields for r in out["o"]] == [("hi",)]
+
+    def test_group_keyword_in_generate(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (x:int);\nG = GROUP A BY x;\n"
+            "C = FOREACH G GENERATE group AS x, COUNT(A) AS n;\nSTORE C INTO 'o';"
+        )
+        out = interpret(plan, inputs={"in": records_from_rows([(1,), (1,), (2,)])})
+        assert sorted(r.fields for r in out["o"]) == [(1, 2), (2, 1)]
+
+    def test_qualified_field_after_join(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (x:int, y:int);\nB = LOAD 'in' AS (x:int, y:int);\n"
+            "J = JOIN A BY x, B BY y;\nP = FOREACH J GENERATE A::y AS ay, B::x AS bx;\n"
+            "STORE P INTO 'o';"
+        )
+        rows = [(1, 2), (2, 1)]
+        out = interpret(plan, inputs={"in": records_from_rows(rows)})
+        assert sorted(r.fields for r in out["o"]) == [(1, 1), (2, 2)]
+
+    def test_bag_projection_in_aggregate(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (k:int, v:double);\nG = GROUP A BY k;\n"
+            "S = FOREACH G GENERATE group AS k, AVG(A.v) AS mean;\nSTORE S INTO 'o';"
+        )
+        out = interpret(
+            plan, inputs={"in": records_from_rows([(1, 2.0), (1, 4.0), (2, 6.0)])}
+        )
+        assert sorted(r.fields for r in out["o"]) == [(1, 3.0), (2, 6.0)]
+
+    def test_order_by_positional_and_group(self):
+        plan = parse_ok(
+            "A = LOAD 'in' AS (x:int, y:int);\nO = ORDER A BY $1 DESC, x ASC;\n"
+            "STORE O INTO 'o';"
+        )
+        out = interpret(plan, inputs={"in": records_from_rows([(1, 1), (2, 9), (0, 1)])})
+        assert [r.fields for r in out["o"]] == [(2, 9), (0, 1), (1, 1)]
+
+    def test_error_reports_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_ok("A = LOAD 'in' AS (x:int);\nB = FILTER A BY ;\nSTORE B INTO 'o';")
+        assert "line 2" in str(excinfo.value)

@@ -1,0 +1,111 @@
+"""Tests for the plan → Pig Latin unparser (parse/unparse round trips)."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.common.records import records_from_rows
+from repro.dataflow import expressions as ex
+from repro.dataflow.interpreter import interpret
+from repro.dataflow.operators import VerifyOp
+from repro.dataflow.piglatin import parse_script
+from repro.dataflow.unparse import expr_to_pig, unparse
+from repro.workloads.airline import TOP_AIRPORTS
+from repro.workloads.twitter import FOLLOWER_ANALYSIS, TWO_HOP_ANALYSIS
+from repro.workloads.weather import AVERAGE_TEMPERATURE
+
+
+class TestExprToPig:
+    def test_literals(self):
+        assert expr_to_pig(ex.lit(42)) == "42"
+        assert expr_to_pig(ex.lit(2.5)) == "2.5"
+        assert expr_to_pig(ex.lit("hi")) == "'hi'"
+        assert expr_to_pig(ex.lit(None)) == "NULL"
+
+    def test_operators_fully_parenthesized(self):
+        expr = ex.and_(ex.gt(ex.field("x"), ex.lit(1)), ex.lt(ex.field("y"), ex.lit(2)))
+        assert expr_to_pig(expr) == "((x > 1) AND (y < 2))"
+
+    def test_is_null_and_not(self):
+        assert expr_to_pig(ex.IsNull(ex.field("x"))) == "x IS NULL"
+        assert expr_to_pig(ex.not_null(ex.field("x"))) == "x IS NOT NULL"
+        assert expr_to_pig(ex.UnaryOp("not", ex.field("x"))) == "(NOT x)"
+
+    def test_function_and_bag_projection(self):
+        expr = ex.call("AVG", ex.BagProject(ex.field("B"), "v"))
+        assert expr_to_pig(expr) == "AVG(B.v)"
+
+    def test_roundtrip_through_parser(self):
+        script = (
+            "A = LOAD 'in' AS (x:int, y:int);\n"
+            "B = FILTER A BY (x + 1) * 2 > y AND x IS NOT NULL;\n"
+            "STORE B INTO 'o';"
+        )
+        plan = parse_script(script)
+        reparsed = parse_script(unparse(plan))
+        rows = records_from_rows([(1, 3), (2, 3), (None, 1)])
+        assert interpret(plan, inputs={"in": rows}) == interpret(
+            reparsed, inputs={"in": rows}
+        )
+
+
+class TestUnparsePlans:
+    @pytest.mark.parametrize(
+        "script,inputs",
+        [
+            (FOLLOWER_ANALYSIS, {"twitter/followers": [(1, 2), (1, 3), (2, None)]}),
+            (TWO_HOP_ANALYSIS, {"twitter/followers": [(1, 2), (2, 3), (3, 1)]}),
+            (
+                AVERAGE_TEMPERATURE,
+                {"weather/daily": [("s1", 2000, 1, 50.0), ("s1", 2000, 2, 52.0)]},
+            ),
+        ],
+    )
+    def test_paper_scripts_roundtrip(self, script, inputs):
+        records = {k: records_from_rows(v) for k, v in inputs.items()}
+        plan = parse_script(script)
+        text = unparse(plan)
+        reparsed = parse_script(text)
+        assert interpret(plan, inputs=records) == interpret(reparsed, inputs=records)
+
+    def test_multi_store_roundtrip(self):
+        records = {"airline/flights": records_from_rows(
+            [(2007, 1, 1, "AA", "ATL", "ORD", 5, 3, 0)] * 3
+            + [(2007, 1, 2, "DL", "ORD", "ATL", 1, 1, 0)] * 2
+        )}
+        plan = parse_script(TOP_AIRPORTS)
+        reparsed = parse_script(unparse(plan))
+        assert interpret(plan, inputs=records) == interpret(reparsed, inputs=records)
+
+    def test_optimized_plan_unparses(self):
+        from repro.dataflow.optimizer import optimize
+
+        plan = parse_script(
+            "A = LOAD 'x' AS (k:int);\nB = LOAD 'y' AS (k:int);\n"
+            "U = UNION A, B;\nF = FILTER U BY k > 2;\nSTORE F INTO 'o';"
+        )
+        optimize(plan)
+        text = unparse(plan)
+        records = {
+            "x": records_from_rows([(1,), (5,)]),
+            "y": records_from_rows([(3,)]),
+        }
+        out = interpret(parse_script(text), inputs=records)
+        assert sorted(r.fields for r in out["o"]) == [(3,), (5,)]
+
+    def test_alias_collisions_resolved(self):
+        # Two vertices can end up with the same alias after optimization;
+        # the unparser must disambiguate.
+        plan = parse_script(
+            "A = LOAD 'x' AS (k:int);\nB = FILTER A BY k > 0;\n"
+            "C = FILTER B BY k > 1;\nSTORE C INTO 'o';"
+        )
+        text = unparse(plan)
+        parse_script(text)  # must be a valid script
+
+    def test_instrumented_plan_rejected(self):
+        plan = parse_script(
+            "A = LOAD 'x' AS (k:int);\nB = FILTER A BY k > 0;\nSTORE B INTO 'o';"
+        )
+        plan.insert_after(plan.find_by_alias("B"), VerifyOp("vp0"))
+        with pytest.raises(PlanError):
+            unparse(plan)

@@ -1,0 +1,139 @@
+"""Tests for Byzantine node behaviours and injection plans."""
+
+import random
+
+import pytest
+
+from repro.common.errors import FaultInjectionError
+from repro.common.hashing import digest_of
+from repro.common.records import Record, records_from_rows
+from repro.faults.behaviors import (
+    CORRECT,
+    CommissionBehavior,
+    FlakyCommissionBehavior,
+    NodeBehavior,
+    OmissionBehavior,
+    SlowBehavior,
+    tamper,
+)
+from repro.faults.injection import (
+    FaultPlan,
+    combined,
+    commission_nodes,
+    no_faults,
+    single_commission,
+    single_omission,
+    slow_node,
+)
+
+
+class TestTamper:
+    @pytest.mark.parametrize(
+        "fields",
+        [(1, 2), (1.5,), ("text",), (True,), (None,), ((),)],
+    )
+    def test_tamper_changes_digest(self, fields):
+        record = Record(fields)
+        assert digest_of([record]).value != digest_of([tamper(record)]).value
+
+    def test_tamper_is_deterministic(self):
+        record = Record((1, "a"))
+        assert tamper(record) == tamper(record)
+
+
+class TestBehaviors:
+    def test_correct_behavior_is_identity(self):
+        records = records_from_rows([(1,), (2,)])
+        assert CORRECT.corrupt_records(records, random.Random(0)) == records
+        assert not CORRECT.omits_completion(random.Random(0))
+        assert CORRECT.slowdown() == 1.0
+        assert not CORRECT.faulty
+
+    def test_commission_always_fires_at_p1(self):
+        behavior = CommissionBehavior(probability=1.0)
+        records = records_from_rows([(i,) for i in range(10)])
+        corrupted = behavior.corrupt_records(records, random.Random(0))
+        assert corrupted != records
+        assert len(corrupted) == len(records)
+
+    def test_commission_probability_zero_never_fires(self):
+        behavior = CommissionBehavior(probability=0.0)
+        records = records_from_rows([(1,)])
+        for seed in range(20):
+            assert behavior.corrupt_records(records, random.Random(seed)) == records
+
+    def test_commission_respects_probability_statistically(self):
+        behavior = CommissionBehavior(probability=0.3)
+        records = records_from_rows([(1,)])
+        rng = random.Random(0)
+        fires = sum(
+            behavior.corrupt_records(records, rng) != records for _ in range(2000)
+        )
+        assert 450 < fires < 750
+
+    def test_commission_fraction_corrupts_many(self):
+        behavior = CommissionBehavior(probability=1.0, per_record_fraction=0.5)
+        records = records_from_rows([(i,) for i in range(100)])
+        corrupted = behavior.corrupt_records(records, random.Random(0))
+        changed = sum(a != b for a, b in zip(records, corrupted))
+        assert changed > 20
+
+    def test_commission_empty_stream_safe(self):
+        behavior = CommissionBehavior(probability=1.0)
+        assert behavior.corrupt_records([], random.Random(0)) == []
+
+    def test_omission_flags(self):
+        behavior = OmissionBehavior(probability=1.0, digest_probability=1.0)
+        assert behavior.omits_completion(random.Random(0))
+        assert behavior.omits_digest(random.Random(0))
+        assert behavior.faulty
+
+    def test_slow_is_not_faulty(self):
+        behavior = SlowBehavior(factor=5.0)
+        assert behavior.slowdown() == 5.0
+        assert not behavior.faulty
+
+    def test_flaky_rarely_fires(self):
+        behavior = FlakyCommissionBehavior(probability=0.1)
+        records = records_from_rows([(1,)])
+        rng = random.Random(0)
+        fires = sum(
+            behavior.corrupt_records(records, rng) != records for _ in range(1000)
+        )
+        assert 40 < fires < 200
+
+    def test_describe_strings(self):
+        assert "commission" in CommissionBehavior().describe()
+        assert "omission" in OmissionBehavior().describe()
+        assert "slow" in SlowBehavior().describe()
+
+
+class TestFaultPlans:
+    def test_default_is_correct(self):
+        plan = no_faults()
+        assert plan.behavior_for("anything") is CORRECT
+        assert plan.faulty_nodes() == set()
+
+    def test_single_commission_plan(self):
+        plan = single_commission("n1", probability=0.5)
+        assert plan.faulty_nodes() == {"n1"}
+        assert plan.behavior_for("n1").probability == 0.5
+
+    def test_commission_nodes_plan(self):
+        plan = commission_nodes(["a", "b"], 0.7)
+        assert plan.faulty_nodes() == {"a", "b"}
+
+    def test_slow_node_not_faulty(self):
+        assert slow_node("n1").faulty_nodes() == set()
+
+    def test_combined_merges(self):
+        plan = combined(single_commission("a"), single_omission("b"))
+        assert plan.faulty_nodes() == {"a", "b"}
+
+    def test_combined_rejects_conflicts(self):
+        with pytest.raises(FaultInjectionError):
+            combined(single_commission("a"), single_omission("a"))
+
+    def test_describe(self):
+        assert no_faults().describe() == "no faults"
+        assert "n1" in single_commission("n1").describe()

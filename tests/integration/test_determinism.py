@@ -1,0 +1,91 @@
+"""Cross-configuration determinism properties.
+
+The entire verification scheme rests on correct executions being
+bit-reproducible: the same script over the same data must produce the
+same output multiset — and the same digests — regardless of cluster
+size, scheduler, block size, or combining.  Hypothesis sweeps data;
+the fixtures sweep configurations.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ClusterConfig, CostModelConfig
+from repro.common.hashing import digest_of
+from repro.common.records import records_from_rows
+from repro.compiler.mr_compiler import CompileOptions, compile_plan
+from repro.dataflow.piglatin import parse_script
+from repro.faults.injection import FaultPlan
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.engine import JobRun, MapReduceEngine
+from repro.mapreduce.scheduler import ClusterBFTScheduler, NaiveScheduler
+from repro.simulation.events import EventLoop
+from repro.storage.dfs import TrustedDFS
+
+SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+B = FILTER A BY v IS NOT NULL;
+G = GROUP B BY k;
+C = FOREACH G GENERATE group AS k, COUNT(B) AS n, SUM(B.v) AS s;
+STORE C INTO 'out';
+"""
+
+
+def execute(rows, nodes=4, slots=2, block_bytes=512, reducers=3,
+            scheduler=None, combiners=True, seed=0):
+    loop = EventLoop()
+    dfs = TrustedDFS(block_bytes=block_bytes)
+    cluster = Cluster(
+        ClusterConfig(num_nodes=nodes, slots_per_node=slots, heartbeat_period=0.5),
+        FaultPlan(),
+    )
+    dfs.set_placement_nodes(cluster.node_ids())
+    engine = MapReduceEngine(
+        loop, dfs, cluster, scheduler or NaiveScheduler(), CostModelConfig(),
+        random.Random(seed),
+    )
+    dfs.write_file("in", records_from_rows(rows))
+    graph = compile_plan(
+        parse_script(SCRIPT),
+        CompileOptions(num_reducers=reducers, enable_combiners=combiners),
+    )
+    run = JobRun("j", "s", 0, graph.jobs[0], {"out": "r/out"}, scope="x")
+    engine.submit(run)
+    loop.run_until_idle()
+    return dfs.read("r/out")
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.one_of(st.none(), st.integers(-100, 100)),
+    ),
+    max_size=60,
+)
+
+
+class TestOutputDeterminism:
+    @given(rows_strategy)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_output_digest_invariant_to_cluster_shape(self, rows):
+        """Same data → same output digest across node counts, block
+        sizes, schedulers, and engine seeds."""
+        reference = digest_of(execute(rows))
+        variants = [
+            execute(rows, nodes=8, slots=3),
+            execute(rows, block_bytes=64),
+            execute(rows, scheduler=ClusterBFTScheduler(), seed=99),
+            execute(rows, reducers=1),
+        ]
+        for variant in variants:
+            assert digest_of(variant).value == reference.value
+
+    @given(rows_strategy)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_combining_is_digest_invisible(self, rows):
+        """Map-side combining must never change what the digests see."""
+        combined = execute(rows, combiners=True)
+        plain = execute(rows, combiners=False)
+        assert digest_of(combined).value == digest_of(plain).value

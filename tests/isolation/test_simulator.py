@@ -1,0 +1,124 @@
+"""Tests for the §6.3 fault-isolation simulator."""
+
+import pytest
+
+from repro.isolation.simulator import (
+    RATIO_R1,
+    RATIO_R2,
+    SLOT_RANGES,
+    IsolationSimulator,
+    jobs_to_isolation,
+)
+
+
+class TestAllocation:
+    def test_replicas_on_disjoint_nodes(self):
+        sim = IsolationSimulator(f=1, num_nodes=100, seed=1)
+        sim.step()
+        for job in sim.active_jobs:
+            seen = set()
+            for replica in job.replicas:
+                assert len(replica) == job.slots
+                assert not (replica & seen)
+                seen |= replica
+
+    def test_slot_accounting_balances(self):
+        sim = IsolationSimulator(f=1, num_nodes=100, seed=2)
+        for _ in range(20):
+            sim.step()
+        used = sum(
+            len(replica) for job in sim.active_jobs for replica in job.replicas
+        )
+        free = sum(sim.free_slots.values())
+        assert used + free == 100 * 3
+        assert all(v >= 0 for v in sim.free_slots.values())
+
+    def test_job_sizes_in_category_ranges(self):
+        sim = IsolationSimulator(f=1, seed=3)
+        sim.step()
+        for job in sim.active_jobs:
+            lo, hi = SLOT_RANGES[job.category]
+            assert lo <= job.slots <= hi
+
+    def test_replica_count_follows_f(self):
+        assert IsolationSimulator(f=1).replicas == 4
+        assert IsolationSimulator(f=2).replicas == 7
+
+    def test_f_must_be_positive(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            IsolationSimulator(f=0)
+
+
+class TestIsolation:
+    def test_high_probability_isolates_exactly(self):
+        sim = IsolationSimulator(f=1, commission_probability=0.9, seed=4)
+        stats = sim.run(max_time=150)
+        assert stats.jobs_at_saturation is not None
+        assert stats.exact_isolation
+
+    def test_f2_isolates_both_faults(self):
+        sim = IsolationSimulator(f=2, commission_probability=0.9, seed=5)
+        stats = sim.run(max_time=250)
+        assert set(stats.isolated_faults) == stats.true_faulty
+
+    def test_suspects_stop_growing_after_saturation(self):
+        sim = IsolationSimulator(f=1, commission_probability=0.8, seed=6)
+        stats = sim.run(max_time=120)
+        assert stats.saturation_time is not None
+        post = [p.suspects for p in stats.timeline if p.time > stats.saturation_time]
+        assert post and max(post) == post[0]
+
+    def test_only_faulty_nodes_stay_high(self):
+        sim = IsolationSimulator(f=1, commission_probability=0.8, seed=7)
+        stats = sim.run(max_time=150)
+        final = stats.timeline[-1]
+        assert final.high == len(stats.true_faulty)
+
+    def test_zero_probability_never_saturates(self):
+        sim = IsolationSimulator(f=1, commission_probability=0.0, seed=8)
+        stats = sim.run(max_time=50)
+        assert stats.jobs_at_saturation is None
+        assert stats.final_suspects == set()
+
+
+class TestFig11Shape:
+    def test_jobs_to_isolation_decreases_with_probability(self):
+        low = jobs_to_isolation(1, RATIO_R1, 0.2, trials=3, max_time=300)
+        high = jobs_to_isolation(1, RATIO_R1, 0.9, trials=3, max_time=300)
+        assert high < low
+
+    def test_under_20_jobs_at_p06(self):
+        """Paper: "If a node produces commission faults with probability
+        of .6 or more, less than 20 jobs are required to isolate"."""
+        jobs = jobs_to_isolation(1, RATIO_R1, 0.6, trials=5, max_time=300)
+        assert jobs < 20
+
+    def test_f2_needs_more_jobs_than_f1(self):
+        f1 = jobs_to_isolation(1, RATIO_R1, 0.3, trials=3, max_time=400)
+        f2 = jobs_to_isolation(2, RATIO_R1, 0.3, trials=3, max_time=400)
+        assert f2 > f1
+
+    def test_ratios_both_work(self):
+        for ratio in (RATIO_R1, RATIO_R2):
+            jobs = jobs_to_isolation(1, ratio, 0.8, trials=2, max_time=300)
+            assert jobs < 40
+
+
+class TestTimeline:
+    def test_timeline_monotone_time_and_jobs(self):
+        sim = IsolationSimulator(f=1, commission_probability=0.5, seed=9)
+        stats = sim.run(max_time=60)
+        times = [p.time for p in stats.timeline]
+        jobs = [p.jobs_completed for p in stats.timeline]
+        assert times == sorted(times)
+        assert jobs == sorted(jobs)
+
+    def test_band_counts_cover_known_nodes(self):
+        sim = IsolationSimulator(f=1, commission_probability=0.8, seed=10)
+        stats = sim.run(max_time=60)
+        last = stats.timeline[-1]
+        assert last.none + last.low + last.med + last.high == len(
+            sim.suspicion.nodes
+        )

@@ -1,0 +1,77 @@
+"""Tests for allocation strategies and edge configurations of the
+isolation simulator."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isolation.simulator import IsolationSimulator
+
+
+class TestOverlapStrategies:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SimulationError):
+            IsolationSimulator(f=1, overlap_strategy="diagonal")
+
+    def test_overlap_creates_more_intersections(self):
+        """Count distinct jobs per node: the overlap policy packs more
+        jobs onto busy nodes than spreading does."""
+
+        def jobs_per_busy_node(strategy):
+            sim = IsolationSimulator(
+                f=1, overlap_strategy=strategy, seed=3, num_nodes=120
+            )
+            for _ in range(3):
+                sim.step()
+            node_jobs: dict = {}
+            for job in sim.active_jobs:
+                for replica in job.replicas:
+                    for node in replica:
+                        node_jobs.setdefault(node, set()).add(job.job_id)
+            counts = [len(v) for v in node_jobs.values()]
+            return max(counts), len(node_jobs)
+
+        overlap_max, overlap_nodes = jobs_per_busy_node("overlap")
+        spread_max, spread_nodes = jobs_per_busy_node("spread")
+        # Spreading touches at least as many distinct nodes; overlapping
+        # stacks more distinct jobs on its busiest node.
+        assert spread_nodes >= overlap_nodes
+        assert overlap_max >= spread_max
+
+    def test_both_strategies_isolate_eventually(self):
+        for strategy in ("overlap", "spread"):
+            sim = IsolationSimulator(
+                f=1,
+                commission_probability=0.8,
+                overlap_strategy=strategy,
+                seed=4,
+            )
+            stats = sim.run(max_time=200, stop_at_saturation=False)
+            assert stats.jobs_at_saturation is not None, strategy
+
+
+class TestEdgeConfigurations:
+    def test_more_faulty_nodes_than_f(self):
+        """num_faulty can exceed f to stress the analyzer's assumption."""
+        sim = IsolationSimulator(f=1, num_faulty=2, commission_probability=0.9, seed=5)
+        stats = sim.run(max_time=80)
+        assert len(stats.true_faulty) == 2
+
+    def test_custom_replica_count(self):
+        sim = IsolationSimulator(f=1, replicas=6)
+        sim.step()
+        for job in sim.active_jobs:
+            assert len(job.replicas) == 6
+
+    def test_tiny_cluster_jobs_queue(self):
+        """When the cluster cannot fit a job's replicas, allocation backs
+        off instead of overcommitting slots."""
+        sim = IsolationSimulator(f=1, num_nodes=25, seed=6)
+        for _ in range(10):
+            sim.step()
+            assert all(v >= 0 for v in sim.free_slots.values())
+
+    def test_stop_at_saturation_short_circuits(self):
+        sim = IsolationSimulator(f=1, commission_probability=1.0, seed=7)
+        stats = sim.run(max_time=500, stop_at_saturation=True)
+        assert stats.saturation_time is not None
+        assert stats.timeline[-1].time <= stats.saturation_time + 1

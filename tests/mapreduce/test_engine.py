@@ -1,0 +1,245 @@
+"""Tests for the heartbeat-driven MapReduce engine."""
+
+import random
+
+import pytest
+
+from repro.common.config import ClusterConfig, CostModelConfig
+from repro.common.errors import MapReduceError
+from repro.common.records import records_from_rows
+from repro.compiler.mr_compiler import CompileOptions, compile_plan
+from repro.dataflow.interpreter import interpret
+from repro.dataflow.piglatin import parse_script
+from repro.faults.injection import FaultPlan, single_commission, single_omission
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.engine import DigestReport, JobRun, MapReduceEngine
+from repro.mapreduce.scheduler import ClusterBFTScheduler, NaiveScheduler
+from repro.simulation.events import EventLoop
+from repro.storage.dfs import TrustedDFS
+
+SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+G = GROUP A BY k;
+C = FOREACH G GENERATE group AS k, COUNT(A) AS n;
+STORE C INTO 'out';
+"""
+
+ROWS = [(i % 5, i) for i in range(100)]
+
+
+def build_engine(fault_plan=None, nodes=6, scheduler=None, heartbeat=0.5):
+    loop = EventLoop()
+    dfs = TrustedDFS(block_bytes=512)
+    cluster = Cluster(
+        ClusterConfig(num_nodes=nodes, slots_per_node=2, heartbeat_period=heartbeat),
+        fault_plan or FaultPlan(),
+    )
+    dfs.set_placement_nodes(cluster.node_ids())
+    engine = MapReduceEngine(
+        loop, dfs, cluster, scheduler or NaiveScheduler(), CostModelConfig(), random.Random(7)
+    )
+    return loop, dfs, cluster, engine
+
+
+def run_graph(engine, loop, dfs, graph, replica=0, sid="s0", digest_sink=None,
+              total_replicas=1, prefix=""):
+    """Submit all jobs of a graph for one replica, respecting deps."""
+    done, submitted = set(), set()
+    deps = graph.dependencies()
+    internal = graph.internal_paths()
+    runs = []
+
+    def submit_ready():
+        for i in graph.topological_order():
+            if i in submitted or not deps[i] <= done:
+                continue
+            spec = graph.jobs[i]
+            path_map = {
+                p: f"{prefix}{p}" for p in list(spec.input_paths()) + [spec.output_path]
+                if p in internal
+            }
+            run = JobRun(
+                job_id=f"{sid}-j{i}-r{replica}",
+                sid=f"{sid}-j{i}",
+                replica=replica,
+                spec=spec,
+                path_map=path_map,
+                scope=f"{sid}-r{replica}",
+                digest_sink=digest_sink,
+                on_complete=lambda r, i=i: (done.add(i), submit_ready()),
+                total_replicas=total_replicas,
+            )
+            submitted.add(i)
+            runs.append(run)
+            engine.submit(run)
+
+    submit_ready()
+    return runs
+
+
+class TestExecution:
+    def test_matches_interpreter(self):
+        loop, dfs, cluster, engine = build_engine()
+        records = records_from_rows(ROWS)
+        dfs.write_file("in", records)
+        plan = parse_script(SCRIPT)
+        graph = compile_plan(plan, CompileOptions(num_reducers=3))
+        run_graph(engine, loop, dfs, graph, prefix="r0/")
+        loop.run_until_idle()
+        expected = interpret(plan.clone(), inputs={"in": records})["out"]
+        # File order differs (engine emits per reduce partition; the
+        # interpreter per global key order) — the relation is unordered,
+        # so compare as multisets.
+        assert sorted(r.fields for r in dfs.read("r0/out")) == sorted(
+            r.fields for r in expected
+        )
+
+    def test_map_only_job(self):
+        loop, dfs, cluster, engine = build_engine()
+        dfs.write_file("in", records_from_rows(ROWS))
+        graph = compile_plan(
+            parse_script("A = LOAD 'in' AS (k:int, v:int);\nB = FILTER A BY v > 50;\nSTORE B INTO 'out';")
+        )
+        run_graph(engine, loop, dfs, graph, prefix="r0/")
+        loop.run_until_idle()
+        assert all(r[1] > 50 for r in dfs.read("r0/out"))
+
+    def test_empty_input_completes(self):
+        loop, dfs, cluster, engine = build_engine()
+        dfs.write_file("in", [])
+        graph = compile_plan(
+            parse_script("A = LOAD 'in' AS (k:int);\nB = FILTER A BY k > 0;\nSTORE B INTO 'out';")
+        )
+        runs = run_graph(engine, loop, dfs, graph, prefix="r0/")
+        loop.run_until_idle()
+        assert runs[0].state == "done"
+        assert dfs.read("r0/out") == []
+
+    def test_missing_input_rejected(self):
+        loop, dfs, cluster, engine = build_engine()
+        graph = compile_plan(
+            parse_script("A = LOAD 'ghost' AS (k:int);\nB = FILTER A BY k > 0;\nSTORE B INTO 'out';")
+        )
+        with pytest.raises(MapReduceError):
+            run_graph(engine, loop, dfs, graph)
+
+    def test_metrics_populated(self):
+        loop, dfs, cluster, engine = build_engine()
+        dfs.write_file("in", records_from_rows(ROWS))
+        graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=2))
+        runs = run_graph(engine, loop, dfs, graph, prefix="r0/")
+        loop.run_until_idle()
+        metrics = runs[0].metrics
+        assert metrics.latency > 0
+        assert metrics.cpu_seconds > 0
+        assert metrics.hdfs_read > 0
+        assert metrics.hdfs_write > 0
+        assert metrics.file_write > 0  # map spill
+        assert metrics.file_read > 0  # shuffle
+        assert metrics.map_tasks == len(runs[0].splits)
+        assert metrics.reduce_tasks == 2
+
+    def test_replica_outputs_identical(self):
+        """Two replicas of the same job chain produce byte-identical
+        outputs — the determinism property digests depend on."""
+        loop, dfs, cluster, engine = build_engine(nodes=8)
+        dfs.write_file("in", records_from_rows(ROWS))
+        graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=3))
+        run_graph(engine, loop, dfs, graph, replica=0, total_replicas=2, prefix="r0/")
+        run_graph(engine, loop, dfs, graph, replica=1, total_replicas=2, prefix="r1/")
+        loop.run_until_idle()
+        assert dfs.read("r0/out") == dfs.read("r1/out")
+
+
+class TestDigestReports:
+    def test_digests_reach_sink(self):
+        loop, dfs, cluster, engine = build_engine()
+        dfs.write_file("in", records_from_rows(ROWS))
+        plan = parse_script(SCRIPT)
+        from repro.core.instrument import instrument
+
+        instrumented = instrument(plan, [plan.find_by_alias("C")])
+        graph = compile_plan(instrumented.plan, CompileOptions(num_reducers=2))
+        reports = []
+        run_graph(engine, loop, dfs, graph, digest_sink=reports.append, prefix="r0/")
+        loop.run_until_idle()
+        assert reports
+        assert all(isinstance(r, DigestReport) for r in reports)
+        labels = {r.task_label for r in reports}
+        assert labels == {"r0", "r1"}  # one per reduce partition
+
+    def test_replicas_produce_matching_digests(self):
+        loop, dfs, cluster, engine = build_engine(nodes=8)
+        dfs.write_file("in", records_from_rows(ROWS))
+        plan = parse_script(SCRIPT)
+        from repro.core.instrument import instrument
+
+        instrumented = instrument(plan, [plan.find_by_alias("C")])
+        graph = compile_plan(instrumented.plan, CompileOptions(num_reducers=2))
+        reports = []
+        for replica in (0, 1):
+            run_graph(
+                engine, loop, dfs, graph, replica=replica, total_replicas=2,
+                digest_sink=reports.append, prefix=f"r{replica}/",
+            )
+        loop.run_until_idle()
+        by_key = {}
+        for report in reports:
+            key = (report.vp_id, report.task_label)
+            by_key.setdefault(key, set()).add(
+                tuple(d.value for d in report.digests)
+            )
+        assert by_key
+        for key, variants in by_key.items():
+            assert len(variants) == 1, f"replica digests diverged at {key}"
+
+
+class TestFaults:
+    def test_commission_node_changes_output(self):
+        records = records_from_rows(ROWS)
+        outputs = {}
+        for label, plan in (
+            ("clean", None),
+            ("dirty", single_commission("node_0000")),
+        ):
+            loop, dfs, cluster, engine = build_engine(fault_plan=plan, nodes=2)
+            dfs.write_file("in", records)
+            graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=2))
+            run_graph(engine, loop, dfs, graph, prefix="r0/")
+            loop.run_until_idle()
+            outputs[label] = dfs.read("r0/out")
+        assert outputs["clean"] != outputs["dirty"]
+
+    def test_omission_node_stalls_job(self):
+        loop, dfs, cluster, engine = build_engine(
+            fault_plan=single_omission("node_0000"), nodes=1
+        )
+        dfs.write_file("in", records_from_rows(ROWS))
+        graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=1))
+        runs = run_graph(engine, loop, dfs, graph, prefix="r0/")
+        loop.run_until(50.0)
+        assert runs[0].state != "done"
+        assert runs[0].has_omitted_task()
+
+    def test_cancel_stops_run(self):
+        loop, dfs, cluster, engine = build_engine()
+        dfs.write_file("in", records_from_rows(ROWS))
+        graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=2))
+        runs = run_graph(engine, loop, dfs, graph, prefix="r0/")
+        engine.cancel(runs[0])
+        loop.run_until_idle()
+        assert runs[0].state != "done"
+        assert not dfs.exists("r0/out")
+
+    def test_slow_node_inflates_duration(self):
+        from repro.faults.injection import slow_node
+
+        latencies = {}
+        for label, plan in (("fast", None), ("slow", slow_node("node_0000", 20.0))):
+            loop, dfs, cluster, engine = build_engine(fault_plan=plan, nodes=1)
+            dfs.write_file("in", records_from_rows(ROWS))
+            graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=1))
+            runs = run_graph(engine, loop, dfs, graph, prefix="r0/")
+            loop.run_until_idle()
+            latencies[label] = runs[-1].metrics.latency
+        assert latencies["slow"] > 5 * latencies["fast"]

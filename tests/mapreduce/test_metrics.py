@@ -1,0 +1,57 @@
+"""Tests for job/run metrics aggregation and Table-3-style ratios."""
+
+import pytest
+
+from repro.mapreduce.metrics import JobMetrics, RunMetrics, TaskMetrics
+
+
+class TestJobMetrics:
+    def test_absorb_task_accumulates(self):
+        job = JobMetrics(job_id="j")
+        job.absorb_task(
+            TaskMetrics(kind="map", hdfs_read=100, file_write=50, cpu_seconds=1.0)
+        )
+        job.absorb_task(
+            TaskMetrics(kind="reduce", file_read=50, hdfs_write=30, cpu_seconds=0.5)
+        )
+        assert job.hdfs_read == 100
+        assert job.hdfs_write == 30
+        assert job.file_write == 50 and job.file_read == 50
+        assert job.cpu_seconds == 1.5
+        assert job.map_tasks == 1 and job.reduce_tasks == 1
+
+    def test_latency_from_timestamps(self):
+        job = JobMetrics(submitted_at=2.0, finished_at=5.5)
+        assert job.latency == 3.5
+
+    def test_latency_never_negative(self):
+        assert JobMetrics(submitted_at=5.0, finished_at=0.0).latency == 0.0
+
+
+class TestRunMetrics:
+    def test_absorb_job(self):
+        run = RunMetrics()
+        job = JobMetrics(hdfs_write=10, cpu_seconds=2.0)
+        run.absorb_job(job)
+        run.absorb_job(job)
+        assert run.hdfs_write == 20
+        assert run.cpu_seconds == 4.0
+        assert run.jobs == 2
+
+    def test_ratios_over_baseline(self):
+        baseline = RunMetrics(
+            latency=10.0, cpu_seconds=5.0, file_read=100, file_write=100, hdfs_write=50
+        )
+        ours = RunMetrics(
+            latency=11.0, cpu_seconds=20.0, file_read=400, file_write=400, hdfs_write=200
+        )
+        ratios = ours.ratios_over(baseline)
+        assert ratios["latency"] == pytest.approx(1.1)
+        assert ratios["cpu"] == pytest.approx(4.0)
+        assert ratios["file_read"] == pytest.approx(4.0)
+        assert ratios["hdfs_write"] == pytest.approx(4.0)
+
+    def test_ratio_with_zero_baseline_is_inf(self):
+        assert RunMetrics(latency=1.0).ratios_over(RunMetrics())["latency"] == float(
+            "inf"
+        )

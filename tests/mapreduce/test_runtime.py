@@ -1,0 +1,184 @@
+"""Tests for the task data-path (map/reduce execution, taps, corruption)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.records import Record, records_from_rows
+from repro.compiler.jobspec import JobSpec, MapBranch, PipelineOp
+from repro.dataflow import expressions as ex
+from repro.dataflow.operators import FilterOp, ForeachOp, GroupOp, Projection, VerifyOp
+from repro.dataflow.schema import INT, Schema
+from repro.faults.behaviors import CORRECT, CommissionBehavior
+from repro.mapreduce.runtime import (
+    execute_map_task,
+    execute_reduce_task,
+    partition_for,
+    run_pipeline,
+)
+
+EDGES = Schema.of(("user", INT), ("follower", INT))
+
+
+def group_spec(num_reducers=3, pipeline=None, reduce_pipeline=None):
+    return JobSpec(
+        name="j",
+        branches=[MapBranch("in", 0, pipeline or [])],
+        blocking=GroupOp([ex.field("user")], bag_name="A"),
+        blocking_input_schemas=[EDGES],
+        reduce_pipeline=reduce_pipeline or [],
+        output_path="out",
+        num_reducers=num_reducers,
+    )
+
+
+class TestPartitioner:
+    @given(st.integers(-(10**9), 10**9), st.integers(1, 64))
+    @settings(max_examples=100)
+    def test_partition_in_range(self, key, reducers):
+        assert 0 <= partition_for(key, reducers) < reducers
+
+    def test_partition_deterministic(self):
+        assert partition_for("abc", 7) == partition_for("abc", 7)
+
+    def test_tuple_and_scalar_keys_supported(self):
+        partition_for((1, "x"), 4)
+        partition_for(None, 4)
+
+    def test_spread_over_reducers(self):
+        parts = {partition_for(i, 8) for i in range(1000)}
+        assert parts == set(range(8))
+
+
+class TestRunPipeline:
+    def test_streams_through_operators(self):
+        pipeline = [
+            PipelineOp(FilterOp(ex.gt(ex.field("user"), ex.lit(1))), EDGES),
+            PipelineOp(
+                ForeachOp([Projection(ex.field("user"), "u")]), EDGES
+            ),
+        ]
+        records = records_from_rows([(1, 2), (5, 6)])
+        out, taps = run_pipeline(records, pipeline)
+        assert out == [Record((5,))]
+        assert taps == []
+
+    def test_tap_observes_stream_at_its_position(self):
+        pipeline = [
+            PipelineOp(VerifyOp("before"), EDGES),
+            PipelineOp(FilterOp(ex.gt(ex.field("user"), ex.lit(1))), EDGES),
+            PipelineOp(VerifyOp("after"), EDGES),
+        ]
+        records = records_from_rows([(1, 2), (5, 6)])
+        out, taps = run_pipeline(records, pipeline)
+        by_id = {t.vp_id: t for t in taps}
+        assert by_id["before"].record_count == 2
+        assert by_id["after"].record_count == 1
+        assert len(out) == 1
+
+    def test_tap_digest_is_order_independent(self):
+        pipeline = [PipelineOp(VerifyOp("vp"), EDGES)]
+        records = records_from_rows([(1, 2), (3, 4), (5, 6)])
+        _, taps_fwd = run_pipeline(records, pipeline)
+        _, taps_rev = run_pipeline(records[::-1], pipeline)
+        assert [d.value for d in taps_fwd[0].digests] == [
+            d.value for d in taps_rev[0].digests
+        ]
+
+    def test_chunked_tap_digests_stable_across_order(self):
+        pipeline = [PipelineOp(VerifyOp("vp", chunk_records=2), EDGES)]
+        records = records_from_rows([(i, i) for i in range(7)])
+        _, fwd = run_pipeline(records, pipeline)
+        _, rev = run_pipeline(records[::-1], pipeline)
+        assert [d.value for d in fwd[0].digests] == [d.value for d in rev[0].digests]
+        assert len(fwd[0].digests) == 4  # 3 chunks + final
+
+
+class TestMapTask:
+    def test_map_only_emits_records(self):
+        spec = JobSpec(
+            name="m",
+            branches=[
+                MapBranch(
+                    "in",
+                    0,
+                    [PipelineOp(FilterOp(ex.gt(ex.field("user"), ex.lit(2))), EDGES)],
+                )
+            ],
+            blocking=None,
+            output_path="out",
+            num_reducers=0,
+        )
+        records = records_from_rows([(1, 1), (5, 5)])
+        out = execute_map_task(spec, 0, records, 100, CORRECT, random.Random(0))
+        assert out.output_records == [Record((5, 5))]
+        assert out.partitions == {}
+        assert out.records_in == 2 and out.records_out == 1
+
+    def test_shuffle_partitions_by_key(self):
+        spec = group_spec(num_reducers=4)
+        records = records_from_rows([(i, i) for i in range(20)])
+        out = execute_map_task(spec, 0, records, 100, CORRECT, random.Random(0))
+        total = sum(len(v) for v in out.partitions.values())
+        assert total == 20
+        for part, keyed in out.partitions.items():
+            for key, tag, record in keyed:
+                assert partition_for(key, 4) == part
+                assert tag == 0 and key == record[0]
+
+    def test_commission_behavior_corrupts_stream(self):
+        spec = group_spec()
+        records = records_from_rows([(i, i) for i in range(10)])
+        clean = execute_map_task(spec, 0, records, 100, CORRECT, random.Random(0))
+        dirty = execute_map_task(
+            spec, 0, records, 100, CommissionBehavior(probability=1.0), random.Random(0)
+        )
+        clean_keys = sorted(
+            str(k) for keyed in clean.partitions.values() for k, _, _ in keyed
+        )
+        dirty_keys = sorted(
+            str(k) for keyed in dirty.partitions.values() for k, _, _ in keyed
+        )
+        assert clean_keys != dirty_keys
+
+
+class TestReduceTask:
+    def test_groups_and_reduces_sorted_by_key(self):
+        spec = group_spec(reduce_pipeline=[])
+        keyed = [(2, 0, Record((2, 9))), (1, 0, Record((1, 8))), (1, 0, Record((1, 7)))]
+        out = execute_reduce_task(spec, keyed, CORRECT, random.Random(0))
+        assert [r[0] for r in out.output_records] == [1, 2]
+        bag = out.output_records[0][1]
+        assert len(bag) == 2
+
+    def test_reduce_output_independent_of_arrival_order(self):
+        spec = group_spec()
+        keyed = [(k, 0, Record((k, v))) for k, v in [(1, 1), (2, 2), (1, 3)]]
+        a = execute_reduce_task(spec, keyed, CORRECT, random.Random(0))
+        b = execute_reduce_task(spec, keyed[::-1], CORRECT, random.Random(0))
+        assert a.output_records == b.output_records
+
+    def test_fused_limit_slices_output(self):
+        spec = group_spec()
+        spec.fused_limit = 1
+        keyed = [(k, 0, Record((k, k))) for k in range(5)]
+        out = execute_reduce_task(spec, keyed, CORRECT, random.Random(0))
+        assert len(out.output_records) == 1
+
+    def test_reduce_pipeline_and_taps(self):
+        schema = Schema.of(("group", INT), ("A", "bag"))
+        spec = group_spec(
+            reduce_pipeline=[PipelineOp(VerifyOp("vp"), schema)]
+        )
+        keyed = [(1, 0, Record((1, 1)))]
+        out = execute_reduce_task(spec, keyed, CORRECT, random.Random(0))
+        assert len(out.taps) == 1
+        assert out.taps[0].record_count == 1
+
+    def test_empty_partition_still_digests(self):
+        schema = Schema.of(("group", INT), ("A", "bag"))
+        spec = group_spec(reduce_pipeline=[PipelineOp(VerifyOp("vp"), schema)])
+        out = execute_reduce_task(spec, [], CORRECT, random.Random(0))
+        assert out.taps[0].record_count == 0
+        assert len(out.taps[0].digests) == 1

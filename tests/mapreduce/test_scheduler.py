@@ -1,0 +1,123 @@
+"""Tests for the replica-aware scheduler — the safety property of §5.3."""
+
+import random
+
+from repro.common.config import ClusterConfig, CostModelConfig
+from repro.common.records import records_from_rows
+from repro.compiler.mr_compiler import CompileOptions, compile_plan
+from repro.dataflow.piglatin import parse_script
+from repro.faults.injection import FaultPlan
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.engine import JobRun, MapReduceEngine
+from repro.mapreduce.scheduler import ClusterBFTScheduler, NaiveScheduler
+from repro.simulation.events import EventLoop
+from repro.storage.dfs import TrustedDFS
+
+SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+G = GROUP A BY k;
+C = FOREACH G GENERATE group AS k, COUNT(A) AS n;
+STORE C INTO 'out';
+"""
+
+
+def run_replicated(scheduler, replicas=3, nodes=9):
+    loop = EventLoop()
+    dfs = TrustedDFS(block_bytes=256)
+    cluster = Cluster(
+        ClusterConfig(num_nodes=nodes, slots_per_node=3, heartbeat_period=0.5),
+        FaultPlan(),
+    )
+    dfs.set_placement_nodes(cluster.node_ids())
+    engine = MapReduceEngine(
+        loop, dfs, cluster, scheduler, CostModelConfig(), random.Random(3)
+    )
+    dfs.write_file("in", records_from_rows([(i % 7, i) for i in range(200)]))
+    graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=3))
+    runs = []
+    for replica in range(replicas):
+        run = JobRun(
+            job_id=f"j-r{replica}",
+            sid="sid0",
+            replica=replica,
+            spec=graph.jobs[0],
+            path_map={"out": f"r{replica}/out"},
+            scope=f"r{replica}",
+            total_replicas=replicas,
+        )
+        runs.append(run)
+        engine.submit(run)
+    loop.run_until_idle()
+    return runs
+
+
+class TestAntiCollocation:
+    def test_no_node_serves_two_replicas_of_one_sid(self):
+        runs = run_replicated(ClusterBFTScheduler())
+        assert all(run.state == "done" for run in runs)
+        node_to_replicas: dict = {}
+        for run in runs:
+            for node in run.nodes_used:
+                node_to_replicas.setdefault(node, set()).add(run.replica)
+        for node, replicas in node_to_replicas.items():
+            assert len(replicas) == 1, f"{node} served replicas {replicas}"
+
+    def test_all_replicas_complete_despite_partitioning(self):
+        """The static partition must not starve any replica, even when
+        replicas outnumber half the cluster."""
+        runs = run_replicated(ClusterBFTScheduler(), replicas=4, nodes=4)
+        assert all(run.state == "done" for run in runs)
+
+    def test_naive_scheduler_collocates(self):
+        """The ablation baseline violates the safety property — one node
+        serves tasks of several replicas of the same sid."""
+        runs = run_replicated(NaiveScheduler(), replicas=3, nodes=3)
+        node_to_replicas: dict = {}
+        for run in runs:
+            for node in run.nodes_used:
+                node_to_replicas.setdefault(node, set()).add(run.replica)
+        assert any(len(replicas) > 1 for replicas in node_to_replicas.values())
+
+    def test_replica_outputs_identical_under_bft_scheduler(self):
+        runs = run_replicated(ClusterBFTScheduler())
+        # nodes differ, outputs must not
+        metrics = [run.metrics.records_out for run in runs]
+        assert len(set(metrics)) == 1
+
+
+class TestOverlap:
+    def test_different_jobs_share_nodes(self):
+        """Overlap strategy: two different sids do land on common nodes
+        (that is what fault isolation exploits)."""
+        loop = EventLoop()
+        dfs = TrustedDFS(block_bytes=256)
+        cluster = Cluster(
+            ClusterConfig(num_nodes=4, slots_per_node=3, heartbeat_period=0.5),
+            FaultPlan(),
+        )
+        dfs.set_placement_nodes(cluster.node_ids())
+        engine = MapReduceEngine(
+            loop, dfs, cluster, ClusterBFTScheduler(), CostModelConfig(), random.Random(3)
+        )
+        dfs.write_file("in", records_from_rows([(i % 7, i) for i in range(200)]))
+        graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=3))
+        runs = []
+        for sid in ("sidA", "sidB"):
+            run = JobRun(
+                job_id=f"{sid}-r0",
+                sid=sid,
+                replica=0,
+                spec=graph.jobs[0],
+                path_map={"out": f"{sid}/out"},
+                scope=sid,
+                total_replicas=1,
+            )
+            runs.append(run)
+            engine.submit(run)
+        loop.run_until_idle()
+        assert runs[0].nodes_used & runs[1].nodes_used
+
+    def test_node_ordinal_parses_standard_ids(self):
+        scheduler = ClusterBFTScheduler()
+        assert scheduler._node_ordinal("node_0013") == 13
+        assert scheduler._node_ordinal("weird") >= 0

@@ -1,0 +1,97 @@
+"""Tests for speculative execution (straggler backup attempts)."""
+
+import random
+
+from repro.common.config import ClusterConfig, CostModelConfig
+from repro.common.records import records_from_rows
+from repro.compiler.mr_compiler import CompileOptions, compile_plan
+from repro.dataflow.piglatin import parse_script
+from repro.faults.injection import FaultPlan, single_omission, slow_node
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.engine import JobRun, MapReduceEngine
+from repro.mapreduce.scheduler import NaiveScheduler
+from repro.simulation.events import EventLoop
+from repro.storage.dfs import TrustedDFS
+
+SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+G = GROUP A BY k;
+C = FOREACH G GENERATE group AS k, COUNT(A) AS n;
+STORE C INTO 'out';
+"""
+
+ROWS = [(i % 5, i) for i in range(400)]
+
+
+def build(fault_plan=None, speculative=True, nodes=6):
+    loop = EventLoop()
+    dfs = TrustedDFS(block_bytes=512)
+    cluster = Cluster(
+        ClusterConfig(
+            num_nodes=nodes,
+            slots_per_node=2,
+            heartbeat_period=0.5,
+            speculative_execution=speculative,
+        ),
+        fault_plan or FaultPlan(),
+    )
+    dfs.set_placement_nodes(cluster.node_ids())
+    engine = MapReduceEngine(
+        loop, dfs, cluster, NaiveScheduler(), CostModelConfig(), random.Random(2)
+    )
+    dfs.write_file("in", records_from_rows(ROWS))
+    graph = compile_plan(
+        parse_script(SCRIPT),
+        CompileOptions(num_reducers=2, enable_combiners=False),
+    )
+    run = JobRun("j", "s", 0, graph.jobs[0], {"out": "r/out"}, scope="x")
+    engine.submit(run)
+    return loop, dfs, run
+
+
+class TestSpeculation:
+    def test_slow_node_backed_up(self):
+        fast_loop, fast_dfs, fast_run = build(speculative=False)
+        fast_loop.run_until_idle()
+        baseline = fast_run.metrics.latency
+
+        slow_plan = slow_node("node_0000", factor=40.0)
+        loop, dfs, run = build(fault_plan=slow_plan, speculative=True)
+        loop.run_until(baseline * 10)
+        assert run.state == "done"
+        assert run.speculative_attempts >= 1
+        assert run.metrics.latency < baseline * 6  # vs 40x without backup
+        assert sorted(r.fields for r in dfs.read("r/out")) == sorted(
+            r.fields for r in fast_dfs.read("r/out")
+        )
+
+    def test_without_speculation_slow_node_dominates(self):
+        slow_plan = slow_node("node_0000", factor=40.0)
+        loop, dfs, run = build(fault_plan=slow_plan, speculative=False)
+        loop.run_until_idle()
+        assert run.speculative_attempts == 0
+        assert run.metrics.latency > 30.0
+
+    def test_omitted_task_rescued(self):
+        """Speculation even rescues a silently hung (omission) attempt."""
+        plan = single_omission("node_0000", probability=1.0)
+        loop, dfs, run = build(fault_plan=plan, speculative=True)
+        loop.run_until(400.0)
+        assert run.state == "done"
+        assert run.speculative_attempts >= 1
+
+    def test_no_spurious_backups_on_healthy_cluster(self):
+        loop, dfs, run = build(speculative=True)
+        loop.run_until_idle()
+        assert run.state == "done"
+        assert run.speculative_attempts == 0
+
+    def test_backup_and_primary_double_completion_safe(self):
+        """When both attempts finish, only the first counts: metrics and
+        results must not double-absorb."""
+        slow_plan = slow_node("node_0000", factor=3.0)  # slow but finishes
+        loop, dfs, run = build(fault_plan=slow_plan, speculative=True)
+        loop.run_until_idle()
+        assert run.state == "done"
+        total_tasks = run.metrics.map_tasks + run.metrics.reduce_tasks
+        assert total_tasks == len(run.map_states) + len(run.reduce_states)

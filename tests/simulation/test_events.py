@@ -1,0 +1,114 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append("c"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(2.0, lambda: fired.append("b"))
+        loop.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in "abcd":
+            loop.schedule(1.0, lambda n=name: fired.append(n))
+        loop.run_until_idle()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        loop.schedule(5.5, lambda: None)
+        loop.run_until_idle()
+        assert loop.now == 5.5
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: loop.schedule(1.0, lambda: fired.append("inner")))
+        loop.run_until_idle()
+        assert fired == ["inner"]
+        assert loop.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(2.0, lambda: None)
+        loop.run_until_idle()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        loop.run_until_idle()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        keep = loop.schedule(1.0, lambda: None)
+        drop = loop.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert loop.pending() == 1
+        assert not keep.cancelled and drop.cancelled
+
+
+class TestRunModes:
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run_until(2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+        loop.run_until_idle()
+        assert fired == [1, 5]
+
+    def test_run_while_stops_when_condition_false(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.schedule(float(i + 1), lambda i=i: fired.append(i))
+        loop.run_while(lambda: len(fired) < 3)
+        assert fired == [0, 1, 2]
+
+    def test_run_while_stops_when_idle(self):
+        loop = EventLoop()
+        loop.run_while(lambda: True)  # must not hang
+
+    def test_run_until_idle_guards_against_runaway(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule(1.0, reschedule)
+
+        loop.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run_until_idle(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for _ in range(4):
+            loop.schedule(1.0, lambda: None)
+        loop.run_until_idle()
+        assert loop.events_processed == 4

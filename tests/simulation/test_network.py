@@ -1,0 +1,116 @@
+"""Tests for the simulated message network."""
+
+import random
+
+from repro.simulation.events import EventLoop
+from repro.simulation.network import LatencyModel, SimNetwork, partition
+
+
+def make_network(latency=None):
+    loop = EventLoop()
+    return loop, SimNetwork(loop, random.Random(0), latency or LatencyModel())
+
+
+class TestDelivery:
+    def test_message_delivered_to_handler(self):
+        loop, net = make_network()
+        inbox = []
+        net.register("b", lambda sender, msg: inbox.append((sender, msg)))
+        net.send("a", "b", "hello")
+        loop.run_until_idle()
+        assert inbox == [("a", "hello")]
+
+    def test_delivery_is_delayed_by_latency(self):
+        loop, net = make_network(LatencyModel(base=0.5, jitter=0.0))
+        net.register("b", lambda *a: None)
+        net.send("a", "b", "x")
+        loop.run_until_idle()
+        assert loop.now == 0.5
+
+    def test_unknown_receiver_silently_dropped(self):
+        loop, net = make_network()
+        net.send("a", "ghost", "x")
+        loop.run_until_idle()
+        assert net.messages_dropped == 1
+
+    def test_unregister_drops_in_flight(self):
+        loop, net = make_network()
+        inbox = []
+        net.register("b", lambda s, m: inbox.append(m))
+        net.send("a", "b", "x")
+        net.unregister("b")
+        loop.run_until_idle()
+        assert inbox == [] and net.messages_dropped == 1
+
+    def test_broadcast_reaches_everyone(self):
+        loop, net = make_network()
+        inbox = []
+        for name in ("b", "c", "d"):
+            net.register(name, lambda s, m, n=name: inbox.append(n))
+        net.broadcast("a", ["b", "c", "d"], "x")
+        loop.run_until_idle()
+        assert sorted(inbox) == ["b", "c", "d"]
+
+    def test_counters(self):
+        loop, net = make_network()
+        net.register("b", lambda *a: None)
+        net.send("a", "b", "x", size_bytes=100)
+        loop.run_until_idle()
+        assert net.messages_sent == 1
+        assert net.messages_delivered == 1
+        assert net.bytes_sent == 100
+
+
+class TestFilters:
+    def test_filter_blocks_delivery(self):
+        loop, net = make_network()
+        inbox = []
+        net.register("b", lambda s, m: inbox.append(m))
+        net.add_filter(lambda s, r, m: False)
+        net.send("a", "b", "x")
+        loop.run_until_idle()
+        assert inbox == [] and net.messages_dropped == 1
+
+    def test_filter_removal_restores_delivery(self):
+        loop, net = make_network()
+        inbox = []
+        net.register("b", lambda s, m: inbox.append(m))
+        rule = lambda s, r, m: False
+        net.add_filter(rule)
+        net.remove_filter(rule)
+        net.send("a", "b", "x")
+        loop.run_until_idle()
+        assert inbox == ["x"]
+
+    def test_partition_blocks_cross_group(self):
+        loop, net = make_network()
+        inbox = []
+        for name in ("a", "b", "c"):
+            net.register(name, lambda s, m, n=name: inbox.append(n))
+        net.add_filter(partition([{"a", "b"}]))
+        net.send("a", "b", "x")  # within group
+        net.send("a", "c", "x")  # crosses boundary
+        loop.run_until_idle()
+        assert inbox == ["b"]
+
+    def test_partition_allows_outsiders(self):
+        loop, net = make_network()
+        inbox = []
+        net.register("d", lambda s, m: inbox.append(m))
+        net.add_filter(partition([{"a", "b"}]))
+        net.send("c", "d", "x")
+        loop.run_until_idle()
+        assert inbox == ["x"]
+
+
+class TestLatencyModel:
+    def test_jitter_bounds(self):
+        model = LatencyModel(base=1.0, jitter=0.5)
+        rng = random.Random(0)
+        for _ in range(100):
+            sample = model.sample(rng)
+            assert 1.0 <= sample <= 1.5
+
+    def test_no_jitter_is_constant(self):
+        model = LatencyModel(base=0.25, jitter=0.0)
+        assert model.sample(random.Random(0)) == 0.25

@@ -1,0 +1,135 @@
+"""Tests for synthetic workload generators and the paper scripts."""
+
+import random
+
+from repro.common.records import records_from_rows
+from repro.dataflow.interpreter import interpret
+from repro.dataflow.piglatin import parse_script
+from repro.workloads.airline import AIRPORTS, TOP_AIRPORTS, flight_records
+from repro.workloads.twitter import (
+    FOLLOWER_ANALYSIS,
+    TWO_HOP_ANALYSIS,
+    follower_edges,
+)
+from repro.workloads.weather import (
+    AVERAGE_TEMPERATURE,
+    daily_temperatures,
+    station_ids,
+)
+
+
+class TestTwitter:
+    def test_edge_count_and_shape(self):
+        edges = follower_edges(500, num_users=50)
+        assert len(edges) == 500
+        for record in edges:
+            assert 1 <= record[0] <= 50
+            assert record[1] is None or 1 <= record[1] <= 50
+
+    def test_empty_fraction_produces_nulls(self):
+        edges = follower_edges(1000, empty_fraction=0.1)
+        nulls = sum(1 for r in edges if r[1] is None)
+        assert 50 < nulls < 200
+
+    def test_no_self_follows(self):
+        edges = follower_edges(500, num_users=20)
+        assert all(r[0] != r[1] for r in edges if r[1] is not None)
+
+    def test_deterministic_with_same_rng(self):
+        a = follower_edges(100, rng=random.Random(5))
+        b = follower_edges(100, rng=random.Random(5))
+        assert a == b
+
+    def test_popularity_is_skewed(self):
+        edges = follower_edges(5000, num_users=100)
+        counts = {}
+        for record in edges:
+            counts[record[0]] = counts.get(record[0], 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (5000 / 100)
+
+    def test_scripts_parse_and_run(self):
+        edges = follower_edges(300, num_users=30)
+        out = interpret(
+            parse_script(FOLLOWER_ANALYSIS), inputs={"twitter/followers": edges}
+        )
+        counts = out["twitter/follower_counts"]
+        assert sum(r[1] for r in counts) == sum(
+            1 for r in edges if r[1] is not None
+        )
+
+    def test_two_hop_script_semantics(self):
+        edges = records_from_rows([(1, 2), (2, 3)])
+        out = interpret(
+            parse_script(TWO_HOP_ANALYSIS), inputs={"twitter/followers": edges}
+        )
+        # b=(1,2): user 1 is followed by 2; a=(2,3): 2 is followed by 3.
+        # Join a.user == b.follower matches them, emitting
+        # (a::follower=3, b::user=1): 3 is two hops away from 1.
+        pairs = {r.fields for r in out["twitter/two_hop_pairs"]}
+        assert pairs == {(3, 1)}
+
+
+class TestAirline:
+    def test_record_shape(self):
+        records = flight_records(200)
+        assert len(records) == 200
+        for record in records:
+            year, month, day, carrier, origin, dest, dep, arr, cancelled = record
+            assert origin in AIRPORTS and dest in AIRPORTS
+            assert origin != dest
+            assert cancelled in (0, 1)
+            assert 1 <= month <= 12
+
+    def test_hub_skew(self):
+        records = flight_records(5000)
+        counts = {}
+        for record in records:
+            counts[record[4]] = counts.get(record[4], 0) + 1
+        busiest = max(counts.values())
+        assert busiest > 3 * (5000 / len(AIRPORTS))
+
+    def test_top_airports_script(self):
+        records = flight_records(2000)
+        out = interpret(parse_script(TOP_AIRPORTS), inputs={"airline/flights": records})
+        for path in ("airline/top_outbound", "airline/top_inbound", "airline/top_overall"):
+            top = out[path]
+            assert len(top) == 20
+            flights = [r[1] for r in top]
+            assert flights == sorted(flights, reverse=True)
+        # Overall = outbound + inbound per airport.
+        outbound = dict(r.fields for r in out["airline/top_outbound"])
+        inbound = dict(r.fields for r in out["airline/top_inbound"])
+        overall = dict(r.fields for r in out["airline/top_overall"])
+        for airport, total in overall.items():
+            if airport in outbound and airport in inbound:
+                assert total == outbound[airport] + inbound[airport]
+
+
+class TestWeather:
+    def test_station_ids_format(self):
+        assert station_ids(3) == ["STN00000", "STN00001", "STN00002"]
+
+    def test_reading_counts(self):
+        records = daily_temperatures(10, 20)
+        assert len(records) == 200
+        stations = {r[0] for r in records}
+        assert len(stations) == 10
+
+    def test_temperatures_plausible(self):
+        records = daily_temperatures(20, 30)
+        temps = [r[3] for r in records]
+        assert all(-60 <= t <= 140 for t in temps)
+
+    def test_average_temperature_script(self):
+        records = daily_temperatures(30, 40)
+        out = interpret(
+            parse_script(AVERAGE_TEMPERATURE), inputs={"weather/daily": records}
+        )
+        histogram = out["weather/avg_histogram"]
+        assert sum(r[1] for r in histogram) == 30  # every station counted once
+
+    def test_determinism(self):
+        assert daily_temperatures(5, 5, rng=random.Random(1)) == daily_temperatures(
+            5, 5, rng=random.Random(1)
+        )
