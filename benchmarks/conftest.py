@@ -9,12 +9,14 @@ tee bench_output.txt`` records it, and is also appended to
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def emit(text: str, result_file: str | None = None) -> None:
@@ -25,6 +27,38 @@ def emit(text: str, result_file: str | None = None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         with open(RESULTS_DIR / result_file, "a") as handle:
             handle.write(text + "\n")
+
+
+def emit_bench_json(name: str, metrics, seed: int | None = None) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` at the repo root.
+
+    ``metrics`` is a list of ``(metric_name, value, units)`` triples (or
+    dicts with those keys) — the machine-readable companion to the
+    rendered tables, for trend tracking across commits.
+    """
+    if seed is None:
+        from repro.common.rng import DEFAULT_SEED
+
+        seed = DEFAULT_SEED
+    rows = []
+    for metric in metrics:
+        if isinstance(metric, dict):
+            rows.append(
+                {
+                    "name": metric["name"],
+                    "value": metric["value"],
+                    "units": metric["units"],
+                }
+            )
+        else:
+            metric_name, value, units = metric
+            rows.append({"name": metric_name, "value": value, "units": units})
+    payload = {"benchmark": name, "seed": seed, "metrics": rows}
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -39,6 +73,11 @@ def _fresh_results_dir():
 @pytest.fixture(scope="session")
 def reporter():
     return emit
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    return emit_bench_json
 
 
 @pytest.fixture(scope="session")

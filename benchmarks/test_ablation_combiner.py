@@ -43,7 +43,7 @@ def results():
     return {enabled: run(enabled) for enabled in (True, False)}
 
 
-def test_ablation_combiner_benchmark(benchmark, results, reporter):
+def test_ablation_combiner_benchmark(benchmark, results, reporter, bench_json):
     benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
 
     table = Table(
@@ -59,6 +59,19 @@ def test_ablation_combiner_benchmark(benchmark, results, reporter):
             result.metrics.hdfs_write,
         )
     reporter("\n" + table.render(), "ablation_combiner.txt")
+    bench_json(
+        "ablation_combiner",
+        [
+            (f"latency_combiners_{'on' if k else 'off'}", v.latency,
+             "simulated_seconds")
+            for k, v in results.items()
+        ]
+        + [
+            (f"shuffle_bytes_combiners_{'on' if k else 'off'}",
+             v.metrics.file_write, "bytes")
+            for k, v in results.items()
+        ],
+    )
 
     on, off = results[True], results[False]
     # Outputs identical either way.

@@ -100,7 +100,7 @@ def results():
     return rows
 
 
-def test_ablation_marker_benchmark(benchmark, results, reporter):
+def test_ablation_marker_benchmark(benchmark, results, reporter, bench_json):
     records = flight_records(4_000)
     benchmark.pedantic(
         lambda: run_placement("final", records, "node_0000"),
@@ -116,6 +116,13 @@ def test_ablation_marker_benchmark(benchmark, results, reporter):
     for placement, (latency, attempts, reused, executions) in results.items():
         table.add_row(placement, latency, attempts, reused, executions)
     reporter("\n" + table.render(), "ablation_marker.txt")
+    metrics = []
+    for placement, (latency, attempts, reused, executions) in results.items():
+        metrics.append((f"latency_{placement}", latency, "simulated_seconds"))
+        metrics.append((f"attempts_{placement}", attempts, "attempts"))
+        metrics.append((f"jobs_reused_{placement}", reused, "jobs"))
+        metrics.append((f"job_executions_{placement}", executions, "jobs"))
+    bench_json("ablation_marker", metrics)
 
     marker = results["marker"]
     final = results["final"]

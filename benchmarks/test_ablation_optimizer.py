@@ -55,7 +55,7 @@ def results():
     return {flag: run(flag) for flag in (True, False)}
 
 
-def test_ablation_optimizer_benchmark(benchmark, results, reporter):
+def test_ablation_optimizer_benchmark(benchmark, results, reporter, bench_json):
     benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
 
     table = Table(
@@ -71,6 +71,19 @@ def test_ablation_optimizer_benchmark(benchmark, results, reporter):
             ", ".join(report.applied) if report else "—",
         )
     reporter("\n" + table.render(), "ablation_optimizer.txt")
+    bench_json(
+        "ablation_optimizer",
+        [
+            (f"latency_optimizer_{'on' if k else 'off'}", r.latency,
+             "simulated_seconds")
+            for k, (r, _) in results.items()
+        ]
+        + [
+            (f"shuffle_bytes_optimizer_{'on' if k else 'off'}",
+             r.metrics.file_write, "bytes")
+            for k, (r, _) in results.items()
+        ],
+    )
 
     on, on_report = results[True]
     off, _ = results[False]

@@ -54,7 +54,7 @@ def results():
     return rows
 
 
-def test_ablation_overlap_benchmark(benchmark, results, reporter):
+def test_ablation_overlap_benchmark(benchmark, results, reporter, bench_json):
     benchmark.pedantic(
         lambda: run_strategy("overlap", seed=7), rounds=1, iterations=1
     )
@@ -72,6 +72,12 @@ def test_ablation_overlap_benchmark(benchmark, results, reporter):
             row["exact_rate"],
         )
     reporter("\n" + table.render(), "ablation_overlap.txt")
+    metrics = []
+    for strategy, row in results.items():
+        metrics.append((f"jobs_to_isolation_{strategy}", row["saturation_jobs"], "jobs"))
+        metrics.append((f"final_suspects_{strategy}", row["final_suspects"], "nodes"))
+        metrics.append((f"exact_isolation_rate_{strategy}", row["exact_rate"], "fraction"))
+    bench_json("ablation_overlap", metrics, seed=100)
 
     overlap, spread = results["overlap"], results["spread"]
     # Both isolate, but overlapping never does worse on isolation speed

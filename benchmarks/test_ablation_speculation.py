@@ -51,7 +51,7 @@ def results():
     return {flag: run_case(flag) for flag in (True, False)}
 
 
-def test_ablation_speculation_benchmark(benchmark, results, reporter):
+def test_ablation_speculation_benchmark(benchmark, results, reporter, bench_json):
     benchmark.pedantic(lambda: run_case(True), rounds=1, iterations=1)
 
     table = Table(
@@ -63,6 +63,14 @@ def test_ablation_speculation_benchmark(benchmark, results, reporter):
         result, speculated = results[flag]
         table.add_row("on" if flag else "off", result.latency, result.attempts, speculated)
     reporter("\n" + table.render(), "ablation_speculation.txt")
+    metrics = []
+    for flag, (result, speculated) in results.items():
+        tag = "on" if flag else "off"
+        metrics.append((f"latency_speculation_{tag}", result.latency,
+                        "simulated_seconds"))
+        metrics.append((f"attempts_speculation_{tag}", result.attempts, "attempts"))
+        metrics.append((f"backup_attempts_speculation_{tag}", speculated, "tasks"))
+    bench_json("ablation_speculation", metrics)
 
     with_spec, spec_count = results[True]
     without_spec, _ = results[False]

@@ -57,7 +57,7 @@ def results(bench_config):
     return baseline, rows
 
 
-def test_fig10_benchmark(benchmark, bench_config, results, reporter):
+def test_fig10_benchmark(benchmark, bench_config, results, reporter, bench_json):
     def run():
         return fresh_controller(bench_config).run_assured(TWO_HOP_ANALYSIS)
 
@@ -74,6 +74,11 @@ def test_fig10_benchmark(benchmark, bench_config, results, reporter):
             name, baseline.latency, single, bft, percentage_overhead(bft, single)
         )
     reporter("\n" + table.render(), "fig10.txt")
+    metrics = [("purepig_latency", baseline.latency, "simulated_seconds")]
+    for name, single, bft in rows:
+        metrics.append((f"single_latency_{name}", single, "simulated_seconds"))
+        metrics.append((f"bft_latency_{name}", bft, "simulated_seconds"))
+    bench_json("fig10", metrics)
 
     overheads = [percentage_overhead(bft, single) for _, single, bft in rows]
     assert all(o < 15.0 for o in overheads)

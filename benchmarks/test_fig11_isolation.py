@@ -37,7 +37,7 @@ def curves():
     return out
 
 
-def test_fig11_benchmark(benchmark, curves, reporter):
+def test_fig11_benchmark(benchmark, curves, reporter, bench_json):
     def one_point():
         return jobs_to_isolation(1, RATIO_R1, 0.5, trials=1, max_time=600)
 
@@ -52,6 +52,11 @@ def test_fig11_benchmark(benchmark, curves, reporter):
         ),
         "fig11.txt",
     )
+    metrics = []
+    for label, series in curves.items():
+        for p, jobs in series.points:
+            metrics.append((f"jobs_to_isolation_{label}_p{p}", jobs, "jobs"))
+    bench_json("fig11", metrics)
 
     for label, series in curves.items():
         ys = series.ys()

@@ -25,7 +25,7 @@ def timeline():
     return simulator, stats
 
 
-def test_fig12_benchmark(benchmark, timeline, reporter):
+def test_fig12_benchmark(benchmark, timeline, reporter, bench_json):
     simulator, stats = timeline
 
     def rerun():
@@ -50,6 +50,15 @@ def test_fig12_benchmark(benchmark, timeline, reporter):
             [low, med, high],
         ),
         "fig12.txt",
+    )
+    bench_json(
+        "fig12",
+        [
+            ("saturation_time", stats.saturation_time, "simulated_seconds"),
+            ("jobs_completed", stats.jobs_completed, "jobs"),
+            ("final_suspects", len(stats.final_suspects), "nodes"),
+        ],
+        seed=12,
     )
 
     # Shape 1: no suspicion at the very start.

@@ -37,7 +37,7 @@ def spiky():
     return [run_spiky(seed) for seed in (3, 5, 11, 17, 23)]
 
 
-def test_fig13_benchmark(benchmark, spiky, reporter):
+def test_fig13_benchmark(benchmark, spiky, reporter, bench_json):
     benchmark.pedantic(lambda: run_spiky(42), rounds=1, iterations=1)
 
     stats = max(spiky, key=lambda s: max(p.suspects for p in s.timeline))
@@ -54,6 +54,16 @@ def test_fig13_benchmark(benchmark, spiky, reporter):
             [suspects, high],
         ),
         "fig13.txt",
+    )
+    peaks = [max(p.suspects for p in s.timeline) for s in spiky]
+    bench_json(
+        "fig13",
+        [
+            ("peak_suspects_max", max(peaks), "nodes"),
+            ("peak_suspects_mean", sum(peaks) / len(peaks), "nodes"),
+            ("runs", len(spiky), "runs"),
+        ],
+        seed=3,
     )
 
     spikes = 0

@@ -83,7 +83,7 @@ def results():
     return rows
 
 
-def test_fig14_benchmark(benchmark, results, reporter):
+def test_fig14_benchmark(benchmark, results, reporter, bench_json):
     records = daily_temperatures(40, 20)
     benchmark.pedantic(
         lambda: run_mode(1, 1_000, records, "clusterbft"), rounds=1, iterations=1
@@ -107,6 +107,13 @@ def test_fig14_benchmark(benchmark, results, reporter):
                 percentage_overhead(cbft, full),
             )
     reporter("\n" + table.render(), "fig14.txt")
+    bench_json(
+        "fig14",
+        [
+            (f"{mode}_latency_f{f}_d{chunk}", latency, "simulated_seconds")
+            for (f, chunk, mode), latency in sorted(results.items())
+        ],
+    )
 
     # ClusterBFT within ~10–18% of Full even at high accuracy (paper).
     for (f, chunk, mode), latency in results.items():

@@ -107,7 +107,7 @@ def test_fig9_digests_cheap_on_single_replica(results):
         assert percentage_overhead(single, baseline.latency) < 10.0
 
 
-def test_fig9_benchmark(benchmark, bench_config, results, reporter):
+def test_fig9_benchmark(benchmark, bench_config, results, reporter, bench_json):
     """Benchmark entry point: regenerates the Fig. 9 table (the module
     fixture holds the sweep) and times one representative assured run."""
 
@@ -129,6 +129,11 @@ def test_fig9_benchmark(benchmark, bench_config, results, reporter):
             percentage_overhead(bft, single),
         )
     reporter("\n" + table.render(), "fig9.txt")
+    metrics = [("purepig_latency", baseline.latency, "simulated_seconds")]
+    for name, _, single, bft in rows:
+        metrics.append((f"single_latency_{name}", single, "simulated_seconds"))
+        metrics.append((f"bft_latency_{name}", bft, "simulated_seconds"))
+    bench_json("fig9", metrics)
     one_point = [
         percentage_overhead(bft, single)
         for _, n, single, bft in rows

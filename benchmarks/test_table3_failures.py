@@ -140,7 +140,7 @@ def results(bench_config):
     return baseline, rows
 
 
-def test_table3_benchmark(benchmark, results, reporter):
+def test_table3_benchmark(benchmark, results, reporter, bench_json):
     baseline, rows = results
 
     def noop():
@@ -171,6 +171,13 @@ def test_table3_benchmark(benchmark, results, reporter):
         ],
     )
     reporter("\n" + table.render(), "table3.txt")
+    metrics = []
+    for (name, mode), row in sorted(rows.items()):
+        tag = f"{name.replace(' ', '_').replace('=', '')}_{mode}"
+        for measure in ("latency", "cpu", "file_write", "hdfs_write"):
+            metrics.append((f"{measure}_ratio_{tag}", row[measure], "multiplier"))
+        metrics.append((f"attempts_{tag}", row["attempts"], "attempts"))
+    bench_json("table3", metrics)
 
     # --- paper shapes -------------------------------------------------
     # Non-rescheduled runs: latency close to a single run.

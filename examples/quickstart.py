@@ -5,18 +5,26 @@ Loads a synthetic Twitter follower data-set into the trusted store,
 submits the paper's Follower Analysis script, and prints the verified
 result alongside the verification summary.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace out.jsonl]
 """
 
+import sys
+
 from repro import ClusterBFTController, SystemConfig
+from repro.telemetry import Telemetry
 from repro.workloads import FOLLOWER_ANALYSIS, follower_edges
 
 
 def main() -> None:
+    trace_path = None
+    if "--trace" in sys.argv:
+        trace_path = sys.argv[sys.argv.index("--trace") + 1]
+
     # A simulated deployment: 32 untrusted worker nodes, 3 task slots
     # each, ClusterBFT defaults (f=1, r=3f+1=4, 1 marker-selected
     # verification point plus the mandatory output digests).
-    controller = ClusterBFTController(SystemConfig())
+    telemetry = Telemetry.recording() if trace_path else None
+    controller = ClusterBFTController(SystemConfig(), telemetry=telemetry)
 
     print("Staging 20,000 follower edges into the trusted DFS...")
     controller.load_input("twitter/followers", follower_edges(20_000))
@@ -45,6 +53,11 @@ def main() -> None:
     print("\nTop-5 most-followed users (user, followers):")
     for record in top:
         print(f"  user {record[0]:>5}: {record[1]} followers")
+
+    if telemetry is not None:
+        written = telemetry.write_jsonl(trace_path)
+        print(f"\ntrace: {written} records written to {trace_path}")
+        print(f"summarize with: python -m repro trace {trace_path}")
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from repro.bft.messages import (
 from repro.common.hashing import sha256
 from repro.simulation.events import EventHandle, EventLoop
 from repro.simulation.network import SimNetwork
+from repro.telemetry import DISABLED, Telemetry
 
 CHECKPOINT_INTERVAL = 64
 
@@ -49,6 +50,8 @@ class _SlotState:
     prepared: bool = False
     committed: bool = False
     executed: bool = False
+    #: Open telemetry span (pre-prepare accept → execution).
+    span: object | None = None
 
 
 class PBFTReplica:
@@ -63,9 +66,12 @@ class PBFTReplica:
         loop: EventLoop,
         execute: Callable[[Request], object],
         view_change_timeout: float = 5.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if len(replica_ids) < 3 * f + 1:
             raise ValueError(f"need >= {3 * f + 1} replicas for f={f}")
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self._tracer = self.telemetry.tracer
         self.replica_id = replica_id
         self.replica_ids = list(replica_ids)
         self.f = f
@@ -113,6 +119,12 @@ class PBFTReplica:
         return 2 * self.f + 1
 
     def _broadcast(self, message: object) -> None:
+        if self._tracer.enabled:
+            self.telemetry.metrics.counter(
+                "bft_messages_sent",
+                type=type(message).__name__,
+                replica_id=self.replica_id,
+            ).inc(len(self.replica_ids) - 1)
         self.network.broadcast(
             self.replica_id,
             [r for r in self.replica_ids if r != self.replica_id],
@@ -134,6 +146,12 @@ class PBFTReplica:
     def _on_message(self, sender: str, message: object) -> None:
         if self.crashed:
             return
+        if self._tracer.enabled:
+            self.telemetry.metrics.counter(
+                "bft_messages_received",
+                type=type(message).__name__,
+                replica_id=self.replica_id,
+            ).inc()
         if isinstance(message, (PrePrepare, Prepare, Commit)) and message.view > self.view:
             self._future_messages.append(message)
             return
@@ -227,6 +245,15 @@ class PBFTReplica:
         slot = self._slot(message.seq)
         slot.pre_prepare = message
         self.seen_requests[message.digest] = message.request
+        if self._tracer.enabled and slot.span is None:
+            # One span per slot per replica: the agreement rounds this
+            # replica observes between proposal and in-order execution.
+            slot.span = self._tracer.begin(
+                "bft.slot",
+                replica_id=self.replica_id,
+                view=message.view,
+                seq=message.seq,
+            )
         if self.is_primary:
             # The primary's pre-prepare counts as its prepare vote.
             self._register_prepare(
@@ -295,6 +322,8 @@ class PBFTReplica:
                 result = ("corrupt", result)
             slot.executed = True
             self.last_executed = seq
+            if slot.span is not None:
+                slot.span.end(executed=True)
             self.state_log.append(sha256(repr((seq, request.digest, result)).encode()))
             reply = Reply(
                 view=self.view,
@@ -325,6 +354,12 @@ class PBFTReplica:
             return
         self.voted_views.add(new_view)
         self.in_view_change = True
+        if self._tracer.enabled:
+            self._tracer.event(
+                "bft.view_change",
+                replica_id=self.replica_id,
+                new_view=new_view,
+            )
         prepared = tuple(
             (seq, slot.pre_prepare.digest, slot.pre_prepare.request)
             for seq, slot in sorted(self.slots.items())
@@ -379,6 +414,10 @@ class PBFTReplica:
         self.view = view
         self.in_view_change = False
         self.next_seq = max_seq
+        if self._tracer.enabled:
+            self._tracer.event(
+                "bft.new_view", replica_id=self.replica_id, view=view
+            )
         new_view = NewView(
             view=view,
             primary=self.replica_id,

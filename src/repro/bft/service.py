@@ -17,6 +17,7 @@ from repro.bft.messages import Request
 from repro.bft.replica import PBFTReplica
 from repro.simulation.events import EventLoop
 from repro.simulation.network import LatencyModel, SimNetwork
+from repro.telemetry import DISABLED, Telemetry
 
 
 class ReplicatedService:
@@ -30,9 +31,12 @@ class ReplicatedService:
         rng: random.Random | None = None,
         latency: LatencyModel | None = None,
         view_change_timeout: float = 5.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.f = f
         self.loop = loop or EventLoop()
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self._tracer = self.telemetry.tracer
         self.network = SimNetwork(
             self.loop, rng or random.Random(42), latency or LatencyModel()
         )
@@ -46,6 +50,7 @@ class ReplicatedService:
                 loop=self.loop,
                 execute=lambda request, h=handler: h(request.payload),
                 view_change_timeout=view_change_timeout,
+                telemetry=self.telemetry,
             )
             for replica_id in self.replica_ids
         ]
@@ -64,12 +69,21 @@ class ReplicatedService:
 
     def call(self, payload: object, max_events: int = 1_000_000) -> object:
         """Submit and run the loop until the f+1 reply quorum arrives."""
+        span = None
+        if self._tracer.enabled:
+            span = self._tracer.begin("bft.request", start=self.loop.now, f=self.f)
         request_id = self.submit(payload)
+        if span is not None:
+            span.set(request_id=request_id)
         self.loop.run_while(
             lambda: not self.client.is_done(request_id), max_events=max_events
         )
         if not self.client.is_done(request_id):
+            if span is not None:
+                span.end(end=self.loop.now, completed=False)
             raise TimeoutError(f"request {request_id} did not complete")
+        if span is not None:
+            span.end(end=self.loop.now, completed=True)
         return self.client.result(request_id)
 
     def request_latency(self, payload: object) -> tuple[object, float]:

@@ -12,6 +12,10 @@ Examples::
     # explain: show plan, marker decisions and the compiled job graph
     python -m repro explain analysis.pig --input twitter/followers=edges.csv
 
+    # capture a telemetry trace, then summarize it
+    python -m repro run analysis.pig --trace out.jsonl ...
+    python -m repro trace out.jsonl
+
 Input CSVs are headerless; values are parsed as int, then float, then
 kept as strings; empty cells become NULL.
 """
@@ -26,6 +30,14 @@ from repro.common.records import Record
 from repro.core.controller import ClusterBFTController
 from repro.core.graph_analyzer import input_ratios
 from repro.core.request_handler import RequestHandler
+from repro.telemetry import Telemetry
+from repro.telemetry.analysis import summarize
+from repro.telemetry.export import read_jsonl, write_chrome_trace
+
+
+def _chrome_path_for(jsonl_path: str) -> str:
+    base = jsonl_path[:-6] if jsonl_path.endswith(".jsonl") else jsonl_path
+    return base + ".chrome.json"
 
 
 def _parse_cell(cell: str):
@@ -88,13 +100,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--show-output", type=int, default=10, metavar="N",
                      help="print up to N records per store (0 = none)")
+    run.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        default=None,
+        help="record a telemetry trace: writes a JSONL event stream plus "
+        "a Chrome trace_event file (OUT.chrome.json) for Perfetto",
+    )
 
     explain = sub.add_parser("explain", help="show plan, markers, job graph")
     common(explain)
+
+    trace = sub.add_parser("trace", help="summarize a recorded trace")
+    trace.add_argument("trace_file", help="JSONL trace from `repro run --trace`")
+    trace.add_argument(
+        "--chrome",
+        metavar="OUT.json",
+        default=None,
+        help="also (re-)export the trace in Chrome trace_event format",
+    )
+    trace.add_argument("--top-nodes", type=int, default=10,
+                       help="rows in the per-node task-time table")
     return parser
 
 
-def make_controller(args) -> ClusterBFTController:
+def make_controller(args, telemetry=None) -> ClusterBFTController:
     replication = args.replication or 3 * args.faults + 1
     config = SystemConfig(
         cluster=ClusterConfig(num_nodes=args.nodes, slots_per_node=args.slots),
@@ -107,7 +137,7 @@ def make_controller(args) -> ClusterBFTController:
         ),
         seed=args.seed,
     )
-    controller = ClusterBFTController(config)
+    controller = ClusterBFTController(config, telemetry=telemetry)
     for spec in args.input:
         if "=" not in spec:
             raise SystemExit(f"--input needs PATH=CSV, got {spec!r}")
@@ -117,7 +147,8 @@ def make_controller(args) -> ClusterBFTController:
 
 
 def cmd_run(args) -> int:
-    controller = make_controller(args)
+    telemetry = Telemetry.recording() if args.trace else None
+    controller = make_controller(args, telemetry=telemetry)
     with open(args.script) as handle:
         script = handle.read()
     if args.mode == "plain":
@@ -126,6 +157,14 @@ def cmd_run(args) -> int:
         result = controller.run_single(script)
     else:
         result = controller.run_assured(script)
+    if telemetry is not None:
+        chrome_path = _chrome_path_for(args.trace)
+        try:
+            telemetry.write_jsonl(args.trace)
+            telemetry.write_chrome_trace(chrome_path)
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace: {exc}")
+        print(f"trace     : {args.trace} (+ {chrome_path})")
     print(f"mode      : {args.mode}")
     print(f"assured   : {result.assured}")
     print(f"latency   : {result.latency:.2f} simulated seconds")
@@ -163,11 +202,32 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    try:
+        records = read_jsonl(args.trace_file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"not a JSONL trace: {args.trace_file}: {exc}")
+    if args.chrome:
+        write_chrome_trace(records, args.chrome)
+        print(f"chrome trace written to {args.chrome}")
+    print(summarize(records).render(top_nodes=args.top_nodes))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return cmd_run(args)
-    return cmd_explain(args)
+    try:
+        if args.command == "run":
+            return cmd_run(args)
+        if args.command == "trace":
+            return cmd_trace(args)
+        return cmd_explain(args)
+    except BrokenPipeError:
+        # stdout piped to a pager/head that exited; not an error.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -6,12 +6,22 @@ these may hint to exploited leaks and intruders" (§3.1).  The audit log
 is the queryable record backing that: every verification verdict, fault
 attribution, suspicion change, eviction, and probe lands here with its
 simulated timestamp.
+
+With telemetry enabled the audit log is a *view* over the telemetry
+event stream rather than a second, divergent record: :meth:`record`
+emits an ``audit.<kind>`` event through the tracer, the log registers
+itself as a sink, and reconstructs its entries from the records it
+receives back — so one ordered stream (the trace) holds everything, and
+the audit API keeps working unchanged.  Without a tracer (the default),
+entries append directly and behaviour is identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable
+
+from repro.telemetry.spans import NULL_TRACER
 
 SUBMIT = "submit"
 VERDICT = "verdict"
@@ -21,6 +31,8 @@ REINSTATE = "reinstate"
 PROBE = "probe"
 RERUN = "rerun"
 COMMIT = "commit"
+
+_AUDIT_PREFIX = "audit."
 
 
 @dataclass(frozen=True)
@@ -36,15 +48,48 @@ class AuditEvent:
 
 
 class AuditLog:
-    """Append-only event log with simple queries."""
+    """Append-only event log with simple queries.
 
-    def __init__(self) -> None:
+    ``tracer``: when given (and enabled), audit entries are routed
+    through the telemetry event stream as ``audit.<kind>`` events and
+    the log consumes them back as a sink — a single ordered record of
+    the run instead of two.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self._events: list[AuditEvent] = []
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if self._tracer.enabled:
+            self._tracer.add_sink(self)
 
     def record(self, time: float, kind: str, subject: str, **details) -> AuditEvent:
+        if self._tracer.enabled:
+            # handle() appends the reconstructed entry synchronously.
+            self._tracer.event(
+                _AUDIT_PREFIX + kind, time=time, subject=subject, **details
+            )
+            return self._events[-1]
         event = AuditEvent(time=time, kind=kind, subject=subject, details=details)
         self._events.append(event)
         return event
+
+    def handle(self, record: dict) -> None:
+        """Telemetry-sink entry point: keep the audit view of the stream."""
+        if record.get("type") != "event":
+            return
+        name = record.get("name", "")
+        if not name.startswith(_AUDIT_PREFIX):
+            return
+        details = dict(record.get("attrs") or {})
+        subject = details.pop("subject", "")
+        self._events.append(
+            AuditEvent(
+                time=record["ts"],
+                kind=name[len(_AUDIT_PREFIX) :],
+                subject=subject,
+                details=details,
+            )
+        )
 
     def __len__(self) -> int:
         return len(self._events)

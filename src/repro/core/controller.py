@@ -64,10 +64,11 @@ from repro.dataflow.plan import LogicalPlan, VertexId
 from repro.faults.injection import FaultPlan
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.engine import JobRun, MapReduceEngine
-from repro.mapreduce.metrics import RunMetrics
+from repro.mapreduce.metrics import RunMetrics, publish_run
 from repro.mapreduce.scheduler import ClusterBFTScheduler, TaskScheduler
 from repro.simulation.events import EventLoop
 from repro.storage.dfs import TrustedDFS
+from repro.telemetry import DISABLED, Telemetry
 
 
 @dataclass
@@ -132,10 +133,18 @@ class ClusterBFTController:
         scheduler: TaskScheduler | None = None,
         block_bytes: int = 1 << 20,
         replicate_frontend: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = (config or SystemConfig()).validate()
         self.rng = RngRegistry(self.config.seed)
         self.loop = EventLoop()
+        # The deterministic event loop is the telemetry clock source:
+        # spans and events carry simulated seconds, so a traced run is
+        # byte-identical to an untraced one (the tracer never schedules
+        # loop events and never draws randomness).
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.telemetry.bind_clock(lambda: self.loop.now)
+        self.telemetry.observe_loop(self.loop)
         self.dfs = TrustedDFS(block_bytes=block_bytes)
         self.cluster = Cluster(
             self.config.cluster, fault_plan, self.rng.stream("cluster")
@@ -149,10 +158,11 @@ class ClusterBFTController:
             self.scheduler,
             self.config.cost,
             self.rng.stream("engine"),
+            telemetry=self.telemetry,
         )
         self.suspicion = SuspicionTracker()
         self.fault_analyzer = FaultAnalyzer(f=self.config.bft.f)
-        self.audit = AuditLog()
+        self.audit = AuditLog(tracer=self.telemetry.tracer)
         self._script_counter = 0
         # §6.4: drop the implicit-trust assumption for the control tier —
         # request handling is ordered through 3f+1 PBFT replicas, adding
@@ -166,6 +176,7 @@ class ClusterBFTController:
                 handler=lambda payload: ("accepted", payload),
                 loop=self.loop,
                 rng=self.rng.stream("frontend"),
+                telemetry=self.telemetry,
             )
 
     # ------------------------------------------------------------------
@@ -266,6 +277,15 @@ class ClusterBFTController:
     def _run_unverified(self, prepared: PreparedScript, replication: int) -> ScriptResult:
         script_id = self._next_script_id()
         start = self.loop.now
+        tracer = self.telemetry.tracer
+        run_span = tracer.begin(
+            "run",
+            start=start,
+            script_id=script_id,
+            mode="plain" if replication == 1 else "unverified",
+            replication=replication,
+            jobs=len(prepared.job_graph.jobs),
+        )
         metrics = RunMetrics()
         attempt = _Attempt()
         self._submit_attempt(
@@ -283,6 +303,9 @@ class ClusterBFTController:
             metrics.absorb_job(run.metrics)
         outputs = self._publish_replica_outputs(prepared, script_id, 0, replica=0)
         metrics.latency = self.loop.now - start
+        run_span.end(latency=metrics.latency, assured=False)
+        if self.telemetry.enabled:
+            publish_run(self.telemetry.metrics, metrics, mode="plain")
         return ScriptResult(
             script_id=script_id,
             assured=False,
@@ -301,6 +324,16 @@ class ClusterBFTController:
         cfg = prepared.config
         script_id = self._next_script_id()
         start = self.loop.now
+        tracer = self.telemetry.tracer
+        run_span = tracer.begin(
+            "run",
+            start=start,
+            script_id=script_id,
+            mode="assured",
+            replication=cfg.replication,
+            jobs=len(prepared.job_graph.jobs),
+            points=len(prepared.marked_vertices),
+        )
         self.audit.record(
             start,
             SUBMIT,
@@ -373,6 +406,16 @@ class ClusterBFTController:
                 break
             attempt = _Attempt()
             last_attempt = attempt
+            attempt_span = tracer.begin(
+                "attempt",
+                parent=run_span,
+                start=self.loop.now,
+                script_id=script_id,
+                attempt=attempt_index,
+                replication=replication,
+                timeout=timeout,
+                jobs=len(pending),
+            )
             verifier = Verifier(
                 self.loop,
                 cfg.f,
@@ -380,6 +423,7 @@ class ClusterBFTController:
                 timeout,
                 on_verdict=lambda outcome, a=attempt: self._on_verdict(a, outcome),
                 on_late_fault=lambda sid, fault: self._on_late_fault(fault),
+                telemetry=self.telemetry,
             )
             self._submit_attempt(
                 prepared,
@@ -459,6 +503,13 @@ class ClusterBFTController:
                     winner=winner,
                 )
 
+            attempt_span.end(
+                verdicts={
+                    status: sum(1 for o in outcomes if o.status == status)
+                    for status in (VERIFIED, FAILED, TIMEOUT)
+                },
+                comparisons=verifier.total_comparisons,
+            )
             if not verifiable:
                 # Nothing to verify (outputs not instrumented): run once,
                 # publish best-effort, report unassured.
@@ -468,11 +519,25 @@ class ClusterBFTController:
                 break
             replication += cfg.rerun_extra_replicas
             timeout *= 2
+            if tracer.enabled:
+                tracer.event(
+                    "escalation",
+                    script_id=script_id,
+                    next_replication=replication,
+                    next_timeout=timeout,
+                )
 
         outputs = self._publish_outputs(
             prepared, script_id, verified_paths, assured, last_attempt
         )
         metrics.latency = self.loop.now - start
+        run_span.end(
+            end=self.loop.now,
+            latency=metrics.latency,
+            assured=assured,
+            attempts=attempts_used,
+            reused_jobs=reused,
+        )
         # Drain the late replicas of verified sids (offline attribution):
         # happens after the latency clock stops — verification is not on
         # the critical path.  The drain is bounded: replicas that cannot
@@ -494,6 +559,8 @@ class ClusterBFTController:
         self._evict_suspects()
         for run in all_runs:
             metrics.absorb_job(run.metrics)
+        if self.telemetry.enabled:
+            publish_run(self.telemetry.metrics, metrics, mode="assured")
         return ScriptResult(
             script_id=script_id,
             assured=assured,
@@ -607,6 +674,14 @@ class ClusterBFTController:
                             run, i, k
                         ),
                         total_replicas=replication,
+                        # Span attributes for trace analysis: the deps
+                        # (restricted to this attempt's pending set) are
+                        # what the critical-path computation follows.
+                        trace_attrs={
+                            "attempt": attempt_index,
+                            "job_index": job_index,
+                            "deps": sorted(job_deps),
+                        },
                     )
                     attempt.runs.append(run)
                     attempt.runs_by_job.setdefault(job_index, []).append(run)

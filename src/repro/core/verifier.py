@@ -29,6 +29,7 @@ from repro.common.config import CostModelConfig
 from repro.common.ids import NodeId, SubGraphId
 from repro.mapreduce.engine import DigestReport
 from repro.simulation.events import EventLoop
+from repro.telemetry import DISABLED, Telemetry
 
 PENDING = "pending"
 VERIFIED = "verified"
@@ -72,6 +73,7 @@ class _SidState:
         self.outcome: VerificationOutcome | None = None
         self.comparisons = 0
         self.first_mismatch_at: float | None = None
+        self.span = None  # open "verify" span when tracing is enabled
 
 
 class Verifier:
@@ -85,8 +87,11 @@ class Verifier:
         timeout: float,
         on_verdict: Callable[[VerificationOutcome], None] | None = None,
         on_late_fault: Callable[[SubGraphId, ReplicaFault], None] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.loop = loop
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self._tracer = self.telemetry.tracer
         self.f = f
         self.quorum = f + 1
         self.cost = cost
@@ -108,7 +113,16 @@ class Verifier:
         """Announce a replicated sub-graph; starts its timeout clock."""
         if sid in self._sids:
             return
-        self._sids[sid] = _SidState(sid, expected_replicas, self.quorum)
+        state = _SidState(sid, expected_replicas, self.quorum)
+        self._sids[sid] = state
+        if self._tracer.enabled:
+            state.span = self._tracer.begin(
+                "verify",
+                start=self.loop.now,
+                sid=sid,
+                expected=expected_replicas,
+                timeout=self.timeout,
+            )
         self.loop.schedule(
             self.timeout, lambda: self._timeout(sid), label=f"verify-timeout:{sid}"
         )
@@ -121,6 +135,10 @@ class Verifier:
         if state.outcome is not None and state.outcome.status != VERIFIED:
             return  # sid failed/timed out; a rerun supersedes these
         self.reports_received += 1
+        if self._tracer.enabled:
+            self.telemetry.metrics.counter(
+                "verifier_reports_received", node=report.node_id
+            ).inc()
         vector = state.vectors.setdefault(report.replica, {})
         for digest in report.digests:
             key = (report.vp_id, report.task_label, digest.chunk_index)
@@ -135,6 +153,15 @@ class Verifier:
                     self.total_comparisons += 1
                     if other_value != digest.value and state.first_mismatch_at is None:
                         state.first_mismatch_at = self.loop.now
+                        if self._tracer.enabled:
+                            self._tracer.event(
+                                "verify.mismatch",
+                                sid=report.sid,
+                                replica=report.replica,
+                                other_replica=other_replica,
+                                vp_id=report.vp_id,
+                                task=report.task_label,
+                            )
 
     def replica_completed(
         self, sid: SubGraphId, replica: int, nodes_used: set[NodeId]
@@ -221,6 +248,13 @@ class Verifier:
             nodes=frozenset(state.replica_nodes.get(replica, set())),
         )
         outcome.faults.append(fault)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "verify.late_fault",
+                sid=state.sid,
+                replica=replica,
+                kind=fault.kind,
+            )
         if self.on_late_fault is not None:
             self.on_late_fault(state.sid, fault)
 
@@ -228,6 +262,13 @@ class Verifier:
         state = self._sids.get(sid)
         if state is None or state.outcome is not None:
             return
+        if self._tracer.enabled:
+            self._tracer.event(
+                "verify.timeout",
+                sid=sid,
+                finalized=len(state.finalized),
+                expected=state.expected,
+            )
         self._decide(state, TIMEOUT, winners=set())
 
     def _decide(self, state: _SidState, status: str, winners: set[int]) -> None:
@@ -274,9 +315,35 @@ class Verifier:
         state.outcome = outcome
 
         compare_delay = state.comparisons * self.cost.verifier_compare_seconds
+        if self._tracer.enabled:
+            # The final digest-matching pass: off the critical path, its
+            # simulated cost is the "overhead of matching f+1 digests".
+            self._tracer.emit(
+                "verify.compare",
+                start=self.loop.now,
+                end=self.loop.now + compare_delay,
+                parent=state.span,
+                sid=state.sid,
+                comparisons=state.comparisons,
+            )
+            self.telemetry.metrics.histogram(
+                "verifier_compare_seconds"
+            ).observe(compare_delay)
+            self.telemetry.metrics.counter(
+                "verifier_verdicts", status=status
+            ).inc()
 
         def deliver() -> None:
             outcome.decided_at = self.loop.now
+            if state.span is not None:
+                state.span.end(
+                    end=self.loop.now,
+                    status=status,
+                    comparisons=state.comparisons,
+                    winners=sorted(outcome.winners),
+                    missing=sorted(outcome.missing_replicas),
+                    faults=len(outcome.faults),
+                )
             if self.on_verdict is not None:
                 self.on_verdict(outcome)
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.common.config import ClusterConfig
 from repro.common.ids import NodeId, TaskId
+from repro.common.rng import RngRegistry
 from repro.faults.behaviors import CORRECT, NodeBehavior
 from repro.faults.injection import FaultPlan
 
@@ -60,7 +61,12 @@ class Cluster:
     ) -> None:
         config.validate()
         self.config = config
-        self.rng = rng or random.Random(0)
+        # Default stream derives from the RngRegistry's seed scheme, not
+        # an ad-hoc Random(0): a cluster built without an explicit rng
+        # must match one wired through a default registry, or the same
+        # deployment would behave differently depending on which
+        # constructor path built it.
+        self.rng = rng if rng is not None else RngRegistry().stream("cluster")
         fault_plan = fault_plan or FaultPlan()
         self.nodes: dict[NodeId, WorkerNode] = {}
         for index in range(config.num_nodes):

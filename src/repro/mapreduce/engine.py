@@ -27,7 +27,12 @@ from repro.common.errors import MapReduceError
 from repro.common.records import Record
 from repro.compiler.jobspec import JobSpec
 from repro.mapreduce.cluster import Cluster, WorkerNode
-from repro.mapreduce.metrics import JobMetrics, TaskMetrics
+from repro.mapreduce.metrics import (
+    JobMetrics,
+    TaskMetrics,
+    publish_job,
+    publish_task,
+)
 from repro.mapreduce.runtime import (
     MapTaskOutput,
     ReduceTaskOutput,
@@ -38,6 +43,7 @@ from repro.mapreduce.runtime import (
 from repro.mapreduce.scheduler import TaskRef, TaskScheduler
 from repro.simulation.events import EventLoop
 from repro.storage.dfs import TrustedDFS
+from repro.telemetry import DISABLED, Telemetry
 
 PENDING = "pending"
 RUNNING = "running"
@@ -92,6 +98,7 @@ class JobRun:
         on_complete: Callable[["JobRun"], None] | None = None,
         total_replicas: int = 1,
         allowed_nodes: set[NodeId] | None = None,
+        trace_attrs: dict | None = None,
     ) -> None:
         self.job_id = job_id
         self.sid = sid
@@ -118,6 +125,11 @@ class JobRun:
         #: Durations of finished tasks by kind — the speculation baseline.
         self.completed_durations: dict[str, list[float]] = {"map": [], "reduce": []}
         self.speculative_attempts = 0
+        #: Extra span attributes stamped by the submitter (attempt index,
+        #: job_index, deps) — consumed by trace analysis.
+        self.trace_attrs = dict(trace_attrs) if trace_attrs else {}
+        #: Open telemetry span for this run (None when tracing is off).
+        self.span = None
 
     # -- state queries ----------------------------------------------------
 
@@ -249,6 +261,7 @@ class MapReduceEngine:
         scheduler: TaskScheduler,
         cost: CostModelConfig,
         rng: random.Random,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.loop = loop
         self.dfs = dfs
@@ -261,6 +274,9 @@ class MapReduceEngine:
         self._run_seed = rng.randrange(1 << 62)
         self.runs: list[JobRun] = []
         self._heartbeats_running = False
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self._tracer = self.telemetry.tracer
+        scheduler.bind_telemetry(self.telemetry)
 
     # ------------------------------------------------------------------
     # submission
@@ -272,6 +288,17 @@ class MapReduceEngine:
         run.metrics.submitted_at = self.loop.now
         run.state = RUNNING
         self.runs.append(run)
+        if self._tracer.enabled:
+            run.span = self._tracer.begin(
+                "job",
+                start=self.loop.now,
+                job_id=run.job_id,
+                sid=run.sid,
+                replica=run.replica,
+                maps=len(run.map_states),
+                reduces=run.num_reduces,
+                **run.trace_attrs,
+            )
         if not run.map_states:
             # Degenerate job over an empty input: complete after the
             # fixed job-startup overhead.
@@ -310,6 +337,8 @@ class MapReduceEngine:
         for state in list(run.map_states) + list(run.reduce_states):
             if state.status == PENDING:
                 state.status = DONE  # never scheduled; nothing to free
+        if run.span is not None:
+            run.span.end(cancelled=True)
 
     # ------------------------------------------------------------------
     # heartbeats
@@ -378,6 +407,17 @@ class MapReduceEngine:
                 states[index].status = RUNNING  # rescues OMITTED attempts
                 run.nodes_used.add(node.node_id)
                 run.speculative_attempts += 1
+                if self._tracer.enabled:
+                    self._tracer.event(
+                        "speculate",
+                        job_id=run.job_id,
+                        kind=kind,
+                        index=index,
+                        node=node.node_id,
+                    )
+                    self.telemetry.metrics.counter(
+                        "speculative_attempts", kind=kind
+                    ).inc()
                 self.scheduler.note_assignment(
                     node, TaskRef(run, kind, index)
                 )
@@ -399,8 +439,9 @@ class MapReduceEngine:
 
         states = run.map_states if ref.kind == "map" else run.reduce_states
         state = states[ref.index]
+        launched_at = self.loop.now
         if not backup:
-            state.started_at = self.loop.now
+            state.started_at = launched_at
 
         if ref.kind == "map":
             result, task_metrics = self._execute_map(node, run, ref.index, node_rng)
@@ -413,6 +454,14 @@ class MapReduceEngine:
             # (unless speculation later launches a backup attempt).
             if state.status != DONE:
                 state.status = OMITTED
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "task.omitted",
+                    job_id=run.job_id,
+                    kind=ref.kind,
+                    index=ref.index,
+                    node=node.node_id,
+                )
             return
 
         def complete() -> None:
@@ -426,11 +475,62 @@ class MapReduceEngine:
                 run.reduce_results[ref.index] = result
             run.metrics.absorb_task(task_metrics)
             run.completed_durations[ref.kind].append(task_metrics.duration_seconds)
+            if self._tracer.enabled:
+                self._emit_task_span(
+                    run, ref, node, task_metrics, launched_at, backup
+                )
+                publish_task(self.telemetry.metrics, task_metrics)
             self._emit_digests(run, ref, result, node, node_rng)
             if run.all_finished():
                 self._complete_job(run)
 
         self.loop.schedule(duration, complete, label=task_key)
+
+    def _emit_task_span(
+        self,
+        run: JobRun,
+        ref: TaskRef,
+        node: WorkerNode,
+        task_metrics: TaskMetrics,
+        launched_at: float,
+        backup: bool,
+    ) -> None:
+        """Record the completed task attempt as a span (with shuffle and
+        digest-hashing sub-spans placed at their approximate offsets:
+        shuffle precedes compute, hashing rides alongside it)."""
+        span = self._tracer.begin(
+            "task",
+            parent=run.span,
+            start=launched_at,
+            job_id=run.job_id,
+            sid=run.sid,
+            replica=run.replica,
+            attempt=run.trace_attrs.get("attempt", 0),
+            node=node.node_id,
+            kind=ref.kind,
+            index=ref.index,
+            speculative=backup,
+        )
+        if task_metrics.shuffle_seconds:
+            self._tracer.emit(
+                "task.shuffle",
+                start=launched_at,
+                end=launched_at + task_metrics.shuffle_seconds,
+                parent=span,
+                node=node.node_id,
+                bytes=task_metrics.file_read,
+            )
+        if task_metrics.digest_seconds:
+            digest_start = launched_at + task_metrics.shuffle_seconds
+            self._tracer.emit(
+                "task.digest",
+                start=digest_start,
+                end=digest_start + task_metrics.digest_seconds,
+                parent=span,
+                node=node.node_id,
+                bytes=task_metrics.digest_bytes,
+            )
+        span.end(end=self.loop.now)
 
     def _execute_map(
         self, node: WorkerNode, run: JobRun, index: int, node_rng: random.Random
@@ -477,6 +577,7 @@ class MapReduceEngine:
             records_out=result.records_out,
             cpu_seconds=(compute + hashing) * node.behavior.slowdown(),
             duration_seconds=duration,
+            digest_seconds=hashing * node.behavior.slowdown(),
         )
         return result, metrics
 
@@ -508,6 +609,8 @@ class MapReduceEngine:
             records_out=result.records_out,
             cpu_seconds=(compute + hashing) * node.behavior.slowdown(),
             duration_seconds=duration,
+            shuffle_seconds=shuffle_time * node.behavior.slowdown(),
+            digest_seconds=hashing * node.behavior.slowdown(),
         )
         return result, metrics
 
@@ -522,7 +625,15 @@ class MapReduceEngine:
         if run.digest_sink is None or not result.taps:
             return
         if node.behavior.omits_digest(node_rng):
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "digest.omitted", job_id=run.job_id, node=node.node_id
+                )
             return
+        if self._tracer.enabled:
+            self.telemetry.metrics.counter(
+                "digest_reports_sent", node=node.node_id
+            ).inc(len(result.taps))
         if ref.kind == "map":
             split = run.splits[ref.index]
             label = f"m{split.branch_index}.{split.block_index}"
@@ -557,5 +668,13 @@ class MapReduceEngine:
         self.dfs.write_file(physical_out, records, scope=run.scope)
         run.metrics.finished_at = self.loop.now
         run.metrics.hdfs_write += sum(r.size_bytes() for r in records)
+        if run.span is not None:
+            run.span.end(
+                end=self.loop.now,
+                nodes=len(run.nodes_used),
+                speculative_attempts=run.speculative_attempts,
+            )
+        if self.telemetry.enabled:
+            publish_job(self.telemetry.metrics, run.metrics)
         if run.on_complete is not None:
             run.on_complete(run)

@@ -11,11 +11,31 @@ closely enough to regenerate that table:
 * ``cpu_seconds`` — summed simulated task compute time (excludes queue
   wait, includes digest hashing);
 * ``latency`` derives from submit/finish timestamps kept by the engine.
+
+The additive counter fields are declared once in
+:data:`COUNTER_FIELDS`; both aggregation levels fold over it, and the
+``publish_*`` helpers emit the same fields into a telemetry
+:class:`~repro.telemetry.registry.MetricsRegistry` — one field list,
+three consumers, no duplicated per-field code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+#: Additive byte/record counters shared by task, job, and run levels.
+COUNTER_FIELDS = (
+    "hdfs_read",
+    "hdfs_write",
+    "file_read",
+    "file_write",
+    "digest_bytes",
+    "records_in",
+    "records_out",
+)
+
+#: Duration histogram buckets (simulated seconds) for task/job metrics.
+DURATION_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
 
 
 @dataclass
@@ -34,6 +54,9 @@ class TaskMetrics:
     records_out: int = 0
     cpu_seconds: float = 0.0
     duration_seconds: float = 0.0
+    #: Sub-phase durations (already slowdown-scaled) for span tracing.
+    shuffle_seconds: float = 0.0
+    digest_seconds: float = 0.0
 
 
 @dataclass
@@ -59,13 +82,8 @@ class JobMetrics:
         return max(self.finished_at - self.submitted_at, 0.0)
 
     def absorb_task(self, task: TaskMetrics) -> None:
-        self.hdfs_read += task.hdfs_read
-        self.hdfs_write += task.hdfs_write
-        self.file_read += task.file_read
-        self.file_write += task.file_write
-        self.digest_bytes += task.digest_bytes
-        self.records_in += task.records_in
-        self.records_out += task.records_out
+        for name in COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(task, name))
         self.cpu_seconds += task.cpu_seconds
         if task.kind == "map":
             self.map_tasks += 1
@@ -84,17 +102,16 @@ class RunMetrics:
     file_read: int = 0
     file_write: int = 0
     digest_bytes: int = 0
+    records_in: int = 0
+    records_out: int = 0
     jobs: int = 0
     verification_comparisons: int = 0
     reruns: int = 0
 
     def absorb_job(self, job: JobMetrics) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(job, name))
         self.cpu_seconds += job.cpu_seconds
-        self.hdfs_read += job.hdfs_read
-        self.hdfs_write += job.hdfs_write
-        self.file_read += job.file_read
-        self.file_write += job.file_write
-        self.digest_bytes += job.digest_bytes
         self.jobs += 1
 
     def ratios_over(self, baseline: "RunMetrics") -> dict[str, float]:
@@ -110,3 +127,41 @@ class RunMetrics:
             "file_write": ratio(self.file_write, baseline.file_write),
             "hdfs_write": ratio(self.hdfs_write, baseline.hdfs_write),
         }
+
+
+# ----------------------------------------------------------------------
+# telemetry emission
+# ----------------------------------------------------------------------
+
+
+def publish_task(registry, task: TaskMetrics) -> None:
+    """Emit one task attempt's counters into a metrics registry."""
+    for name in COUNTER_FIELDS:
+        value = getattr(task, name)
+        if value:
+            registry.counter(f"mapreduce_{name}", kind=task.kind).inc(value)
+    registry.counter("mapreduce_tasks_completed", kind=task.kind).inc()
+    registry.histogram(
+        "task_duration_seconds", buckets=DURATION_BUCKETS, kind=task.kind
+    ).observe(task.duration_seconds)
+    registry.histogram(
+        "task_cpu_seconds", buckets=DURATION_BUCKETS, kind=task.kind
+    ).observe(task.cpu_seconds)
+
+
+def publish_job(registry, job: JobMetrics) -> None:
+    """Emit one job replica's aggregates into a metrics registry."""
+    registry.counter("mapreduce_jobs_completed").inc()
+    registry.counter("mapreduce_map_tasks").inc(job.map_tasks)
+    registry.counter("mapreduce_reduce_tasks").inc(job.reduce_tasks)
+    registry.histogram("job_latency_seconds").observe(job.latency)
+
+
+def publish_run(registry, run: "RunMetrics", mode: str) -> None:
+    """Emit one script run's totals into a metrics registry."""
+    registry.counter("runs_total", mode=mode).inc()
+    registry.counter("run_reruns_total", mode=mode).inc(run.reruns)
+    registry.counter("verification_comparisons_total").inc(
+        run.verification_comparisons
+    )
+    registry.histogram("run_latency_seconds", mode=mode).observe(run.latency)

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.common.ids import NodeId, SubGraphId
 from repro.mapreduce.cluster import WorkerNode
+from repro.telemetry import DISABLED
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mapreduce.engine import JobRun
@@ -39,6 +40,28 @@ class TaskRef:
 
 class TaskScheduler:
     """Base scheduler: replies to one node's heartbeat with tasks."""
+
+    #: Bound by the engine; decision counters only — scheduling must
+    #: behave identically whether or not telemetry observes it.
+    telemetry = DISABLED
+
+    def bind_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+
+    def record_assignments(
+        self, node: WorkerNode, assignments: list[TaskRef]
+    ) -> None:
+        if not self.telemetry.enabled or not assignments:
+            return
+        metrics = self.telemetry.metrics
+        scheduler = type(self).__name__
+        for ref in assignments:
+            metrics.counter(
+                "scheduler_assignments",
+                node=node.node_id,
+                kind=ref.kind,
+                scheduler=scheduler,
+            ).inc()
 
     def assign(self, node: WorkerNode, runs: list["JobRun"]) -> list[TaskRef]:
         raise NotImplementedError
@@ -69,6 +92,7 @@ class NaiveScheduler(TaskScheduler):
             assignments.append(ref)
             ref.run.mark_scheduled(ref.kind, ref.index, node.node_id)
             free -= 1
+        self.record_assignments(node, assignments)
         return assignments
 
 
@@ -160,6 +184,7 @@ class ClusterBFTScheduler(TaskScheduler):
             assignments.append(ref)
             ref.run.mark_scheduled(ref.kind, ref.index, node.node_id)
             free -= 1
+        self.record_assignments(node, assignments)
         return assignments
 
 

@@ -5,6 +5,13 @@ time (task execution, shuffle, digest transmission, verifier timeouts,
 BFT message rounds) is scheduled on one :class:`EventLoop`.  The loop is
 single-threaded and deterministic: events at equal timestamps fire in
 scheduling order.
+
+The loop is also the **span clock source** for the telemetry subsystem:
+tracers bind ``lambda: loop.now`` so every span timestamp is simulated
+time.  The optional :attr:`EventLoop.on_event` hook lets telemetry count
+processed events by label family; it must never mutate the loop (the
+hook fires between the clock advance and the callback, and a ``None``
+hook costs a single comparison per event).
 """
 
 from __future__ import annotations
@@ -67,6 +74,8 @@ class EventLoop:
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        #: Observation hook: called with each fired event's label.
+        self.on_event: Callable[[str], None] | None = None
 
     @property
     def now(self) -> float:
@@ -105,6 +114,8 @@ class EventLoop:
                 continue
             self._now = event.time
             self._events_processed += 1
+            if self.on_event is not None:
+                self.on_event(event.label)
             event.callback()
             return True
         return False

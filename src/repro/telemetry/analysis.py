@@ -1,0 +1,255 @@
+"""Trace summarization: turn a JSONL trace back into §6-style numbers.
+
+Backs the ``repro trace`` CLI subcommand.  Given the record stream of a
+run, reconstructs:
+
+* the **critical path per attempt** — over ``job`` spans, following the
+  ``deps`` attribute the controller stamps on each job replica, the
+  dependency chain with the largest end-to-end duration (computed per
+  replica; the slowest replica chain is the one verification waits on);
+* **time-in-verification vs time-in-execution** — summed ``verify`` span
+  durations against summed ``task`` busy seconds, plus the verification
+  tail that ran *after* the last task finished (the "offline, off the
+  critical path" property of §3.3 made measurable);
+* **per-node task time** — busy seconds and task counts by worker node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CriticalPath:
+    replica: int
+    job_ids: list[str]
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class AttemptSummary:
+    attempt: int
+    start: float
+    end: float
+    jobs: int
+    tasks: int
+    task_seconds: float
+    critical_path: CriticalPath | None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TraceSummary:
+    run_spans: list[dict] = field(default_factory=list)
+    attempts: list[AttemptSummary] = field(default_factory=list)
+    task_seconds: float = 0.0
+    task_count: int = 0
+    verify_seconds: float = 0.0
+    verify_count: int = 0
+    verify_by_status: dict[str, int] = field(default_factory=dict)
+    #: Verification time past the last task completion (offline tail).
+    verify_tail_seconds: float = 0.0
+    node_seconds: dict[str, float] = field(default_factory=dict)
+    node_tasks: dict[str, int] = field(default_factory=dict)
+    event_counts: dict[str, int] = field(default_factory=dict)
+    metric_rows: list[dict] = field(default_factory=list)
+
+    def render(self, top_nodes: int = 10) -> str:
+        lines: list[str] = []
+        for span in self.run_spans:
+            attrs = span.get("attrs") or {}
+            lines.append(
+                f"run {attrs.get('script_id', '?')}: "
+                f"{span['end'] - span['start']:.3f}s simulated, "
+                f"mode={attrs.get('mode', '?')}"
+            )
+        lines.append("")
+        lines.append("attempts:")
+        for a in self.attempts:
+            lines.append(
+                f"  attempt {a.attempt}: {a.duration:.3f}s, "
+                f"{a.jobs} job replicas, {a.tasks} tasks "
+                f"({a.task_seconds:.3f} busy task-seconds)"
+            )
+            if a.critical_path:
+                cp = a.critical_path
+                chain = " -> ".join(cp.job_ids)
+                lines.append(
+                    f"    critical path (replica {cp.replica}, "
+                    f"{cp.duration:.3f}s): {chain}"
+                )
+        lines.append("")
+        lines.append(
+            f"execution : {self.task_seconds:.3f} task-seconds "
+            f"across {self.task_count} tasks"
+        )
+        status = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.verify_by_status.items())
+        )
+        lines.append(
+            f"verification: {self.verify_seconds:.3f} span-seconds across "
+            f"{self.verify_count} sids ({status or 'none'})"
+        )
+        lines.append(
+            f"verification tail past last task: {self.verify_tail_seconds:.3f}s "
+            f"(offline, off the critical path)"
+        )
+        lines.append("")
+        lines.append("per-node task time:")
+        ranked = sorted(
+            self.node_seconds.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:top_nodes]
+        for node, seconds in ranked:
+            lines.append(
+                f"  {node:<12} {seconds:10.3f}s  ({self.node_tasks.get(node, 0)} tasks)"
+            )
+        if len(self.node_seconds) > top_nodes:
+            lines.append(f"  ... {len(self.node_seconds) - top_nodes} more nodes")
+        if self.event_counts:
+            lines.append("")
+            lines.append("events:")
+            for name, count in sorted(self.event_counts.items()):
+                lines.append(f"  {name:<28} {count}")
+        return "\n".join(lines)
+
+
+def _critical_path(job_spans: list[dict]) -> CriticalPath | None:
+    """Longest dependency chain by end-to-end duration, per replica."""
+    by_replica: dict[int, dict[int, dict]] = {}
+    for span in job_spans:
+        attrs = span.get("attrs") or {}
+        if "job_index" not in attrs:
+            continue
+        by_replica.setdefault(int(attrs.get("replica", 0)), {})[
+            int(attrs["job_index"])
+        ] = span
+
+    best: CriticalPath | None = None
+    for replica, jobs in by_replica.items():
+        # chain(j) = the path ending at j with the earliest reachable start.
+        starts: dict[int, float] = {}
+        prev: dict[int, int | None] = {}
+
+        def chain_start(index: int) -> float:
+            if index in starts:
+                return starts[index]
+            span = jobs[index]
+            deps = [
+                d
+                for d in (span.get("attrs") or {}).get("deps", [])
+                if d in jobs
+            ]
+            starts[index] = span["start"]  # cycle guard
+            best_dep: int | None = None
+            best_start = span["start"]
+            for dep in deps:
+                dep_start = chain_start(dep)
+                if dep_start < best_start:
+                    best_start, best_dep = dep_start, dep
+            starts[index] = best_start
+            prev[index] = best_dep
+            return best_start
+
+        for index in jobs:
+            chain_start(index)
+        for index, span in jobs.items():
+            end = span.get("end")
+            if end is None:
+                continue
+            duration = end - starts[index]
+            if best is None or duration > best.duration:
+                path: list[int] = []
+                cursor: int | None = index
+                while cursor is not None:
+                    path.append(cursor)
+                    cursor = prev.get(cursor)
+                path.reverse()
+                best = CriticalPath(
+                    replica=replica,
+                    job_ids=[
+                        (jobs[i].get("attrs") or {}).get("job_id", str(i))
+                        for i in path
+                    ],
+                    start=starts[index],
+                    end=end,
+                )
+    return best
+
+
+def summarize(records: list[dict]) -> TraceSummary:
+    summary = TraceSummary()
+    job_spans_by_attempt: dict[int, list[dict]] = {}
+    task_spans_by_attempt: dict[int, list[dict]] = {}
+    last_task_end = 0.0
+    last_verify_end = 0.0
+
+    for record in records:
+        kind = record.get("type")
+        if kind == "event":
+            name = record["name"]
+            summary.event_counts[name] = summary.event_counts.get(name, 0) + 1
+            continue
+        if kind == "metric":
+            summary.metric_rows.append(record)
+            continue
+        if kind != "span" or record.get("end") is None:
+            continue
+        name = record["name"]
+        attrs = record.get("attrs") or {}
+        duration = record["end"] - record["start"]
+        if name == "run":
+            summary.run_spans.append(record)
+        elif name == "job":
+            job_spans_by_attempt.setdefault(int(attrs.get("attempt", 0)), []).append(
+                record
+            )
+        elif name == "task":
+            summary.task_seconds += duration
+            summary.task_count += 1
+            last_task_end = max(last_task_end, record["end"])
+            node = attrs.get("node")
+            if node is not None:
+                summary.node_seconds[node] = (
+                    summary.node_seconds.get(node, 0.0) + duration
+                )
+                summary.node_tasks[node] = summary.node_tasks.get(node, 0) + 1
+            task_spans_by_attempt.setdefault(
+                int(attrs.get("attempt", 0)), []
+            ).append(record)
+        elif name == "verify":
+            summary.verify_seconds += duration
+            summary.verify_count += 1
+            status = attrs.get("status", "open")
+            summary.verify_by_status[status] = (
+                summary.verify_by_status.get(status, 0) + 1
+            )
+            last_verify_end = max(last_verify_end, record["end"])
+
+    summary.verify_tail_seconds = max(last_verify_end - last_task_end, 0.0)
+
+    for attempt in sorted(set(job_spans_by_attempt) | set(task_spans_by_attempt)):
+        jobs = job_spans_by_attempt.get(attempt, [])
+        tasks = task_spans_by_attempt.get(attempt, [])
+        spans = jobs + tasks
+        start = min(s["start"] for s in spans)
+        end = max(s["end"] for s in spans)
+        summary.attempts.append(
+            AttemptSummary(
+                attempt=attempt,
+                start=start,
+                end=end,
+                jobs=len(jobs),
+                tasks=len(tasks),
+                task_seconds=sum(s["end"] - s["start"] for s in tasks),
+                critical_path=_critical_path(jobs),
+            )
+        )
+    return summary

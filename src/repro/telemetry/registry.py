@@ -1,0 +1,214 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Deliberately Prometheus-shaped but deterministic: histogram bucket
+boundaries are fixed at construction (never adaptive), snapshots are
+sorted by metric name and serialized label set, and nothing reads the
+wall clock — so the snapshot of a seeded simulation run is byte-stable.
+
+Labels are passed as keyword arguments and frozen into the metric key::
+
+    registry.counter("tasks_completed", kind="map", node="node_0003").inc()
+
+The registry is cheap enough to leave always-on, but every
+instrumentation site still routes through a :class:`Telemetry` facade
+whose disabled form short-circuits before building label dicts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+#: Default duration buckets (seconds, simulated) — spans three orders of
+#: magnitude around typical task/verification costs in the cost model.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative counts, Prometheus-style)."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket boundary")
+        # counts[i] = observations <= buckets[i]; one overflow bucket.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation.
+
+        Coarse by construction (bucket resolution); the overflow bucket
+        reports the largest finite boundary.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for boundary, bucket_count in zip(self.buckets, self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return boundary
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """Namespace of named, labelled metrics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        self._histogram_buckets: dict[str, tuple[float, ...]] = {}
+
+    # -- accessors ------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None, **labels
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            # All series of one histogram name share boundaries so their
+            # bucket counts stay comparable (and deterministic).
+            if name not in self._histogram_buckets:
+                self._histogram_buckets[name] = tuple(
+                    sorted(buckets) if buckets is not None else DEFAULT_BUCKETS
+                )
+            metric = self._histograms[key] = Histogram(self._histogram_buckets[name])
+        return metric
+
+    # -- output ---------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Value of a counter summed over series matching ``labels``.
+
+        Matching is subset-style: a series matches when every given
+        label equals the series' value; omitted labels aggregate.
+        """
+        want = dict(_label_key(labels))
+        total = 0.0
+        for (metric_name, label_key), counter in self._counters.items():
+            if metric_name != name:
+                continue
+            have = dict(label_key)
+            if all(have.get(k) == v for k, v in want.items()):
+                total += counter.value
+        return total
+
+    def snapshot(self) -> list[dict]:
+        """All metrics as sorted, JSON-ready rows."""
+        rows: list[dict] = []
+        for (name, label_key), counter in self._counters.items():
+            rows.append(
+                {
+                    "kind": "counter",
+                    "name": name,
+                    "labels": dict(label_key),
+                    "value": counter.value,
+                }
+            )
+        for (name, label_key), gauge in self._gauges.items():
+            rows.append(
+                {
+                    "kind": "gauge",
+                    "name": name,
+                    "labels": dict(label_key),
+                    "value": gauge.value,
+                }
+            )
+        for (name, label_key), histogram in self._histograms.items():
+            rows.append(
+                {
+                    "kind": "histogram",
+                    "name": name,
+                    "labels": dict(label_key),
+                    "buckets": list(histogram.buckets),
+                    "counts": list(histogram.counts),
+                    "sum": histogram.total,
+                    "count": histogram.count,
+                }
+            )
+        rows.sort(key=lambda r: (r["name"], sorted(r["labels"].items()), r["kind"]))
+        return rows

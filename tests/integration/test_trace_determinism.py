@@ -1,0 +1,119 @@
+"""Telemetry must be a pure observer: same seed, tracing on or off,
+byte-identical run results.
+
+The tracer is keyed to the simulated clock, never schedules loop events,
+and never draws randomness — so a traced run and an untraced run of the
+same seed must agree on outputs, the audit sequence, and the final
+metrics.  Two traced runs of the same seed must additionally produce
+byte-identical JSONL traces.
+"""
+
+from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.common.hashing import digest_of
+from repro.core.controller import ClusterBFTController
+from repro.telemetry import Telemetry
+from repro.workloads import FOLLOWER_ANALYSIS, follower_edges
+
+SEED = 20131209
+EDGES = 2_000
+
+
+def run_once(telemetry=None, mode="assured", seed=SEED):
+    config = SystemConfig(
+        cluster=ClusterConfig(num_nodes=8, slots_per_node=2),
+        bft=ClusterBFTConfig(f=1, replication=2, verification_points=1),
+        seed=seed,
+    )
+    controller = ClusterBFTController(config, telemetry=telemetry)
+    controller.load_input("twitter/followers", follower_edges(EDGES))
+    if mode == "plain":
+        result = controller.run_plain(FOLLOWER_ANALYSIS)
+    else:
+        result = controller.run_assured(FOLLOWER_ANALYSIS)
+    return controller, result
+
+
+def result_fingerprint(controller, result):
+    return {
+        "outputs": {
+            path: digest_of(records).value
+            for path, records in sorted(result.outputs.items())
+        },
+        "latency": result.latency,
+        "attempts": result.attempts,
+        "assured": result.assured,
+        "verdicts": [(o.sid, o.status, sorted(o.winners)) for o in result.outcomes],
+        "metrics": result.metrics,
+        "audit": controller.audit.render(),
+        "events_processed": controller.loop.events_processed,
+    }
+
+
+class TestTracingIsInvisible:
+    def test_assured_run_identical_with_tracing_on_and_off(self):
+        plain_controller, plain_result = run_once(telemetry=None)
+        traced_controller, traced_result = run_once(telemetry=Telemetry.recording())
+        assert result_fingerprint(plain_controller, plain_result) == \
+            result_fingerprint(traced_controller, traced_result)
+
+    def test_plain_run_identical_with_tracing_on_and_off(self):
+        plain = run_once(telemetry=None, mode="plain")
+        traced = run_once(telemetry=Telemetry.recording(), mode="plain")
+        assert result_fingerprint(*plain) == result_fingerprint(*traced)
+
+    def test_same_seed_traces_are_byte_identical(self):
+        from repro.telemetry.export import to_jsonl
+
+        first = Telemetry.recording()
+        second = Telemetry.recording()
+        run_once(telemetry=first)
+        run_once(telemetry=second)
+        assert to_jsonl(first.export_records()) == to_jsonl(second.export_records())
+
+    def test_output_data_is_seed_independent(self):
+        _, first_result = run_once(seed=1)
+        _, second_result = run_once(seed=2)
+        first_digests = {
+            path: digest_of(records).value
+            for path, records in first_result.outputs.items()
+        }
+        second_digests = {
+            path: digest_of(records).value
+            for path, records in second_result.outputs.items()
+        }
+        assert first_digests == second_digests
+
+
+class TestTraceContents:
+    def test_trace_names_the_expected_span_layers(self):
+        telemetry = Telemetry.recording()
+        run_once(telemetry=telemetry)
+        names = {r["name"] for r in telemetry.sink.spans()}
+        assert {"run", "attempt", "job", "task", "verify"} <= names
+        assert {"task.shuffle", "task.digest"} <= names
+
+    def test_run_span_brackets_every_other_span(self):
+        telemetry = Telemetry.recording()
+        run_once(telemetry=telemetry)
+        (run_span,) = telemetry.sink.spans("run")
+        for span in telemetry.sink.spans():
+            assert span["start"] >= run_span["start"] - 1e-9
+            assert span["end"] <= run_span["end"] + 1e-9
+
+    def test_audit_log_is_a_view_over_the_trace(self):
+        telemetry = Telemetry.recording()
+        controller, _ = run_once(telemetry=telemetry)
+        audit_events = [
+            e for e in telemetry.sink.events() if e["name"].startswith("audit.")
+        ]
+        assert len(audit_events) == len(controller.audit.events())
+
+    def test_metrics_cover_both_tiers(self):
+        telemetry = Telemetry.recording()
+        run_once(telemetry=telemetry)
+        names = {row["name"] for row in telemetry.metrics.snapshot()}
+        assert "mapreduce_tasks_completed" in names
+        assert "scheduler_assignments" in names
+        assert "verifier_verdicts" in names
+        assert "sim_events_processed" in names
+        assert "runs_total" in names

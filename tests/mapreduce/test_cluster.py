@@ -1,6 +1,9 @@
 """Tests for the worker-cluster model."""
 
+import random
+
 from repro.common.config import ClusterConfig
+from repro.common.rng import RngRegistry
 from repro.faults.behaviors import CommissionBehavior
 from repro.faults.injection import FaultPlan, single_commission
 from repro.mapreduce.cluster import Cluster, WorkerNode
@@ -65,3 +68,32 @@ class TestCluster:
             ClusterConfig(num_nodes=4, heartbeat_stagger=False)
         )
         assert set(cluster.heartbeat_offsets().values()) == {0.0}
+
+
+class TestDefaultRng:
+    """Regression: the default rng must come from the RngRegistry seed
+    scheme, not an ad-hoc ``random.Random(0)`` — otherwise a cluster
+    built without an explicit rng diverges from one wired through a
+    default registry, and the same deployment behaves differently
+    depending on which constructor path built it."""
+
+    def test_default_rng_matches_registry_cluster_stream(self):
+        defaulted = Cluster(ClusterConfig(num_nodes=2))
+        registry = RngRegistry()
+        assert defaulted.rng.random() == registry.stream("cluster").random()
+
+    def test_default_rng_is_not_random_zero(self):
+        defaulted = Cluster(ClusterConfig(num_nodes=2))
+        assert defaulted.rng.random() != random.Random(0).random()
+
+    def test_explicit_rng_still_wins(self):
+        rng = random.Random(7)
+        probe = random.Random(7)
+        cluster = Cluster(ClusterConfig(num_nodes=2), rng=rng)
+        assert cluster.rng is rng
+        assert cluster.rng.random() == probe.random()
+
+    def test_default_heartbeat_offsets_are_reproducible(self):
+        first = Cluster(ClusterConfig(num_nodes=4)).heartbeat_offsets()
+        second = Cluster(ClusterConfig(num_nodes=4)).heartbeat_offsets()
+        assert first == second

@@ -112,3 +112,95 @@ class TestRunModes:
             loop.schedule(1.0, lambda: None)
         loop.run_until_idle()
         assert loop.events_processed == 4
+
+
+class TestEdgeCases:
+    def test_cancelling_a_fired_event_is_harmless(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, lambda: fired.append("x"))
+        loop.run_until_idle()
+        handle.cancel()  # already fired: must not raise or un-fire
+        assert fired == ["x"]
+        assert handle.cancelled  # the flag still flips
+        assert loop.events_processed == 1
+
+    def test_schedule_at_current_time_is_allowed(self):
+        loop = EventLoop()
+        loop.schedule(2.0, lambda: None)
+        loop.run_until_idle()
+        fired = []
+        loop.schedule_at(loop.now, lambda: fired.append("now"))
+        loop.run_until_idle()
+        assert fired == ["now"]
+        assert loop.now == 2.0
+
+    def test_zero_delay_fires_after_already_queued_same_time_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(0.0, lambda: fired.append("a"))
+        loop.schedule(0.0, lambda: fired.append("b"))
+        loop.run_until_idle()
+        assert fired == ["a", "b"]
+
+    def test_reentrant_scheduling_during_run_until_idle(self):
+        loop = EventLoop()
+        fired = []
+
+        def fan_out():
+            fired.append("root")
+            # Same-time children fire within the same run, after all
+            # previously queued events at this timestamp.
+            loop.schedule(0.0, lambda: fired.append("child1"))
+            loop.schedule(0.0, lambda: fired.append("child2"))
+
+        loop.schedule(1.0, fan_out)
+        loop.schedule(1.0, lambda: fired.append("sibling"))
+        loop.run_until_idle()
+        assert fired == ["root", "sibling", "child1", "child2"]
+
+    def test_handle_reports_absolute_time(self):
+        loop = EventLoop()
+        loop.schedule(2.0, lambda: None)
+        loop.run_until_idle()
+        handle = loop.schedule(1.5, lambda: None)
+        assert handle.time == 3.5
+        assert not handle.cancelled
+
+    def test_cancelled_head_event_is_skipped_by_run_until(self):
+        loop = EventLoop()
+        fired = []
+        head = loop.schedule(1.0, lambda: fired.append("head"))
+        loop.schedule(2.0, lambda: fired.append("tail"))
+        head.cancel()
+        loop.run_until(5.0)
+        assert fired == ["tail"]
+        assert loop.now == 5.0
+
+
+class TestOnEventHook:
+    def test_hook_sees_each_fired_label(self):
+        loop = EventLoop()
+        seen = []
+        loop.on_event = seen.append
+        loop.schedule(1.0, lambda: None, label="hb:n1")
+        loop.schedule(2.0, lambda: None)  # empty label still reported
+        loop.run_until_idle()
+        assert seen == ["hb:n1", ""]
+
+    def test_hook_not_called_for_cancelled_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.on_event = seen.append
+        handle = loop.schedule(1.0, lambda: None, label="dropped")
+        handle.cancel()
+        loop.run_until_idle()
+        assert seen == []
+
+    def test_hook_fires_after_clock_advance(self):
+        loop = EventLoop()
+        times = []
+        loop.on_event = lambda label: times.append(loop.now)
+        loop.schedule(2.5, lambda: None)
+        loop.run_until_idle()
+        assert times == [2.5]

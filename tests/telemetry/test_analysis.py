@@ -1,0 +1,119 @@
+"""Tests for trace summarization (the `repro trace` backend)."""
+
+from repro.telemetry.analysis import summarize
+
+
+def span(name, start, end, span_id=0, **attrs):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": None,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs,
+    }
+
+
+def job(job_index, start, end, deps=(), replica=0, attempt=0, job_id=None):
+    return span(
+        "job",
+        start,
+        end,
+        job_index=job_index,
+        deps=list(deps),
+        replica=replica,
+        attempt=attempt,
+        job_id=job_id or f"j{job_index}.r{replica}",
+    )
+
+
+class TestCriticalPath:
+    def test_follows_dependency_chain(self):
+        records = [
+            job(0, 0.0, 4.0),
+            job(1, 0.0, 2.0),
+            job(2, 4.0, 9.0, deps=[0, 1]),  # longest chain starts at j0
+        ]
+        (attempt,) = summarize(records).attempts
+        assert attempt.critical_path.job_ids == ["j0.r0", "j2.r0"]
+        assert attempt.critical_path.duration == 9.0
+
+    def test_slowest_replica_wins(self):
+        records = [
+            job(0, 0.0, 3.0, replica=0),
+            job(0, 0.0, 5.0, replica=1),
+        ]
+        (attempt,) = summarize(records).attempts
+        assert attempt.critical_path.replica == 1
+        assert attempt.critical_path.duration == 5.0
+
+    def test_deps_outside_the_attempt_are_ignored(self):
+        # A reused-job dependency never got a span this attempt.
+        records = [job(1, 2.0, 6.0, deps=[0])]
+        (attempt,) = summarize(records).attempts
+        assert attempt.critical_path.job_ids == ["j1.r0"]
+
+
+class TestAggregation:
+    def test_execution_vs_verification_and_tail(self):
+        records = [
+            span("task", 0.0, 2.0, node="a", attempt=0),
+            span("task", 1.0, 4.0, node="b", attempt=0),
+            span("verify", 0.0, 6.5, sid="s0", status="verified"),
+        ]
+        summary = summarize(records)
+        assert summary.task_seconds == 5.0
+        assert summary.task_count == 2
+        assert summary.verify_seconds == 6.5
+        assert summary.verify_by_status == {"verified": 1}
+        # Verification ran 2.5s past the last task completion (offline).
+        assert summary.verify_tail_seconds == 2.5
+
+    def test_per_node_task_time(self):
+        records = [
+            span("task", 0.0, 2.0, node="a"),
+            span("task", 0.0, 1.0, node="a"),
+            span("task", 0.0, 4.0, node="b"),
+        ]
+        summary = summarize(records)
+        assert summary.node_seconds == {"a": 3.0, "b": 4.0}
+        assert summary.node_tasks == {"a": 2, "b": 1}
+
+    def test_attempts_group_jobs_and_tasks(self):
+        records = [
+            job(0, 0.0, 2.0, attempt=0),
+            span("task", 0.0, 2.0, node="a", attempt=0),
+            job(0, 3.0, 5.0, attempt=1),
+            span("task", 3.0, 5.0, node="a", attempt=1),
+        ]
+        summary = summarize(records)
+        assert [a.attempt for a in summary.attempts] == [0, 1]
+        assert summary.attempts[1].start == 3.0
+
+    def test_open_spans_and_metrics_are_tolerated(self):
+        records = [
+            span("task", 0.0, None),
+            {"type": "metric", "metric_kind": "counter", "ts": 0.0,
+             "name": "x", "labels": {}, "value": 1.0},
+            {"type": "event", "id": 9, "parent": None, "name": "audit.commit",
+             "ts": 1.0, "attrs": {}},
+        ]
+        summary = summarize(records)
+        assert summary.task_count == 0
+        assert summary.metric_rows and summary.event_counts == {"audit.commit": 1}
+
+
+class TestRender:
+    def test_render_mentions_the_headline_numbers(self):
+        records = [
+            span("run", 0.0, 9.0, script_id="s1", mode="assured"),
+            job(0, 0.0, 8.0),
+            span("task", 0.0, 8.0, node="node_a", attempt=0),
+            span("verify", 0.0, 9.0, sid="s0", status="verified"),
+        ]
+        text = summarize(records).render(top_nodes=1)
+        assert "run s1" in text
+        assert "critical path" in text
+        assert "verification tail" in text
+        assert "node_a" in text

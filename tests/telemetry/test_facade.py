@@ -1,0 +1,87 @@
+"""Tests for the Telemetry facade and the disabled singleton."""
+
+from repro.core.audit import AuditLog
+from repro.simulation.events import EventLoop
+from repro.telemetry import DISABLED, Telemetry
+from repro.telemetry.spans import NULL_TRACER
+
+
+class TestFacade:
+    def test_recording_bundles_tracer_sink_and_metrics(self):
+        telemetry = Telemetry.recording()
+        telemetry.tracer.event("x")
+        telemetry.metrics.counter("c").inc()
+        records = telemetry.export_records()
+        assert [r["type"] for r in records] == ["event", "metric"]
+
+    def test_bind_clock_retargets_the_tracer(self):
+        loop = EventLoop()
+        telemetry = Telemetry.recording()
+        telemetry.bind_clock(lambda: loop.now)
+        loop.schedule(4.0, lambda: telemetry.tracer.event("late"))
+        loop.run_until_idle()
+        assert telemetry.sink.events("late")[0]["ts"] == 4.0
+
+    def test_observe_loop_counts_events_by_label_family(self):
+        loop = EventLoop()
+        telemetry = Telemetry.recording(clock=lambda: loop.now)
+        telemetry.observe_loop(loop)
+        loop.schedule(1.0, lambda: None, label="hb:node_0001")
+        loop.schedule(2.0, lambda: None, label="hb:node_0002")
+        loop.schedule(3.0, lambda: None)
+        loop.run_until_idle()
+        metrics = telemetry.metrics
+        assert metrics.counter_value("sim_events_processed", family="hb") == 2.0
+        assert metrics.counter_value("sim_events_processed", family="unlabelled") == 1.0
+
+    def test_metric_snapshot_rows_carry_the_export_timestamp(self):
+        loop = EventLoop()
+        telemetry = Telemetry.recording(clock=lambda: loop.now)
+        telemetry.metrics.counter("c").inc()
+        loop.schedule(5.0, lambda: None)
+        loop.run_until_idle()
+        (row,) = telemetry.export_records()
+        assert row["type"] == "metric" and row["ts"] == 5.0
+
+
+class TestDisabled:
+    def test_disabled_is_inert_and_shared(self):
+        assert DISABLED.enabled is False
+        assert Telemetry.disabled() is DISABLED
+        assert DISABLED.tracer is NULL_TRACER
+        DISABLED.metrics.counter("c", k="v").inc()
+        DISABLED.metrics.histogram("h").observe(1.0)
+        DISABLED.bind_clock(lambda: 0.0)
+        DISABLED.observe_loop(EventLoop())
+        assert DISABLED.metrics.snapshot() == []
+        assert DISABLED.export_records() == []
+
+    def test_disabled_leaves_loop_hook_unset(self):
+        loop = EventLoop()
+        DISABLED.observe_loop(loop)
+        assert loop.on_event is None
+
+
+class TestAuditThroughTelemetry:
+    def test_audit_events_land_in_the_trace_and_the_log(self):
+        telemetry = Telemetry.recording()
+        audit = AuditLog(tracer=telemetry.tracer)
+        event = audit.record(1.5, "verdict", "sid0", status="verified")
+        assert event.kind == "verdict" and event.subject == "sid0"
+        assert event.details == {"status": "verified"}
+        (trace_event,) = telemetry.sink.events("audit.verdict")
+        assert trace_event["ts"] == 1.5
+        assert audit.events(kind="verdict") == [event]
+
+    def test_audit_without_tracer_is_unchanged(self):
+        audit = AuditLog()
+        audit.record(0.0, "submit", "script1", jobs=3)
+        assert len(audit) == 1
+        assert audit.events("submit")[0].details == {"jobs": 3}
+
+    def test_audit_ignores_non_audit_records(self):
+        telemetry = Telemetry.recording()
+        audit = AuditLog(tracer=telemetry.tracer)
+        telemetry.tracer.event("verify.mismatch", sid="s0")
+        telemetry.tracer.emit("task", start=0.0, end=1.0)
+        assert len(audit) == 0

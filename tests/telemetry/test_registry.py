@@ -1,0 +1,111 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks", kind="map").inc(3)
+        registry.counter("tasks", kind="reduce").inc()
+        assert registry.counter("tasks", kind="map").value == 3.0
+        assert registry.counter("tasks", kind="reduce").value == 1.0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1", b="2").inc()
+        assert registry.counter("c", b="2", a="1").value == 1.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1.0)
+
+    def test_counter_value_aggregates_over_omitted_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks", kind="map", node="a").inc(2)
+        registry.counter("tasks", kind="map", node="b").inc(3)
+        registry.counter("tasks", kind="reduce", node="a").inc(7)
+        assert registry.counter_value("tasks") == 12.0
+        assert registry.counter_value("tasks", kind="map") == 5.0
+        assert registry.counter_value("tasks", node="a") == 9.0
+        assert registry.counter_value("absent") == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4.0
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_cumulative_style(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        # <=1.0: {0.5, 1.0}; <=2.0: {1.5}; <=5.0: {3.0}; overflow: {100.0}
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.total == 106.0
+
+    def test_boundaries_are_sorted_at_construction(self):
+        histogram = Histogram(buckets=(5.0, 1.0, 2.0))
+        assert histogram.buckets == (1.0, 2.0, 5.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_mean_and_quantile(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 0.6, 8.0, 9.0):
+            histogram.observe(value)
+        assert histogram.mean == pytest.approx(4.525)
+        assert histogram.quantile(0.25) == 1.0
+        assert histogram.quantile(1.0) == 10.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_series_of_one_name_share_boundaries(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("latency", buckets=(1.0, 2.0), mode="a")
+        # Later buckets= for the same name is ignored: comparability wins.
+        second = registry.histogram("latency", buckets=(9.0,), mode="b")
+        assert first.buckets == second.buckets == (1.0, 2.0)
+
+    def test_default_buckets(self):
+        assert MetricsRegistry().histogram("h").buckets == DEFAULT_BUCKETS
+
+
+class TestSnapshot:
+    def test_snapshot_rows_are_sorted_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b_metric").inc()
+        registry.gauge("a_metric", node="n2").set(2)
+        registry.gauge("a_metric", node="n1").set(1)
+        registry.histogram("c_metric", buckets=(1.0,)).observe(0.5)
+        rows = registry.snapshot()
+        assert [r["name"] for r in rows] == ["a_metric", "a_metric", "b_metric", "c_metric"]
+        assert rows[0]["labels"] == {"node": "n1"}
+        histogram_row = rows[-1]
+        assert histogram_row["counts"] == [1, 0]
+        assert histogram_row["sum"] == 0.5
+        json.dumps(rows)  # must be serializable as-is
+
+    def test_snapshot_is_stable_across_calls(self):
+        registry = MetricsRegistry()
+        registry.counter("x", k="v").inc(2)
+        assert registry.snapshot() == registry.snapshot()
