@@ -18,7 +18,6 @@ approximation accuracy increases; Individual is the most expensive.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import pytest
 

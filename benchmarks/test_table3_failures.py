@@ -27,7 +27,7 @@ import pytest
 
 from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
 from repro.core.controller import ClusterBFTController
-from repro.faults.injection import combined, single_commission, slow_node
+from repro.faults.injection import combined, slow_node
 from repro.reporting.tables import Table
 from repro.workloads.airline import TOP_AIRPORTS, flight_records
 

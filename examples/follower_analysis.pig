@@ -1,0 +1,10 @@
+-- Paper §6.1 script 1: Twitter Follower Analysis.
+-- Counts the number of followers per user after filtering out empty
+-- records.  Kept as a standalone script so the CI plan checker
+-- (`repro lint --plan`) gates a real artifact; identical to
+-- repro.workloads.FOLLOWER_ANALYSIS.
+edges   = LOAD 'twitter/followers' AS (user:int, follower:int);
+clean   = FILTER edges BY follower IS NOT NULL;
+grouped = GROUP clean BY user;
+counts  = FOREACH grouped GENERATE group AS user, COUNT(clean) AS followers;
+STORE counts INTO 'twitter/follower_counts';

@@ -10,7 +10,6 @@ latency trade-off the paper's Fig. 14 measures.
 Run:  python examples/weather_bft_frontend.py
 """
 
-from dataclasses import replace
 
 from repro import ClusterBFTConfig, ClusterConfig, ClusterBFTController, SystemConfig
 from repro.workloads import AVERAGE_TEMPERATURE, daily_temperatures

@@ -16,7 +16,7 @@ fault the client's f+1 reply quorum must mask).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.bft.messages import (

@@ -13,7 +13,7 @@ import random
 from typing import Callable
 
 from repro.bft.client import BFTClient
-from repro.bft.messages import Request
+from repro.common.rng import RngRegistry
 from repro.bft.replica import PBFTReplica
 from repro.simulation.events import EventLoop
 from repro.simulation.network import LatencyModel, SimNetwork
@@ -38,7 +38,9 @@ class ReplicatedService:
         self.telemetry = telemetry if telemetry is not None else DISABLED
         self._tracer = self.telemetry.tracer
         self.network = SimNetwork(
-            self.loop, rng or random.Random(42), latency or LatencyModel()
+            self.loop,
+            rng if rng is not None else RngRegistry().stream("bft/service-network"),
+            latency or LatencyModel(),
         )
         self.replica_ids = [f"rh_{i}" for i in range(3 * f + 1)]
         self.replicas = [

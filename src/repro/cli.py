@@ -16,6 +16,13 @@ Examples::
     python -m repro run analysis.pig --trace out.jsonl ...
     python -m repro trace out.jsonl
 
+    # compare two traces of the same script (attempt/critical-path deltas)
+    python -m repro trace --diff clean.jsonl faulty.jsonl
+
+    # static analysis: determinism linter / plan checker
+    python -m repro lint src/repro
+    python -m repro lint --plan analysis.pig -f 1 -r 4
+
 Input CSVs are headerless; values are parsed as int, then float, then
 kept as strings; empty cells become NULL.
 """
@@ -30,8 +37,9 @@ from repro.common.records import Record
 from repro.core.controller import ClusterBFTController
 from repro.core.graph_analyzer import input_ratios
 from repro.core.request_handler import RequestHandler
+from repro.lint.cli import add_lint_parser, cmd_lint
 from repro.telemetry import Telemetry
-from repro.telemetry.analysis import summarize
+from repro.telemetry.analysis import diff_traces, summarize
 from repro.telemetry.export import read_jsonl, write_chrome_trace
 
 
@@ -111,8 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
     explain = sub.add_parser("explain", help="show plan, markers, job graph")
     common(explain)
 
-    trace = sub.add_parser("trace", help="summarize a recorded trace")
-    trace.add_argument("trace_file", help="JSONL trace from `repro run --trace`")
+    trace = sub.add_parser("trace", help="summarize or diff recorded traces")
+    trace.add_argument(
+        "trace_file",
+        nargs="+",
+        help="JSONL trace from `repro run --trace` (two files with --diff)",
+    )
+    trace.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare two traces of the same script: attempt-level "
+        "critical-path and verification-vs-execution deltas",
+    )
     trace.add_argument(
         "--chrome",
         metavar="OUT.json",
@@ -121,6 +139,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--top-nodes", type=int, default=10,
                        help="rows in the per-node task-time table")
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -202,13 +222,31 @@ def cmd_explain(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
+def _read_trace(path: str) -> list[dict]:
     try:
-        records = read_jsonl(args.trace_file)
+        return read_jsonl(path)
     except OSError as exc:
         raise SystemExit(f"cannot read trace: {exc}")
     except ValueError as exc:
-        raise SystemExit(f"not a JSONL trace: {args.trace_file}: {exc}")
+        raise SystemExit(f"not a JSONL trace: {path}: {exc}")
+
+
+def cmd_trace(args) -> int:
+    if args.diff:
+        if len(args.trace_file) != 2:
+            raise SystemExit("repro trace --diff needs exactly two trace files")
+        path_a, path_b = args.trace_file
+        diff = diff_traces(
+            _read_trace(path_a),
+            _read_trace(path_b),
+            label_a=path_a,
+            label_b=path_b,
+        )
+        print(diff.render(top_nodes=args.top_nodes))
+        return 0
+    if len(args.trace_file) != 1:
+        raise SystemExit("repro trace takes one trace file (or two with --diff)")
+    records = _read_trace(args.trace_file[0])
     if args.chrome:
         write_chrome_trace(records, args.chrome)
         print(f"chrome trace written to {args.chrome}")
@@ -223,6 +261,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_run(args)
         if args.command == "trace":
             return cmd_trace(args)
+        if args.command == "lint":
+            return cmd_lint(args)
         return cmd_explain(args)
     except BrokenPipeError:
         # stdout piped to a pager/head that exited; not an error.

@@ -25,7 +25,6 @@ from repro.dataflow.operators import (
     BlockingOperator,
     LimitOp,
     LoadOp,
-    Operator,
     StoreOp,
     StreamingOperator,
     UnionOp,

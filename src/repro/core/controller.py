@@ -370,7 +370,7 @@ class ClusterBFTController:
             feeding them.  Committed sub-graphs are reused — the paper's
             variable-grain recomputation saving."""
             needed = set(verifiable) - verified_ok
-            frontier = list(needed)
+            frontier = sorted(needed)
             while frontier:
                 job_index = frontier.pop()
                 for dep in deps[job_index]:
@@ -445,7 +445,7 @@ class ClusterBFTController:
             self.loop.run_while(lambda: not attempt.done())
             # The force-end deadline can beat a verdict's delivery event;
             # pull any internally-decided outcomes so reruns see them.
-            for sid in attempt.expected_verdicts - set(attempt.outcomes):
+            for sid in sorted(attempt.expected_verdicts - set(attempt.outcomes)):
                 decided = verifier.outcome(sid)
                 if decided is not None:
                     attempt.outcomes[sid] = decided
@@ -800,7 +800,6 @@ class ClusterBFTController:
             else:
                 # Unassured fallback: best-effort replica 0 of the last
                 # attempt (flagged by ScriptResult.assured = False).
-                attempt_index = (last_attempt and len(last_attempt.runs)) or 0
                 source = None
                 if last_attempt:
                     for run in last_attempt.runs:

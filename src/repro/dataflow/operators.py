@@ -18,7 +18,7 @@ digests match bit-for-bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.common.errors import PlanError, SchemaError
@@ -46,6 +46,10 @@ class Operator:
 
     def __init__(self, alias: str = "") -> None:
         self.alias = alias
+        #: 1-based script line that produced this operator (set by the
+        #: parser); ``None`` for programmatically-built plans.  The
+        #: static plan checker uses it to point diagnostics at source.
+        self.source_line: int | None = None
 
     @property
     def kind(self) -> str:

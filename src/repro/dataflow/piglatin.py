@@ -225,13 +225,18 @@ class Parser:
 
     # -- entry point ----------------------------------------------------
 
-    def parse(self) -> LogicalPlan:
+    def parse(self, validate: bool = True) -> LogicalPlan:
+        """Parse all statements.  ``validate=False`` skips the final
+        structure/schema validation so the static plan checker can
+        report every defect instead of crashing on the first."""
         while not self._check("EOF"):
             self._statement()
-        self.plan.validate()
+        if validate:
+            self.plan.validate()
         return self.plan
 
     def _statement(self) -> None:
+        line = self.current.line
         if self._accept("KEYWORD", "STORE"):
             alias = self._expect("IDENT").text
             self._expect("KEYWORD", "INTO")
@@ -239,11 +244,13 @@ class Parser:
             self._expect("SYMBOL", ";")
             # STORE introduces no alias; naming it after the stored
             # relation would shadow that relation in alias lookups.
-            self.plan.add(StoreOp(path), [self._alias_vid(alias)])
+            vid = self.plan.add(StoreOp(path), [self._alias_vid(alias)])
+            self.plan.op(vid).source_line = line
             return
         target = self._expect("IDENT").text
         self._expect("SYMBOL", "=")
         vid = self._relation_statement(target)
+        self.plan.op(vid).source_line = line
         self.aliases[target] = vid
         self._expect("SYMBOL", ";")
 
@@ -490,6 +497,6 @@ class Parser:
         return base
 
 
-def parse_script(source: str) -> LogicalPlan:
+def parse_script(source: str, validate: bool = True) -> LogicalPlan:
     """Parse a Pig Latin subset script into a validated logical plan."""
-    return Parser(source).parse()
+    return Parser(source).parse(validate=validate)

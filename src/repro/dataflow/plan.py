@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.errors import PlanError
+from repro.common.errors import PlanError, SchemaError
 from repro.dataflow.operators import JoinOp, LoadOp, Operator, StoreOp, UnionOp
 from repro.dataflow.schema import Schema
 
@@ -22,6 +22,21 @@ class Edge:
     src: VertexId
     dst: VertexId
     input_index: int  # position among dst's inputs
+
+
+@dataclass(frozen=True)
+class PlanProblem:
+    """One defect found by the non-raising validation pass.
+
+    ``kind`` is one of ``cycle``, ``arity``, ``schema``, ``no-store`` or
+    ``dangling``; ``error`` carries the exception :meth:`LogicalPlan.validate`
+    would raise for it (so the raising and reporting paths cannot drift).
+    """
+
+    kind: str
+    vid: VertexId | None
+    message: str
+    error: Exception
 
 
 class LogicalPlan:
@@ -203,24 +218,63 @@ class LogicalPlan:
 
     def validate(self) -> None:
         """Check structure and infer every schema (raises on problems)."""
-        order = self.topological_order()  # raises on cycles
+        problems = self.problems()
+        if problems:
+            raise problems[0].error
+
+    def problems(self, check_schemas: bool = True) -> list[PlanProblem]:
+        """Non-raising validation: every structural and schema defect.
+
+        The static plan checker (:mod:`repro.lint.plan_rules`) consumes
+        this to report *all* defects with locations instead of crashing
+        on the first; :meth:`validate` raises the first one, preserving
+        the original exception types.
+        """
+        problems: list[PlanProblem] = []
+        try:
+            order = self.topological_order()
+        except PlanError as exc:
+            return [PlanProblem("cycle", None, str(exc), exc)]
+
+        def arity(vid: VertexId, message: str) -> None:
+            problems.append(PlanProblem("arity", vid, message, PlanError(message)))
+
+        failed: set[VertexId] = set()
         for vid in order:
             op = self._ops[vid]
             parents = self._inputs[vid]
+            ok = True
             if op.is_source and parents:
-                raise PlanError(f"source {op!r} must have no inputs")
+                arity(vid, f"source {op!r} must have no inputs")
+                ok = False
             if not op.is_source and not parents:
-                raise PlanError(f"{op!r} has no inputs")
+                arity(vid, f"{op!r} has no inputs")
+                ok = False
             if isinstance(op, JoinOp) and len(parents) != 2:
-                raise PlanError(f"JOIN {op.alias!r} needs exactly 2 inputs")
+                arity(vid, f"JOIN {op.alias!r} needs exactly 2 inputs")
+                ok = False
             if isinstance(op, UnionOp) and len(parents) < 2:
-                raise PlanError(f"UNION {op.alias!r} needs >= 2 inputs")
+                arity(vid, f"UNION {op.alias!r} needs >= 2 inputs")
+                ok = False
             if op.is_sink and self._outputs[vid]:
-                raise PlanError(f"sink {op!r} must have no outputs")
-            self.schema_of(vid)  # forces schema inference
+                arity(vid, f"sink {op!r} must have no outputs")
+                ok = False
+            if not ok or any(parent in failed for parent in parents):
+                # Schema inference of a structurally-broken vertex (or of
+                # a descendant of one) would only duplicate the root cause.
+                failed.add(vid)
+                continue
+            if check_schemas:
+                try:
+                    self.schema_of(vid)
+                except (SchemaError, PlanError) as exc:
+                    failed.add(vid)
+                    problems.append(PlanProblem("schema", vid, str(exc), exc))
+
         sinks = self.sinks()
         if not sinks:
-            raise PlanError("plan has no STORE")
+            message = "plan has no STORE"
+            problems.append(PlanProblem("no-store", None, message, PlanError(message)))
         # Every non-sink vertex must reach a sink (no dangling branches).
         reaches: set[VertexId] = set(sinks)
         for vid in reversed(order):
@@ -229,7 +283,17 @@ class LogicalPlan:
         dangling = [vid for vid in order if vid not in reaches]
         if dangling:
             names = ", ".join(self._ops[vid].describe() for vid in dangling)
-            raise PlanError(f"vertices do not reach any STORE: {names}")
+            shared = PlanError(f"vertices do not reach any STORE: {names}")
+            for vid in dangling:
+                problems.append(
+                    PlanProblem(
+                        "dangling",
+                        vid,
+                        f"{self._ops[vid].describe()} does not reach any STORE",
+                        shared,
+                    )
+                )
+        return problems
 
     def schema_of(self, vid: VertexId) -> Schema:
         if vid not in self._schemas:

@@ -103,6 +103,10 @@ class Schema:
     def names(self) -> list[str]:
         return [f.name for f in self.fields]
 
+    def describe(self) -> str:
+        """Compact Pig-style rendering for diagnostics: ``(user:int, …)``."""
+        return "(" + ", ".join(f"{f.name}:{f.type}" for f in self.fields) + ")"
+
     def field(self, index: int) -> Field:
         return self.fields[index]
 

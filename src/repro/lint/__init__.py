@@ -1,0 +1,47 @@
+"""Static analysis for the reproduction: `repro lint`.
+
+Two layers keep the repo's load-bearing determinism invariant checkable
+*before* execution:
+
+* **Layer 1 — determinism linter** (:mod:`repro.lint.det_rules`): an
+  AST rule engine over Python sources that flags entropy sources which
+  bypass :class:`~repro.common.rng.RngRegistry` (DET001), wall-clock
+  reads outside the telemetry wall-clock path (DET002), order-sensitive
+  consumption of unordered sets (DET003) and floating-point accumulation
+  in digest paths (DET004).  Legitimate uses are waived inline with
+  ``# lint: allow DET002 <reason>`` so every exception stays auditable.
+
+* **Layer 2 — static plan checker** (:mod:`repro.lint.plan_rules`): a
+  pre-execution validation pass over logical dataflow plans — schema and
+  arity inference across operators, unused-alias detection, acyclicity,
+  verification-point coverage of every sink and replication-degree
+  invariants — that turns runtime interpreter crashes into precise
+  compile-time diagnostics with operator source locations.
+"""
+
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.engine import lint_paths, lint_source
+from repro.lint.plan_rules import (
+    PlanCheckError,
+    check_config,
+    check_plan,
+    check_prepared,
+)
+from repro.lint.rules import Rule, all_rules, rules_by_id
+from repro.lint.waivers import Waiver, collect_waivers
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "PlanCheckError",
+    "Rule",
+    "Waiver",
+    "all_rules",
+    "check_config",
+    "check_plan",
+    "check_prepared",
+    "collect_waivers",
+    "lint_paths",
+    "lint_source",
+    "rules_by_id",
+]

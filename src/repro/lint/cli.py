@@ -1,0 +1,158 @@
+"""CLI glue for ``repro lint``.
+
+Two modes share the subcommand:
+
+* ``repro lint PATH…`` — Layer 1, the determinism linter over Python
+  sources.  Exit 1 on any active finding (waived findings don't fail).
+* ``repro lint --plan SCRIPT [-f N] [-r N] [-n N]`` — Layer 2, the
+  static plan checker over a Pig-subset script: parse without
+  validation, prepare (marker placement + instrumentation) and report
+  every defect with script-line locations.
+
+Both modes support ``--format json`` for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.engine import lint_paths
+from repro.lint.rules import all_rules, rules_by_id
+
+
+def add_lint_parser(sub: argparse._SubParsersAction) -> None:
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: determinism linter and plan checker",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="Python files/directories to lint (Layer 1)",
+    )
+    lint.add_argument(
+        "--plan",
+        metavar="SCRIPT",
+        default=None,
+        help="check a Pig-subset script's plan instead (Layer 2)",
+    )
+    lint.add_argument(
+        "-f",
+        type=int,
+        default=1,
+        dest="faults",
+        help="expected failures for --plan invariants",
+    )
+    lint.add_argument(
+        "-r",
+        type=int,
+        default=None,
+        dest="replication",
+        help="replication degree for --plan invariants",
+    )
+    lint.add_argument(
+        "-n",
+        type=int,
+        default=1,
+        dest="points",
+        help="verification points for --plan instrumentation",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--show-waived", action="store_true", help="also print waived findings"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        exempt = (
+            f"  (exempt: {', '.join(rule.exempt_suffixes)})"
+            if rule.exempt_suffixes
+            else ""
+        )
+        print(f"{rule.rule_id}  {rule.title}{exempt}")
+    return 0
+
+
+def _emit(report: LintReport, args) -> int:
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render(show_waived=args.show_waived))
+    return report.exit_code()
+
+
+def _plan_report(args) -> LintReport:
+    # Imported lazily: plan checking pulls in the parser/compiler stack,
+    # which source linting doesn't need.
+    from repro.common.config import ClusterBFTConfig
+    from repro.common.errors import ParseError
+    from repro.dataflow.piglatin import parse_script
+    from repro.lint.plan_rules import check_config, check_plan, check_sink_coverage
+
+    report = LintReport(files_checked=1)
+    with open(args.plan) as handle:
+        source = handle.read()
+    try:
+        plan = parse_script(source, validate=False)
+    except ParseError as exc:
+        report.diagnostics.append(
+            Diagnostic(
+                rule="PLAN000",
+                path=args.plan,
+                line=getattr(exc, "line", 0) or 0,
+                column=getattr(exc, "column", 0) or 0,
+                message=f"parse error: {exc}",
+            )
+        )
+        return report
+    report.extend(check_plan(plan, args.plan))
+
+    replication = args.replication or 3 * args.faults + 1
+    report.extend(
+        check_config(
+            argparse.Namespace(f=args.faults, replication=replication), args.plan
+        )
+    )
+    structural = [d for d in report.findings if "PLAN000" <= d.rule <= "PLAN005"]
+    if structural:
+        return report  # a broken plan cannot be instrumented meaningfully
+
+    from repro.core.request_handler import RequestHandler
+
+    # Instrumentation shape doesn't depend on r, so clamp it to a value
+    # the config accepts even when PLAN007 already fired above.
+    config = ClusterBFTConfig(
+        f=args.faults,
+        replication=max(replication, args.faults + 1),
+        verification_points=args.points,
+    )
+    sizes = {path: 1 for path in plan.load_paths().values()}
+    prepared = RequestHandler(config).prepare(plan, sizes)
+    report.extend(check_sink_coverage(prepared.instrumented.plan, args.plan))
+    return report
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        return _list_rules()
+    if args.plan is not None:
+        return _emit(_plan_report(args), args)
+    if not args.paths:
+        raise SystemExit("repro lint: give PATH arguments or --plan SCRIPT")
+    rules = None
+    if args.select:
+        rules = rules_by_id([s.strip() for s in args.select.split(",") if s.strip()])
+    report = lint_paths(args.paths, rules)
+    return _emit(report, args)

@@ -1,0 +1,106 @@
+"""Diagnostic records and report rendering for the lint subsystem.
+
+A :class:`Diagnostic` pins one finding to a rule id and a source
+location; a :class:`LintReport` aggregates them over a run, separating
+*active* findings (which fail the build) from *waived* ones (explicitly
+allowed inline, kept visible for auditing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a source location."""
+
+    rule: str  # e.g. "DET001" or "PLAN003"
+    path: str  # file (or script) the finding is in
+    line: int  # 1-based; 0 when no location applies
+    message: str
+    column: int = 0
+    severity: str = SEVERITY_ERROR
+    waived: bool = False
+    waive_reason: str = ""
+
+    def format(self) -> str:
+        location = f"{self.path}:{self.line}:{self.column}"
+        text = f"{location}: {self.rule} {self.message}"
+        if self.waived:
+            reason = self.waive_reason or "no reason given"
+            text += f" [waived: {reason}]"
+        return text
+
+    def waive(self, reason: str) -> "Diagnostic":
+        return replace(self, waived=True, waive_reason=reason)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity,
+            "message": self.message,
+            "waived": self.waived,
+            "waive_reason": self.waive_reason,
+        }
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, plus file accounting."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def findings(self) -> list[Diagnostic]:
+        """Active (non-waived) diagnostics — these fail the build."""
+        return [d for d in self.diagnostics if not d.waived]
+
+    @property
+    def waived(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.waived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def extend(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        return sorted(
+            self.diagnostics, key=lambda d: (d.path, d.line, d.column, d.rule)
+        )
+
+    def render(self, show_waived: bool = False) -> str:
+        lines = []
+        for diagnostic in self.sorted_diagnostics():
+            if diagnostic.waived and not show_waived:
+                continue
+            lines.append(diagnostic.format())
+        findings = self.findings
+        summary = (
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+            f" ({len(self.waived)} waived)"
+            f" across {self.files_checked} file"
+            f"{'s' if self.files_checked != 1 else ''}"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [d.to_dict() for d in self.sorted_diagnostics()],
+            "ok": self.ok,
+        }

@@ -1,0 +1,85 @@
+"""Lint engine: walk files, run rules, apply waivers, build the report.
+
+``lint_paths`` is the programmatic equivalent of ``repro lint PATH…``:
+directories are walked for ``*.py`` files (deterministically sorted,
+``__pycache__`` skipped), each file is parsed once, every selected rule
+runs over the AST, and inline waivers are applied last so the report
+distinguishes *clean*, *waived* and *failing* code.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.rules import ModuleSource, Rule, all_rules
+from repro.lint.waivers import apply_waivers, collect_waivers
+
+
+def iter_python_files(paths: list[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    return out
+
+
+def lint_source(
+    path: str, source: str, rules: list[Rule] | None = None
+) -> list[Diagnostic]:
+    """Lint one module's source text; returns all diagnostics (incl. waived)."""
+    rules = rules if rules is not None else all_rules()
+    try:
+        module = ModuleSource.parse(path, source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="LINT999",
+                path=path,
+                line=exc.lineno or 0,
+                column=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        if rule.exempt(module):
+            continue
+        diagnostics.extend(rule.check(module))
+    waivers, malformed = collect_waivers(source)
+    return apply_waivers(diagnostics, waivers, malformed, path)
+
+
+def lint_paths(
+    paths: list[str], rules: list[Rule] | None = None
+) -> LintReport:
+    """Lint every Python file under ``paths``; returns the full report."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            report.diagnostics.append(
+                Diagnostic(
+                    rule="LINT998",
+                    path=str(file_path),
+                    line=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        display = str(file_path).replace(os.sep, "/")
+        report.extend(lint_source(display, source, rules))
+        report.files_checked += 1
+    return report

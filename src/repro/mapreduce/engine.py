@@ -16,12 +16,12 @@ identical blocks, and per-task digests are comparable across replicas.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.config import CostModelConfig
 from repro.common.hashing import Digest
-from repro.common.rng import derive_seed
+from repro.common.rng import RngRegistry
 from repro.common.ids import JobId, NodeId, SubGraphId
 from repro.common.errors import MapReduceError
 from repro.common.records import Record
@@ -36,7 +36,6 @@ from repro.mapreduce.metrics import (
 from repro.mapreduce.runtime import (
     MapTaskOutput,
     ReduceTaskOutput,
-    TapResult,
     execute_map_task,
     execute_reduce_task,
 )
@@ -272,6 +271,10 @@ class MapReduceEngine:
         self.cost = cost.validate()
         self.rng = rng
         self._run_seed = rng.randrange(1 << 62)
+        # Named per-task streams; stream(name) seeds with
+        # derive_seed(_run_seed, name), so this is bit-compatible with
+        # constructing random.Random(derive_seed(...)) directly.
+        self._task_rngs = RngRegistry(self._run_seed)
         self.runs: list[JobRun] = []
         self._heartbeats_running = False
         self.telemetry = telemetry if telemetry is not None else DISABLED
@@ -433,9 +436,7 @@ class MapReduceEngine:
         # stable across replicas only in structure (node id + task key),
         # so a probabilistic fault on one node cannot accidentally strike
         # the same record in every replica.
-        node_rng = random.Random(
-            derive_seed(self._run_seed, f"{node.node_id}/{task_key}")
-        )
+        node_rng = self._task_rngs.stream(f"{node.node_id}/{task_key}")
 
         states = run.map_states if ref.kind == "map" else run.reduce_states
         state = states[ref.index]

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import FileAlreadyExists, FileNotFound, StorageError
 from repro.common.ids import NodeId
-from repro.common.records import Record, total_bytes
+from repro.common.records import Record
 
 DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024  # HDFS default in Hadoop 1.x
 

@@ -12,6 +12,10 @@ run, reconstructs:
   tail that ran *after* the last task finished (the "offline, off the
   critical path" property of §3.3 made measurable);
 * **per-node task time** — busy seconds and task counts by worker node.
+
+:func:`diff_traces` compares two traces of the same script (e.g. a
+faulty seed vs a clean one) at attempt/critical-path granularity —
+backing ``repro trace --diff a.jsonl b.jsonl``.
 """
 
 from __future__ import annotations
@@ -182,6 +186,126 @@ def _critical_path(job_spans: list[dict]) -> CriticalPath | None:
                     end=end,
                 )
     return best
+
+
+def _fmt_delta(before: float, after: float) -> str:
+    delta = after - before
+    return f"{delta:+.3f}s"
+
+
+@dataclass
+class TraceDiff:
+    """Attempt-level comparison of two traces of the same script."""
+
+    a: TraceSummary
+    b: TraceSummary
+    label_a: str = "a"
+    label_b: str = "b"
+
+    def render(self, top_nodes: int = 5) -> str:
+        lines: list[str] = []
+        lines.append(f"trace diff: {self.label_a} -> {self.label_b}")
+
+        for index, (span_a, span_b) in enumerate(
+            zip(self.a.run_spans, self.b.run_spans)
+        ):
+            dur_a = span_a["end"] - span_a["start"]
+            dur_b = span_b["end"] - span_b["start"]
+            lines.append(
+                f"run[{index}] : {dur_a:.3f}s -> {dur_b:.3f}s "
+                f"({_fmt_delta(dur_a, dur_b)})"
+            )
+
+        lines.append("")
+        lines.append("attempts:")
+        attempts_a = {attempt.attempt: attempt for attempt in self.a.attempts}
+        attempts_b = {attempt.attempt: attempt for attempt in self.b.attempts}
+        for number in sorted(set(attempts_a) | set(attempts_b)):
+            in_a, in_b = attempts_a.get(number), attempts_b.get(number)
+            if in_a is None or in_b is None:
+                present = self.label_b if in_a is None else self.label_a
+                only = in_b if in_a is None else in_a
+                lines.append(
+                    f"  attempt {number}: only in {present} "
+                    f"({only.duration:.3f}s, {only.jobs} job replicas, "
+                    f"{only.tasks} tasks)"
+                )
+                continue
+            lines.append(
+                f"  attempt {number}: {in_a.duration:.3f}s -> "
+                f"{in_b.duration:.3f}s ({_fmt_delta(in_a.duration, in_b.duration)}), "
+                f"tasks {in_a.tasks} -> {in_b.tasks}, "
+                f"busy {in_a.task_seconds:.3f}s -> {in_b.task_seconds:.3f}s"
+            )
+            cp_a, cp_b = in_a.critical_path, in_b.critical_path
+            if cp_a and cp_b:
+                lines.append(
+                    f"    critical path: {cp_a.duration:.3f}s -> "
+                    f"{cp_b.duration:.3f}s "
+                    f"({_fmt_delta(cp_a.duration, cp_b.duration)})"
+                )
+                chain_a = " -> ".join(cp_a.job_ids)
+                chain_b = " -> ".join(cp_b.job_ids)
+                if chain_a != chain_b:
+                    lines.append(f"      {self.label_a}: {chain_a}")
+                    lines.append(f"      {self.label_b}: {chain_b}")
+
+        lines.append("")
+        lines.append(
+            f"execution    : {self.a.task_seconds:.3f}s -> "
+            f"{self.b.task_seconds:.3f}s "
+            f"({_fmt_delta(self.a.task_seconds, self.b.task_seconds)}, "
+            f"tasks {self.a.task_count} -> {self.b.task_count})"
+        )
+        lines.append(
+            f"verification : {self.a.verify_seconds:.3f}s -> "
+            f"{self.b.verify_seconds:.3f}s "
+            f"({_fmt_delta(self.a.verify_seconds, self.b.verify_seconds)})"
+        )
+        lines.append(
+            f"verify tail  : {self.a.verify_tail_seconds:.3f}s -> "
+            f"{self.b.verify_tail_seconds:.3f}s "
+            f"({_fmt_delta(self.a.verify_tail_seconds, self.b.verify_tail_seconds)})"
+        )
+        statuses = sorted(set(self.a.verify_by_status) | set(self.b.verify_by_status))
+        if statuses:
+            rendered = ", ".join(
+                f"{status}={self.a.verify_by_status.get(status, 0)}"
+                f"->{self.b.verify_by_status.get(status, 0)}"
+                for status in statuses
+            )
+            lines.append(f"verdicts     : {rendered}")
+
+        deltas = {
+            node: self.b.node_seconds.get(node, 0.0)
+            - self.a.node_seconds.get(node, 0.0)
+            for node in set(self.a.node_seconds) | set(self.b.node_seconds)
+        }
+        ranked = sorted(
+            deltas.items(), key=lambda kv: (-abs(kv[1]), kv[0])
+        )[:top_nodes]
+        shifted = [(node, delta) for node, delta in ranked if abs(delta) > 1e-9]
+        if shifted:
+            lines.append("")
+            lines.append("largest per-node busy-time shifts:")
+            for node, delta in shifted:
+                lines.append(f"  {node:<12} {delta:+10.3f}s")
+        return "\n".join(lines)
+
+
+def diff_traces(
+    records_a: list[dict],
+    records_b: list[dict],
+    label_a: str = "a",
+    label_b: str = "b",
+) -> TraceDiff:
+    """Compare two JSONL traces of the same script."""
+    return TraceDiff(
+        a=summarize(records_a),
+        b=summarize(records_b),
+        label_a=label_a,
+        label_b=label_b,
+    )
 
 
 def summarize(records: list[dict]) -> TraceSummary:

@@ -251,7 +251,9 @@ class Tracer:
 
     def _dispatch(self, record: dict) -> None:
         if self.wall_clock:
-            record["host_time"] = _time.monotonic()
+            # Host timestamps are opt-in profiling metadata, never fed
+            # back into simulation state or digests.
+            record["host_time"] = _time.monotonic()  # lint: allow DET002 wall-clock profiling sink
         for sink in self.sinks:
             sink.handle(record)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 
 from repro.common.records import Record
-from repro.common.rng import zipf_sample
+from repro.common.rng import RngRegistry, zipf_sample
 
 #: A realistic airport code pool (IATA-like three-letter codes).
 AIRPORTS = [
@@ -35,7 +35,7 @@ def flight_records(
     """Generate flight records:
     (year, month, day, carrier, origin, dest, dep_delay, arr_delay, cancelled).
     """
-    rng = rng or random.Random(2)
+    rng = rng if rng is not None else RngRegistry(2).stream("workload/airline")
     records: list[Record] = []
     n = len(AIRPORTS)
     for _ in range(num_flights):

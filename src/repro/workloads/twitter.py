@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 
 from repro.common.records import Record
-from repro.common.rng import zipf_sample
+from repro.common.rng import RngRegistry, zipf_sample
 
 
 def follower_edges(
@@ -27,7 +27,7 @@ def follower_edges(
     ``empty_fraction`` of records get a NULL follower — the "empty
     records" the Follower Analysis script filters out.
     """
-    rng = rng or random.Random(22)
+    rng = rng if rng is not None else RngRegistry(22).stream("workload/twitter")
     edges: list[Record] = []
     for _ in range(num_edges):
         user = zipf_sample(rng, num_users, alpha)

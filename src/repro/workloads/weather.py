@@ -14,6 +14,7 @@ import math
 import random
 
 from repro.common.records import Record
+from repro.common.rng import RngRegistry
 
 
 def station_ids(num_stations: int) -> list[str]:
@@ -27,7 +28,7 @@ def daily_temperatures(
     rng: random.Random | None = None,
 ) -> list[Record]:
     """Generate ``(station, year, day_of_year, temp_f)`` records."""
-    rng = rng or random.Random(26)
+    rng = rng if rng is not None else RngRegistry(26).stream("workload/weather")
     records: list[Record] = []
     for station in station_ids(num_stations):
         climate_mean = rng.uniform(20.0, 80.0)  # Fahrenheit

@@ -1,9 +1,7 @@
 """Tests for map-side combining (algebraic partial aggregation)."""
 
-import pytest
-
-from repro.common.records import Record, records_from_rows
-from repro.compiler.combiner import CombinerSpec, build_combiner
+from repro.common.records import records_from_rows
+from repro.compiler.combiner import CombinerSpec
 from repro.compiler.mr_compiler import CompileOptions, compile_plan
 from repro.dataflow.interpreter import interpret
 from repro.dataflow.piglatin import parse_script

@@ -1,7 +1,5 @@
 """Tests for dummy-job probing (active fault isolation, paper §3.3)."""
 
-import pytest
-
 from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
 from repro.core.controller import ClusterBFTController
 from repro.core.probe import ProbeManager

@@ -1,7 +1,5 @@
 """Tests for request-handler preparation (analyze → instrument → compile)."""
 
-import pytest
-
 from repro.common.config import ADVERSARY_WEAK, ClusterBFTConfig
 from repro.core.request_handler import (
     RequestHandler,

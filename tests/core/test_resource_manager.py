@@ -8,7 +8,6 @@ from repro.compiler.mr_compiler import CompileOptions, compile_plan
 from repro.core.resource_manager import ResourceManager
 from repro.core.suspicion import SuspicionTracker
 from repro.dataflow.piglatin import parse_script
-from repro.faults.injection import FaultPlan
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.engine import JobRun, MapReduceEngine
 from repro.mapreduce.scheduler import ClusterBFTScheduler

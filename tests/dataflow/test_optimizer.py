@@ -6,7 +6,6 @@ interpreter on the same inputs) — plus a hypothesis sweep over random
 data for the full rule pipeline.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

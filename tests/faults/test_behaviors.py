@@ -11,13 +11,11 @@ from repro.faults.behaviors import (
     CORRECT,
     CommissionBehavior,
     FlakyCommissionBehavior,
-    NodeBehavior,
     OmissionBehavior,
     SlowBehavior,
     tamper,
 )
 from repro.faults.injection import (
-    FaultPlan,
     combined,
     commission_nodes,
     no_faults,

@@ -1,0 +1,151 @@
+"""Layer 1 fixtures: each DET rule fires on a file with one known
+violation, asserting rule id, path and line — and stays silent on the
+equivalent clean construction."""
+
+from repro.lint import lint_source, rules_by_id
+
+
+def findings(source, path="fixture.py", select=None):
+    rules = rules_by_id(select) if select else None
+    return [d for d in lint_source(path, source, rules) if not d.waived]
+
+
+class TestDET001DirectRandom:
+    def test_random_random_constructor(self):
+        src = "import random\n\nrng = random.Random(7)\n"
+        (d,) = findings(src)
+        assert (d.rule, d.path, d.line) == ("DET001", "fixture.py", 3)
+
+    def test_module_state_call(self):
+        src = "import random\n\nvalue = random.randint(1, 6)\n"
+        (d,) = findings(src)
+        assert (d.rule, d.line) == ("DET001", 3)
+        assert "module state" in d.message
+
+    def test_from_import_alias(self):
+        src = "from random import Random as R\n\nrng = R(7)\n"
+        (d,) = findings(src)
+        assert (d.rule, d.line) == ("DET001", 3)
+
+    def test_rng_registry_is_clean(self):
+        src = (
+            "from repro.common.rng import RngRegistry\n"
+            "\n"
+            "rng = RngRegistry(7).stream('x')\n"
+        )
+        assert findings(src) == []
+
+    def test_rng_module_itself_is_exempt(self):
+        src = "import random\n\nrng = random.Random(7)\n"
+        assert findings(src, path="src/repro/common/rng.py") == []
+
+
+class TestDET002WallClock:
+    def test_time_time(self):
+        src = "import time\n\nnow = time.time()\n"
+        (d,) = findings(src)
+        assert (d.rule, d.path, d.line) == ("DET002", "fixture.py", 3)
+
+    def test_import_alias_resolves(self):
+        src = "import time as _time\n\nnow = _time.monotonic()\n"
+        (d,) = findings(src)
+        assert (d.rule, d.line) == ("DET002", 3)
+
+    def test_datetime_now(self):
+        src = "from datetime import datetime\n\nstamp = datetime.now()\n"
+        (d,) = findings(src)
+        assert (d.rule, d.line) == ("DET002", 3)
+
+    def test_simulated_clock_is_clean(self):
+        src = "def latency(loop):\n    return loop.now + 1.5\n"
+        assert findings(src) == []
+
+
+class TestDET003SetOrder:
+    def test_for_loop_over_set_literal(self):
+        src = "for item in {1, 2, 3}:\n    print(item)\n"
+        (d,) = findings(src)
+        assert (d.rule, d.path, d.line) == ("DET003", "fixture.py", 1)
+
+    def test_list_of_set_call(self):
+        src = "items = list(set([3, 1, 2]))\n"
+        (d,) = findings(src)
+        assert (d.rule, d.line) == ("DET003", 1)
+
+    def test_name_bound_to_set_difference(self):
+        src = (
+            "pending = {1, 2} - {2}\n"
+            "for task in pending:\n"
+            "    print(task)\n"
+        )
+        (d,) = findings(src)
+        assert (d.rule, d.line) == ("DET003", 2)
+
+    def test_sorted_wrapper_is_clean(self):
+        src = "for item in sorted({1, 2, 3}):\n    print(item)\n"
+        assert findings(src) == []
+
+    def test_membership_test_is_clean(self):
+        src = "allowed = {1, 2}\nhit = 3 in allowed\n"
+        assert findings(src) == []
+
+
+class TestDET004FloatDigest:
+    def test_float_augassign_in_digest_function(self):
+        src = (
+            "def digest_rows(rows):\n"
+            "    acc = 0.0\n"
+            "    for row in rows:\n"
+            "        acc += row / 3\n"
+            "    return acc\n"
+        )
+        (d,) = findings(src)
+        assert (d.rule, d.path, d.line) == ("DET004", "fixture.py", 4)
+
+    def test_float_sum_in_checksum_method(self):
+        src = (
+            "class Stream:\n"
+            "    def checksum(self, parts):\n"
+            "        return sum(p * 0.5 for p in parts)\n"
+        )
+        (d,) = findings(src)
+        assert (d.rule, d.line) == ("DET004", 3)
+
+    def test_integer_digest_is_clean(self):
+        src = (
+            "def digest_rows(rows):\n"
+            "    acc = 0\n"
+            "    for row in rows:\n"
+            "        acc = (acc * 31 + row) % (1 << 61)\n"
+            "    return acc\n"
+        )
+        assert findings(src) == []
+
+    def test_float_accumulation_outside_digest_is_clean(self):
+        src = (
+            "def total_latency(samples):\n"
+            "    acc = 0.0\n"
+            "    for s in samples:\n"
+            "        acc += s / 2\n"
+            "    return acc\n"
+        )
+        assert findings(src) == []
+
+
+class TestRuleSelection:
+    def test_select_restricts_rules(self):
+        src = "import random, time\n\nr = random.Random(1)\nt = time.time()\n"
+        only_det002 = findings(src, select=["DET002"])
+        assert [d.rule for d in only_det002] == ["DET002"]
+
+    def test_unknown_rule_id_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="DET999"):
+            rules_by_id(["DET999"])
+
+
+def test_syntax_error_reported_not_raised():
+    diags = lint_source("broken.py", "def f(:\n")
+    assert [d.rule for d in diags] == ["LINT999"]
+    assert diags[0].line == 1

@@ -1,0 +1,99 @@
+"""Waiver round-trips: suppression, next-line coverage, and the
+WAIVE001/002/003 meta-findings that keep the exception list honest."""
+
+from repro.lint import lint_source
+
+
+def split(diags):
+    active = [d for d in diags if not d.waived]
+    waived = [d for d in diags if d.waived]
+    return active, waived
+
+
+VIOLATION = "import random\n\nrng = random.Random(7)"
+
+
+def test_inline_waiver_suppresses_same_line():
+    src = VIOLATION + "  # lint: allow DET001 fixture seed\n"
+    active, waived = split(lint_source("x.py", src))
+    assert active == []
+    assert [d.rule for d in waived] == ["DET001"]
+    assert waived[0].waive_reason == "fixture seed"
+
+
+def test_standalone_waiver_covers_next_line():
+    src = (
+        "import random\n"
+        "\n"
+        "# lint: allow DET001 statement too long to share a line\n"
+        "rng = random.Random(7)\n"
+    )
+    active, waived = split(lint_source("x.py", src))
+    assert active == []
+    assert [d.rule for d in waived] == ["DET001"]
+
+
+def test_waiver_is_rule_specific():
+    src = (
+        "import random, time\n"
+        "\n"
+        "rng = random.Random(time.time())  # lint: allow DET001 seed source\n"
+    )
+    active, waived = split(lint_source("x.py", src))
+    # DET002 on the same line is NOT covered by the DET001 waiver.
+    assert [d.rule for d in active] == ["DET002"]
+    assert [d.rule for d in waived] == ["DET001"]
+
+
+def test_multi_rule_waiver():
+    src = (
+        "import random, time\n"
+        "\n"
+        "rng = random.Random(time.time())  # lint: allow DET001,DET002 entropy probe\n"
+    )
+    active, waived = split(lint_source("x.py", src))
+    assert active == []
+    assert sorted(d.rule for d in waived) == ["DET001", "DET002"]
+
+
+def test_reasonless_waiver_reports_waive001():
+    src = VIOLATION + "  # lint: allow DET001\n"
+    active, _ = split(lint_source("x.py", src))
+    assert [d.rule for d in active] == ["WAIVE001"]
+    assert active[0].line == 3
+
+
+def test_unused_waiver_reports_waive002():
+    src = "x = 1  # lint: allow DET001 nothing here triggers it\n"
+    active, _ = split(lint_source("x.py", src))
+    assert [d.rule for d in active] == ["WAIVE002"]
+    assert active[0].line == 1
+
+
+def test_malformed_waiver_reports_waive003():
+    src = "x = 1  # lint: allow\n"
+    active, _ = split(lint_source("x.py", src))
+    assert [d.rule for d in active] == ["WAIVE003"]
+
+
+def test_waiver_on_wrong_line_does_not_suppress():
+    src = (
+        "import random\n"
+        "# lint: allow DET001 covers only the next line\n"
+        "\n"
+        "rng = random.Random(7)\n"
+    )
+    active, _ = split(lint_source("x.py", src))
+    # The blank line separates waiver from violation: both the finding
+    # and the now-unused waiver surface.
+    assert sorted(d.rule for d in active) == ["DET001", "WAIVE002"]
+
+
+def test_waived_findings_do_not_fail_report():
+    from repro.lint.diagnostics import LintReport
+
+    report = LintReport()
+    report.extend(lint_source("x.py", VIOLATION + "  # lint: allow DET001 ok\n"))
+    assert report.ok
+    assert report.exit_code() == 0
+    assert len(report.waived) == 1

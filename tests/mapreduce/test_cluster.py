@@ -5,7 +5,7 @@ import random
 from repro.common.config import ClusterConfig
 from repro.common.rng import RngRegistry
 from repro.faults.behaviors import CommissionBehavior
-from repro.faults.injection import FaultPlan, single_commission
+from repro.faults.injection import single_commission
 from repro.mapreduce.cluster import Cluster, WorkerNode
 
 

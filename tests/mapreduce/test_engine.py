@@ -13,7 +13,7 @@ from repro.dataflow.piglatin import parse_script
 from repro.faults.injection import FaultPlan, single_commission, single_omission
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.engine import DigestReport, JobRun, MapReduceEngine
-from repro.mapreduce.scheduler import ClusterBFTScheduler, NaiveScheduler
+from repro.mapreduce.scheduler import NaiveScheduler
 from repro.simulation.events import EventLoop
 from repro.storage.dfs import TrustedDFS
 

@@ -5,7 +5,7 @@ import random
 
 from repro.common.config import ClusterConfig, CostModelConfig
 from repro.common.records import records_from_rows
-from repro.compiler.mr_compiler import CompileOptions, compile_plan
+from repro.compiler.mr_compiler import compile_plan
 from repro.dataflow.piglatin import parse_script
 from repro.faults.injection import FaultPlan
 from repro.mapreduce.cluster import Cluster

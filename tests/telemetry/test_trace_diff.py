@@ -1,0 +1,135 @@
+"""Tests for trace diffing (the `repro trace --diff` backend)."""
+
+from repro.telemetry.analysis import diff_traces
+
+
+def span(name, start, end, span_id=0, **attrs):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": None,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs,
+    }
+
+
+def job(job_index, start, end, deps=(), replica=0, attempt=0):
+    return span(
+        "job",
+        start,
+        end,
+        job_index=job_index,
+        deps=list(deps),
+        replica=replica,
+        attempt=attempt,
+        job_id=f"j{job_index}.r{replica}",
+    )
+
+
+CLEAN = [
+    span("run", 0.0, 10.0, script_id="s1", mode="assured"),
+    job(0, 0.0, 4.0, attempt=0),
+    job(1, 4.0, 8.0, deps=[0], attempt=0),
+    span("task", 0.0, 4.0, node="a", attempt=0),
+    span("task", 4.0, 8.0, node="a", attempt=0),
+    span("verify", 8.0, 10.0, sid="s0", status="verified"),
+]
+
+# A faulty run: attempt 0's second job is slower, a rerun attempt
+# appears, and one verdict flips to faulty.
+FAULTY = [
+    span("run", 0.0, 18.0, script_id="s1", mode="assured"),
+    job(0, 0.0, 4.0, attempt=0),
+    job(1, 4.0, 11.0, deps=[0], attempt=0),
+    span("task", 0.0, 4.0, node="a", attempt=0),
+    span("task", 4.0, 11.0, node="b", attempt=0),
+    span("verify", 11.0, 12.0, sid="s0", status="faulty"),
+    job(1, 12.0, 16.0, attempt=1),
+    span("task", 12.0, 16.0, node="a", attempt=1),
+    span("verify", 16.0, 18.0, sid="s0", status="verified"),
+]
+
+
+def test_attempt_deltas():
+    diff = diff_traces(CLEAN, FAULTY)
+    assert [a.attempt for a in diff.a.attempts] == [0]
+    assert [a.attempt for a in diff.b.attempts] == [0, 1]
+    text = diff.render()
+    assert "attempt 0:" in text
+    assert "attempt 1: only in b" in text
+
+
+def test_critical_path_delta_rendered():
+    diff = diff_traces(CLEAN, FAULTY)
+    text = diff.render()
+    # attempt 0 critical path went from 8s to 11s: +3.000s.
+    assert "critical path: 8.000s -> 11.000s (+3.000s)" in text
+
+
+def test_execution_vs_verification_totals():
+    diff = diff_traces(CLEAN, FAULTY)
+    text = diff.render()
+    # execution 8s -> 15s; verification 2s -> 3s.
+    assert "execution    : 8.000s -> 15.000s (+7.000s, tasks 2 -> 3)" in text
+    assert "verification : 2.000s -> 3.000s (+1.000s)" in text
+
+
+def test_verdict_counts_compared():
+    diff = diff_traces(CLEAN, FAULTY)
+    text = diff.render()
+    assert "faulty=0->1" in text
+    assert "verified=1->1" in text
+
+
+def test_labels_appear_in_header():
+    diff = diff_traces(CLEAN, FAULTY, label_a="clean.jsonl", label_b="bad.jsonl")
+    text = diff.render()
+    assert text.splitlines()[0] == "trace diff: clean.jsonl -> bad.jsonl"
+
+
+def test_node_shift_table():
+    diff = diff_traces(CLEAN, FAULTY)
+    text = diff.render()
+    assert "largest per-node busy-time shifts" in text
+    assert "b" in text  # node b gained time
+
+
+def test_identical_traces_have_no_shift_section():
+    diff = diff_traces(CLEAN, CLEAN)
+    text = diff.render()
+    assert "largest per-node busy-time shifts" not in text
+    assert "(+0.000s)" in text
+
+
+def test_cli_trace_diff_round_trip(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    path_a = tmp_path / "clean.jsonl"
+    path_b = tmp_path / "faulty.jsonl"
+    path_a.write_text("".join(json.dumps(r) + "\n" for r in CLEAN))
+    path_b.write_text("".join(json.dumps(r) + "\n" for r in FAULTY))
+    assert main(["trace", "--diff", str(path_a), str(path_b)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace diff: {path_a} -> {path_b}" in out
+    assert "critical path" in out
+
+
+def test_cli_trace_diff_requires_two_files(tmp_path):
+    import pytest
+
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="exactly two"):
+        main(["trace", "--diff", str(tmp_path / "only-one.jsonl")])
+
+
+def test_critical_path_chain_change_lists_both_chains():
+    diff = diff_traces(CLEAN, FAULTY, label_a="A", label_b="B")
+    text = diff.render()
+    # Same chain in attempt 0 (j0 -> j1), so chains are only printed
+    # when they differ — they don't here.
+    assert "A: j0.r0 -> j1.r0" not in text
