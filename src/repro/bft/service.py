@@ -41,6 +41,7 @@ class ReplicatedService:
             self.loop,
             rng if rng is not None else RngRegistry().stream("bft/service-network"),
             latency or LatencyModel(),
+            telemetry=self.telemetry,
         )
         self.replica_ids = [f"rh_{i}" for i in range(3 * f + 1)]
         self.replicas = [

@@ -1,0 +1,64 @@
+"""Chaos campaign harness.
+
+Sweeps a matrix of Byzantine fault scenarios across seeds on the full
+assured-execution stack and checks declarative safety / liveness /
+degradation invariants against each run:
+
+* ``SAFE1`` — no tampered record reaches a verified sink;
+* ``SAFE2`` — the verifier never silently matched digests from
+  divergent stored outputs (every divergence among digest-quorum
+  winners is detected and audited as an equivocation fault);
+* ``LIVE1`` — every script run terminates within the rerun budget with
+  an explicit verdict;
+* ``LIVE2`` — attribution converges: the suspect set ends up a superset
+  of the planted culprits the scenario expects attributed;
+* ``DEGR1`` — quarantined nodes receive no new task attempts.
+
+Entry points: :func:`repro.chaos.runner.run_campaign` and the
+``repro chaos run`` CLI (:mod:`repro.chaos.cli`).
+"""
+
+from repro.chaos.invariants import (
+    DEGR1,
+    INVARIANTS,
+    LIVE1,
+    LIVE2,
+    SAFE1,
+    SAFE2,
+    RunContext,
+    Violation,
+    check_all,
+)
+from repro.chaos.runner import CampaignError, run_campaign
+from repro.chaos.scenarios import (
+    CAMPAIGNS,
+    DEFAULT_CAMPAIGN,
+    SCENARIOS,
+    SMOKE_CAMPAIGN,
+    FaultSpec,
+    Scenario,
+    build_fault_plan,
+    resolve_scenarios,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignError",
+    "DEFAULT_CAMPAIGN",
+    "DEGR1",
+    "FaultSpec",
+    "INVARIANTS",
+    "LIVE1",
+    "LIVE2",
+    "RunContext",
+    "SAFE1",
+    "SAFE2",
+    "SCENARIOS",
+    "SMOKE_CAMPAIGN",
+    "Scenario",
+    "Violation",
+    "build_fault_plan",
+    "check_all",
+    "resolve_scenarios",
+    "run_campaign",
+]

@@ -1,0 +1,279 @@
+"""Safety / liveness / degradation invariant checkers.
+
+Each checker inspects one finished chaos run — the controller state,
+the script results, the ground-truth outputs and the telemetry trace —
+and returns :class:`Violation`\\ s.  Checkers only *observe*: they never
+mutate the controller, so evaluation order is irrelevant and a report
+can be recomputed from a persisted trace plus the replica files.
+
+Invariant ids (stable — referenced by reports, tests and DESIGN.md):
+
+``SAFE1``
+    No tampered record in any verified sink: when a run reports
+    ``assured``, its published outputs equal the fault-free reference.
+``SAFE2``
+    The verifier never *silently* matched digests from divergent stored
+    outputs: whenever the digest-quorum winners of a committed sid
+    persisted more than one distinct content, the trusted tier audited
+    an equivocation fault for that sid.
+``LIVE1``
+    Every script run terminates within the rerun budget with an
+    explicit verdict (and ends assured when the scenario expects it).
+``LIVE2``
+    Attribution converges: the end-of-campaign suspect set is a
+    superset of the culprits the scenario expects attributed.
+``DEGR1``
+    Quarantined nodes receive no new task attempts after the
+    quarantine's audit timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.records import Record, encode_record
+from repro.core.audit import COMMIT, FAULT, QUARANTINE
+from repro.core.verifier import VERIFIED
+
+SAFE1 = "SAFE1"
+SAFE2 = "SAFE2"
+LIVE1 = "LIVE1"
+LIVE2 = "LIVE2"
+DEGR1 = "DEGR1"
+
+INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with a pointer into the evidence."""
+
+    invariant: str
+    detail: str
+    #: Trace pointer: the relative trace file plus a locator (an event
+    #: name / sim timestamp / sid) that pins the evidence inside it.
+    trace_ref: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "trace_ref": self.trace_ref,
+        }
+
+
+@dataclass
+class RunContext:
+    """Everything a checker may look at for one (scenario, seed) run."""
+
+    scenario: object  # Scenario (untyped to avoid an import cycle)
+    controller: object  # ClusterBFTController
+    results: list  # list[ScriptResult]
+    truth: dict[str, list[Record]]
+    records: list[dict] = field(default_factory=list)  # trace records
+    trace_name: str | None = None
+
+    def ref(self, locator: str) -> str | None:
+        if self.trace_name is None:
+            return locator
+        return f"{self.trace_name}#{locator}"
+
+
+def check_safe1(ctx: RunContext) -> list[Violation]:
+    """Assured outputs must be byte-for-byte the fault-free truth."""
+    violations = []
+    for run_index, result in enumerate(ctx.results):
+        if not result.assured:
+            continue
+        for path, expected in ctx.truth.items():
+            got = result.outputs.get(path, [])
+            if got != expected:
+                violations.append(
+                    Violation(
+                        SAFE1,
+                        f"run {run_index}: verified sink {path!r} diverges "
+                        f"from reference ({len(got)} vs {len(expected)} "
+                        f"records)",
+                        ctx.ref(f"run={run_index},sink={path}"),
+                    )
+                )
+    return violations
+
+
+def _committed_sids(ctx: RunContext) -> list[tuple[str, str, int]]:
+    """(sid, committed logical path, winner) from the audit log."""
+    audit = ctx.controller.audit
+    return [
+        (event.subject, event.details.get("path", ""), event.details.get("winner", 0))
+        for event in audit.events(kind=COMMIT)
+    ]
+
+
+def _sid_parts(sid: str) -> tuple[str, int] | None:
+    """``script0001.a2.j3`` -> (script_id, attempt_index)."""
+    parts = sid.split(".")
+    if len(parts) != 3 or not parts[1].startswith("a"):
+        return None
+    try:
+        return parts[0], int(parts[1][1:])
+    except ValueError:
+        return None
+
+
+def check_safe2(ctx: RunContext) -> list[Violation]:
+    """Divergence among a committed sid's digest winners must have been
+    detected (audited as an equivocation fault) — never silent."""
+    violations = []
+    controller = ctx.controller
+    dfs = controller.dfs
+    outcomes_by_sid = {
+        outcome.sid: outcome
+        for result in ctx.results
+        for outcome in result.outcomes
+        if outcome.status == VERIFIED
+    }
+    audited = {
+        event.subject
+        for event in controller.audit.events(kind=FAULT)
+        if event.details.get("fault_kind") == "equivocation"
+    }
+    for sid, path, _winner in _committed_sids(ctx):
+        outcome = outcomes_by_sid.get(sid)
+        parts = _sid_parts(sid)
+        if outcome is None or parts is None or not path:
+            continue
+        script_id, attempt_index = parts
+        contents = set()
+        for replica in sorted(outcome.winners):
+            replica_path = f"__run/{script_id}/a{attempt_index}/r{replica}/{path}"
+            if not dfs.exists(replica_path):
+                continue
+            contents.add(
+                tuple(encode_record(r) for r in dfs.file_info(replica_path).records())
+            )
+        if len(contents) > 1 and sid not in audited:
+            violations.append(
+                Violation(
+                    SAFE2,
+                    f"digest winners of {sid} stored {len(contents)} distinct "
+                    f"outputs for {path!r} with no equivocation fault audited",
+                    ctx.ref(f"sid={sid}"),
+                )
+            )
+    return violations
+
+
+def check_live1(ctx: RunContext) -> list[Violation]:
+    """Termination with an explicit verdict, inside the rerun budget."""
+    violations = []
+    scenario = ctx.scenario
+    budget = scenario.max_reruns + 1
+    for run_index, result in enumerate(ctx.results):
+        if result.attempts > budget:
+            violations.append(
+                Violation(
+                    LIVE1,
+                    f"run {run_index}: {result.attempts} attempts exceed the "
+                    f"max_reruns budget of {budget}",
+                    ctx.ref(f"run={run_index}"),
+                )
+            )
+        if not result.assured:
+            explicit = result.attempts >= budget or any(
+                outcome.status != VERIFIED for outcome in result.outcomes
+            )
+            if not explicit:
+                violations.append(
+                    Violation(
+                        LIVE1,
+                        f"run {run_index}: unassured without an explicit "
+                        f"failing verdict or an exhausted rerun budget",
+                        ctx.ref(f"run={run_index}"),
+                    )
+                )
+            if scenario.expect_assured:
+                violations.append(
+                    Violation(
+                        LIVE1,
+                        f"run {run_index}: scenario expects assured "
+                        f"completion but the run ended unassured "
+                        f"(attempts={result.attempts})",
+                        ctx.ref(f"run={run_index}"),
+                    )
+                )
+    return violations
+
+
+def check_live2(ctx: RunContext) -> list[Violation]:
+    """Suspect set must end a superset of the expected culprits."""
+    scenario = ctx.scenario
+    if not scenario.attributed_nodes:
+        return []
+    controller = ctx.controller
+    node_ids = controller.cluster.node_ids()
+    expected = {node_ids[index] for index in scenario.attributed_nodes}
+    suspects = set(controller.suspicion.suspects())
+    if controller.fault_analyzer.saturated:
+        suspects |= set(controller.fault_analyzer.suspects())
+    missed = sorted(expected - suspects)
+    if missed:
+        return [
+            Violation(
+                LIVE2,
+                f"culprits never suspected: {', '.join(missed)} "
+                f"(suspects: {', '.join(sorted(suspects)) or 'none'})",
+                ctx.ref("suspects"),
+            )
+        ]
+    return []
+
+
+def check_degr1(ctx: RunContext) -> list[Violation]:
+    """No task attempt may start on a node after its quarantine."""
+    quarantined_at: dict[str, float] = {}
+    for event in ctx.controller.audit.events(kind=QUARANTINE):
+        quarantined_at.setdefault(event.subject, event.time)
+    if not quarantined_at:
+        return []
+    violations = []
+    for record in ctx.records:
+        node = None
+        started = None
+        if record.get("type") == "span" and record.get("name") == "task":
+            attrs = record.get("attrs") or {}
+            node = attrs.get("node")
+            started = record.get("start")
+        elif record.get("type") == "event" and record.get("name") == "speculate":
+            attrs = record.get("attrs") or {}
+            node = attrs.get("node")
+            started = record.get("ts")
+        if node is None or started is None:
+            continue
+        cutoff = quarantined_at.get(node)
+        if cutoff is not None and started > cutoff + 1e-9:
+            violations.append(
+                Violation(
+                    DEGR1,
+                    f"node {node} started a task at t={started:.3f} after "
+                    f"its quarantine at t={cutoff:.3f}",
+                    ctx.ref(f"node={node},t={started:.3f}"),
+                )
+            )
+    return violations
+
+
+_CHECKERS = (
+    (SAFE1, check_safe1),
+    (SAFE2, check_safe2),
+    (LIVE1, check_live1),
+    (LIVE2, check_live2),
+    (DEGR1, check_degr1),
+)
+
+
+def check_all(ctx: RunContext) -> list[Violation]:
+    """Run every invariant checker, in declaration order."""
+    violations: list[Violation] = []
+    for _invariant, checker in _CHECKERS:
+        violations.extend(checker(ctx))
+    return violations

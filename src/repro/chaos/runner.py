@@ -1,0 +1,210 @@
+"""Campaign runner: scenario matrix × seed sweep → JSON report.
+
+Every (scenario, seed) cell builds a fresh simulated deployment, runs a
+fault-free twin first to obtain ground truth, executes the scenario's
+script runs under full telemetry, then evaluates the invariant
+checkers.  Everything is simulated time and seeded randomness, so the
+report — serialized with sorted keys and no wall-clock values — is
+byte-identical across re-executions, which CI exploits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+from repro.chaos.invariants import RunContext, Violation, check_all
+from repro.chaos.scenarios import Scenario, build_fault_plan
+from repro.common.errors import ReproError
+from repro.common.records import Record, records_from_rows
+from repro.core.audit import EVICTION, QUARANTINE, RERUN
+from repro.core.controller import ClusterBFTController
+from repro.simulation.network import delay_spike, selective_drop
+from repro.telemetry import Telemetry
+
+#: The campaign workload: a group-count with a filter — two MapReduce
+#: jobs, one internal verification point candidate, a verifiable sink.
+DEFAULT_SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+B = FILTER A BY v IS NOT NULL;
+G = GROUP B BY k;
+C = FOREACH G GENERATE group AS k, COUNT(B) AS n;
+STORE C INTO 'out';
+"""
+
+_BLOCK_BYTES = 2048
+_WORKLOAD_ROWS = 320
+_WORKLOAD_KEYS = 8
+
+
+class CampaignError(ReproError):
+    """Raised for campaign-level misconfiguration (not invariant failures)."""
+
+
+def workload(seed: int) -> list[Record]:
+    """Deterministic per-seed input rows (no wall clock, no global rng)."""
+    # lint: allow DET001 workload generation precedes any engine; the cell seed is the stream name
+    rng = random.Random(1000003 * seed + 17)
+    return records_from_rows(
+        [
+            (rng.randrange(_WORKLOAD_KEYS), rng.randrange(1000))
+            for _ in range(_WORKLOAD_ROWS)
+        ]
+    )
+
+
+def _apply_network_faults(
+    scenario: Scenario, controller: ClusterBFTController
+) -> None:
+    """Install the scenario's endpoint drop/delay rules on the PBFT
+    front-end network (the only simulated message network)."""
+    frontend = controller.frontend
+    if frontend is None:
+        return
+    replica_ids = frontend.replica_ids
+    for index, spec in enumerate(
+        s for s in scenario.faults if s.kind in ("net-drop", "net-delay")
+    ):
+        if not 0 <= spec.node < len(replica_ids):
+            raise CampaignError(
+                f"scenario {scenario.name!r}: replica index {spec.node} out "
+                f"of range for {len(replica_ids)} PBFT replicas"
+            )
+        endpoint = replica_ids[spec.node]
+        params = spec.kwargs()
+        rng = controller.rng.stream(f"chaos/net/{spec.kind}/{index}")
+        if spec.kind == "net-drop":
+            frontend.network.add_filter(
+                selective_drop({endpoint}, params.get("probability", 1.0), rng)
+            )
+        else:
+            frontend.network.add_delay(
+                delay_spike(
+                    {endpoint},
+                    params.get("extra_seconds", 1.0),
+                    rng,
+                    probability=params.get("probability", 1.0),
+                )
+            )
+
+
+def _reference_truth(scenario: Scenario, seed: int) -> dict[str, list[Record]]:
+    """Ground truth from a fault-free twin of the deployment."""
+    reference = ClusterBFTController(
+        scenario.system_config(seed), block_bytes=_BLOCK_BYTES
+    )
+    reference.load_input("in", workload(seed))
+    return reference.run_plain(DEFAULT_SCRIPT).outputs
+
+
+def run_one(
+    scenario: Scenario, seed: int, trace_dir: str | None = None
+) -> tuple[RunContext, list[Violation]]:
+    """Execute one (scenario, seed) cell; returns context + violations."""
+    trace_name = None
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_name = f"{scenario.name}-s{seed}.jsonl"
+        telemetry = Telemetry.streaming(os.path.join(trace_dir, trace_name))
+    else:
+        telemetry = Telemetry.recording()
+
+    config = scenario.system_config(seed)
+    fault_plan = build_fault_plan(scenario, [
+        f"node_{index:04d}" for index in range(scenario.num_nodes)
+    ])
+    controller = ClusterBFTController(
+        config,
+        fault_plan=fault_plan,
+        block_bytes=_BLOCK_BYTES,
+        replicate_frontend=scenario.uses_network_faults,
+        telemetry=telemetry,
+    )
+    _apply_network_faults(scenario, controller)
+    controller.load_input("in", workload(seed))
+
+    results = [controller.run_assured(DEFAULT_SCRIPT) for _ in range(scenario.runs)]
+
+    if trace_dir is not None:
+        telemetry.finalize()
+        from repro.telemetry.export import read_jsonl
+
+        records = read_jsonl(os.path.join(trace_dir, trace_name))
+    else:
+        records = telemetry.export_records()
+
+    truth = _reference_truth(scenario, seed)
+    ctx = RunContext(
+        scenario=scenario,
+        controller=controller,
+        results=results,
+        truth=truth,
+        records=records,
+        trace_name=trace_name,
+    )
+    return ctx, check_all(ctx)
+
+
+def _cell_report(
+    ctx: RunContext, violations: list[Violation], seed: int
+) -> dict:
+    controller = ctx.controller
+    audit = controller.audit
+    return {
+        "scenario": ctx.scenario.name,
+        "seed": seed,
+        "passed": not violations,
+        "expected_violations": list(ctx.scenario.expected_violations),
+        "violations": [v.as_dict() for v in violations],
+        "assured": [bool(r.assured) for r in ctx.results],
+        "attempts": [r.attempts for r in ctx.results],
+        "latency": [round(r.latency, 6) for r in ctx.results],
+        "reruns": len(audit.events(kind=RERUN)),
+        "quarantined": sorted(
+            {e.subject for e in audit.events(kind=QUARANTINE)}
+        ),
+        "evicted": sorted({e.subject for e in audit.events(kind=EVICTION)}),
+        "crashes_detected": sorted(controller.engine._dead_nodes),
+        "trace": ctx.trace_name,
+    }
+
+
+def run_campaign(
+    scenarios: list[Scenario],
+    seeds: list[int],
+    trace_dir: str | None = None,
+) -> dict:
+    """Sweep ``scenarios`` × ``seeds``; returns the campaign report.
+
+    The report is JSON-serializable, deterministic, and carries one
+    entry per cell in sweep order (scenarios outer, seeds inner).
+    """
+    if not seeds:
+        raise CampaignError("campaign needs at least one seed")
+    cells = []
+    for scenario in scenarios:
+        for seed in seeds:
+            ctx, violations = run_one(scenario, seed, trace_dir=trace_dir)
+            cells.append(_cell_report(ctx, violations, seed))
+    failed = [c for c in cells if not c["passed"]]
+    report = {
+        "campaign": {
+            "scenarios": [s.name for s in scenarios],
+            "seeds": list(seeds),
+            "script": DEFAULT_SCRIPT.strip(),
+        },
+        "cells": cells,
+        "summary": {
+            "total": len(cells),
+            "passed": len(cells) - len(failed),
+            "failed": len(failed),
+            "violations": sum(len(c["violations"]) for c in cells),
+        },
+    }
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Serialize a campaign report deterministically (sorted keys)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"

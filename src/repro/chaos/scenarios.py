@@ -1,0 +1,281 @@
+"""Declarative chaos scenarios.
+
+A :class:`Scenario` bundles a fault mix, the system configuration it
+runs under, and what the invariant checkers should expect from it.
+Scenarios are pure data — node targets are *indices* resolved against
+the cluster at build time, parameters are literal — so a campaign is
+reproducible from its report alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.common.errors import ReproError
+from repro.common.ids import NodeId
+from repro.faults.behaviors import (
+    CommissionBehavior,
+    CrashBehavior,
+    EquivocateBehavior,
+    FlakyCommissionBehavior,
+    OmissionBehavior,
+    SlowBehavior,
+    StorageCorruptionBehavior,
+)
+from repro.faults.injection import FaultPlan
+
+#: Node-level fault kinds and their behaviour constructors.
+_BEHAVIORS = {
+    "commission": CommissionBehavior,
+    "flaky-commission": FlakyCommissionBehavior,
+    "omission": OmissionBehavior,
+    "slow": SlowBehavior,
+    "crash": CrashBehavior,
+    "equivocate": EquivocateBehavior,
+    "storage-rot": StorageCorruptionBehavior,
+}
+
+#: Network-endpoint fault kinds (applied to the replicated front-end's
+#: SimNetwork, not to worker behaviours).
+NETWORK_KINDS = ("net-drop", "net-delay")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault in a scenario: ``kind`` applied to node index ``node``.
+
+    For node faults ``node`` indexes the worker cluster (``node_0003``);
+    for network faults it indexes the PBFT replica set (``rh_2``).
+    ``params`` are keyword arguments of the behaviour/filter, stored as
+    a tuple of pairs to keep the spec hashable.
+    """
+
+    kind: str
+    node: int
+    params: tuple[tuple[str, object], ...] = ()
+
+    def kwargs(self) -> dict:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the chaos matrix (before the seed sweep)."""
+
+    name: str
+    description: str
+    faults: tuple[FaultSpec, ...] = ()
+    # -- deployment shape ------------------------------------------------
+    num_nodes: int = 12
+    slots_per_node: int = 3
+    heartbeat_period: float = 0.4
+    crash_timeout: float = 2.0
+    f: int = 1
+    replication: int = 4
+    verifier_timeout: float = 60.0
+    suspicion_threshold: float = 0.95
+    quarantine_threshold: float | None = None
+    max_reruns: int = 3
+    #: Scripts executed back-to-back on the same deployment (suspicion
+    #: and attribution accumulate across them).
+    runs: int = 1
+    # -- expectations the invariant checkers consume ---------------------
+    #: Every script run must end assured (LIVE1 folds this in).
+    expect_assured: bool = True
+    #: Worker indices that must end up in the suspect superset (LIVE2).
+    attributed_nodes: tuple[int, ...] = ()
+    #: Documentation of deliberately weakened scenarios: invariants the
+    #: scenario is *expected* to trip (campaign still reports them as
+    #: violations — the flag is for tests and humans, not the checker).
+    expected_violations: tuple[str, ...] = field(default=())
+
+    @property
+    def uses_network_faults(self) -> bool:
+        return any(spec.kind in NETWORK_KINDS for spec in self.faults)
+
+    def system_config(self, seed: int) -> SystemConfig:
+        return SystemConfig(
+            cluster=ClusterConfig(
+                num_nodes=self.num_nodes,
+                slots_per_node=self.slots_per_node,
+                heartbeat_period=self.heartbeat_period,
+                crash_timeout=self.crash_timeout,
+            ),
+            bft=ClusterBFTConfig(
+                f=self.f,
+                replication=self.replication,
+                verifier_timeout=self.verifier_timeout,
+                suspicion_threshold=self.suspicion_threshold,
+                quarantine_threshold=self.quarantine_threshold,
+                max_reruns=self.max_reruns,
+            ),
+            seed=20131209 + seed,
+        ).validate()
+
+
+def build_fault_plan(scenario: Scenario, node_ids: list[NodeId]) -> FaultPlan:
+    """Resolve a scenario's node faults against concrete node ids."""
+    plan = FaultPlan()
+    for spec in scenario.faults:
+        if spec.kind in NETWORK_KINDS:
+            continue  # applied to the front-end network, not a worker
+        try:
+            behavior_cls = _BEHAVIORS[spec.kind]
+        except KeyError:
+            raise ReproError(f"unknown fault kind: {spec.kind!r}") from None
+        if not 0 <= spec.node < len(node_ids):
+            raise ReproError(
+                f"scenario {scenario.name!r}: node index {spec.node} out of "
+                f"range for {len(node_ids)} nodes"
+            )
+        plan.assign(node_ids[spec.node], behavior_cls(**spec.kwargs()))
+    return plan
+
+
+def _scenario_list() -> list[Scenario]:
+    return [
+        Scenario(
+            name="baseline",
+            description="no faults; every invariant must hold trivially",
+        ),
+        Scenario(
+            name="commission",
+            description="one node tampers task streams; quorum masks it",
+            faults=(FaultSpec("commission", 2, (("probability", 0.8),)),),
+            runs=2,
+            attributed_nodes=(2,),
+        ),
+        Scenario(
+            name="omission",
+            description="one node withholds completions; verifier timeout "
+            "and rerun escalation recover",
+            faults=(FaultSpec("omission", 3, (("probability", 0.5),)),),
+            verifier_timeout=40.0,
+        ),
+        Scenario(
+            name="crash",
+            description="one node crash-stops mid-run; heartbeat-silence "
+            "detection re-dispatches its in-flight tasks",
+            faults=(FaultSpec("crash", 4, (("after_tasks", 2),)),),
+            crash_timeout=1.0,
+            runs=2,
+        ),
+        Scenario(
+            name="equivocate",
+            description="honest digests over poisoned storage; the "
+            "commit-time content cross-check demotes the divergent winner",
+            faults=(FaultSpec("equivocate", 5, (("probability", 1.0),)),),
+            attributed_nodes=(5,),
+        ),
+        Scenario(
+            name="storage-rot",
+            description="bit-rot on one node's DFS read path; its digests "
+            "cover the rotten stream and lose the vote",
+            faults=(FaultSpec("storage-rot", 6, (("probability", 1.0),)),),
+            runs=2,
+            attributed_nodes=(6,),
+        ),
+        Scenario(
+            name="quarantine",
+            description="a flaky node accumulates suspicion past the "
+            "quarantine threshold and must stop receiving tasks",
+            faults=(
+                FaultSpec("flaky-commission", 2, (("probability", 0.7),)),
+            ),
+            quarantine_threshold=0.2,
+            # Eviction needs level > 1.0 here: the scenario demonstrates
+            # the *soft* quarantine tier, not eviction.
+            suspicion_threshold=1.0,
+            runs=4,
+            attributed_nodes=(2,),
+        ),
+        Scenario(
+            name="net-drop",
+            description="one PBFT front-end replica's outbound messages "
+            "are dropped; consensus still orders submissions",
+            faults=(FaultSpec("net-drop", 3, (("probability", 1.0),)),),
+        ),
+        Scenario(
+            name="net-delay",
+            description="delay spikes on one PBFT replica's links; "
+            "quorums form from the timely replicas",
+            faults=(
+                FaultSpec(
+                    "net-delay", 2, (("extra_seconds", 3.0), ("probability", 0.5))
+                ),
+            ),
+        ),
+        Scenario(
+            name="combo",
+            description="crash + commission together under one f=1 budget",
+            faults=(
+                FaultSpec("crash", 7, (("after_tasks", 3),)),
+                FaultSpec("commission", 2, (("probability", 0.8),)),
+            ),
+            crash_timeout=1.0,
+            runs=2,
+        ),
+        Scenario(
+            name="weakened-safe1",
+            description="DELIBERATELY WEAKENED: f=0, r=1 — the single "
+            "(corrupt) replica is its own quorum, so a tampered record "
+            "reaches the verified sink and SAFE1 must trip",
+            faults=(FaultSpec("commission", 0, (("probability", 1.0),)),),
+            num_nodes=1,
+            f=0,
+            replication=1,
+            expect_assured=True,  # the system *believes* it succeeded
+            expected_violations=("SAFE1",),
+        ),
+    ]
+
+
+SCENARIOS: dict[str, Scenario] = {s.name: s for s in _scenario_list()}
+
+DEFAULT_CAMPAIGN = (
+    "baseline",
+    "commission",
+    "omission",
+    "crash",
+    "equivocate",
+    "storage-rot",
+    "quarantine",
+    "net-drop",
+    "net-delay",
+    "combo",
+)
+
+#: CI-sized campaign: small, fast, still covers every fault family.
+SMOKE_CAMPAIGN = (
+    "baseline",
+    "commission",
+    "crash",
+    "equivocate",
+    "storage-rot",
+    "quarantine",
+)
+
+CAMPAIGNS: dict[str, tuple[str, ...]] = {
+    "default": DEFAULT_CAMPAIGN,
+    "smoke": SMOKE_CAMPAIGN,
+}
+
+
+def resolve_scenarios(selector: str) -> list[Scenario]:
+    """Resolve a CLI selector: a campaign name or comma-joined scenario
+    names (``"default"``, ``"smoke"``, ``"crash,equivocate"``)."""
+    if selector in CAMPAIGNS:
+        return [SCENARIOS[name] for name in CAMPAIGNS[selector]]
+    chosen = []
+    for name in selector.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in SCENARIOS:
+            known = ", ".join(sorted(set(SCENARIOS) | set(CAMPAIGNS)))
+            raise ReproError(f"unknown scenario {name!r} (known: {known})")
+        chosen.append(SCENARIOS[name])
+    if not chosen:
+        raise ReproError(f"no scenarios selected by {selector!r}")
+    return chosen

@@ -23,6 +23,10 @@ Examples::
     python -m repro lint src/repro
     python -m repro lint --plan analysis.pig -f 1 -r 4
 
+    # chaos campaign: fault matrix x seeds with invariant checking
+    python -m repro chaos run --scenarios default --seeds 3
+    python -m repro chaos list
+
 Input CSVs are headerless; values are parsed as int, then float, then
 kept as strings; empty cells become NULL.
 """
@@ -32,6 +36,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.chaos.cli import add_chaos_parser, cmd_chaos
 from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
 from repro.common.records import Record
 from repro.core.controller import ClusterBFTController
@@ -141,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rows in the per-node task-time table")
 
     add_lint_parser(sub)
+    add_chaos_parser(sub)
     return parser
 
 
@@ -167,7 +173,14 @@ def make_controller(args, telemetry=None) -> ClusterBFTController:
 
 
 def cmd_run(args) -> int:
-    telemetry = Telemetry.recording() if args.trace else None
+    telemetry = None
+    if args.trace:
+        # Streaming sink: records hit the file as they are emitted, so a
+        # crashed run still leaves its trace prefix on disk.
+        try:
+            telemetry = Telemetry.streaming(args.trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot open trace file: {exc}")
     controller = make_controller(args, telemetry=telemetry)
     with open(args.script) as handle:
         script = handle.read()
@@ -180,8 +193,8 @@ def cmd_run(args) -> int:
     if telemetry is not None:
         chrome_path = _chrome_path_for(args.trace)
         try:
-            telemetry.write_jsonl(args.trace)
-            telemetry.write_chrome_trace(chrome_path)
+            telemetry.finalize()
+            write_chrome_trace(read_jsonl(args.trace), chrome_path)
         except OSError as exc:
             raise SystemExit(f"cannot write trace: {exc}")
         print(f"trace     : {args.trace} (+ {chrome_path})")
@@ -263,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_trace(args)
         if args.command == "lint":
             return cmd_lint(args)
+        if args.command == "chaos":
+            return cmd_chaos(args)
         return cmd_explain(args)
     except BrokenPipeError:
         # stdout piped to a pager/head that exited; not an error.

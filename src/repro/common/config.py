@@ -41,6 +41,12 @@ class ClusterConfig:
     #: against (a slow node can hoard every sibling of its kind), any
     #: attempt older than this is speculatable.
     speculation_floor: float = 8.0
+    #: Heartbeat silence (simulated seconds) after which the execution
+    #: tracker declares a node crashed, re-dispatches its in-flight
+    #: tasks and drops it from the inclusion list.  Must exceed the
+    #: heartbeat period (a healthy node is silent for one full period
+    #: between beats); 0 disables detection.
+    crash_timeout: float = 5.0
 
     def validate(self) -> "ClusterConfig":
         if self.num_nodes < 1:
@@ -49,6 +55,12 @@ class ClusterConfig:
             raise ConfigError("slots_per_node must be >= 1")
         if self.heartbeat_period <= 0:
             raise ConfigError("heartbeat_period must be > 0")
+        if self.crash_timeout < 0:
+            raise ConfigError("crash_timeout must be >= 0")
+        if 0 < self.crash_timeout <= self.heartbeat_period:
+            raise ConfigError(
+                "crash_timeout must exceed heartbeat_period (or be 0 to disable)"
+            )
         return self
 
 
@@ -139,6 +151,11 @@ class ClusterBFTConfig:
     adversary: str = ADVERSARY_STRONG
     verifier_timeout: float = 600.0  # simulated seconds
     suspicion_threshold: float = 0.95  # evict node when s > threshold
+    #: Soft degradation tier below eviction: nodes whose suspicion
+    #: exceeds this stop receiving new replicas (the scheduler skips
+    #: them) but stay in the cluster for probing/exoneration.  ``None``
+    #: disables quarantine (the seed behaviour).
+    quarantine_threshold: float | None = None
     #: Minimum jobs a node must have executed before the threshold can
     #: evict it — one unattributed verification failure would otherwise
     #: give every involved node s = 1/1 and depopulate the cluster.
@@ -165,6 +182,10 @@ class ClusterBFTConfig:
             raise ConfigError("verifier_timeout must be > 0")
         if not 0.0 <= self.suspicion_threshold <= 1.0:
             raise ConfigError("suspicion_threshold must be in [0, 1]")
+        if self.quarantine_threshold is not None and not (
+            0.0 <= self.quarantine_threshold <= 1.0
+        ):
+            raise ConfigError("quarantine_threshold must be in [0, 1] or None")
         if self.max_reruns < 0:
             raise ConfigError("max_reruns must be >= 0")
         return self

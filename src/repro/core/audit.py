@@ -27,6 +27,7 @@ SUBMIT = "submit"
 VERDICT = "verdict"
 FAULT = "fault"
 EVICTION = "eviction"
+QUARANTINE = "quarantine"
 REINSTATE = "reinstate"
 PROBE = "probe"
 RERUN = "rerun"

@@ -32,13 +32,14 @@ from dataclasses import dataclass, field, replace
 from repro.common.config import SystemConfig
 from repro.common.errors import ReproError
 from repro.common.ids import NodeId
-from repro.common.records import Record
+from repro.common.records import Record, encode_record
 from repro.common.rng import RngRegistry
 from repro.compiler.mr_compiler import CompileOptions
 from repro.core.audit import (
     COMMIT,
     EVICTION,
     FAULT,
+    QUARANTINE,
     RERUN,
     SUBMIT,
     VERDICT,
@@ -483,11 +484,21 @@ class ClusterBFTController:
                     )
                 if outcome is None or outcome.status != VERIFIED:
                     continue
-                verified_ok.add(job_index)
                 spec = graph.jobs[job_index]
                 if output_coverage(spec) is None:
+                    verified_ok.add(job_index)
                     continue
-                winner = min(outcome.winners)
+                # Equivocation defense: digests cover the *computed*
+                # stream, so a node may verify yet persist different
+                # bytes.  Cross-check winners' stored outputs before
+                # trusting any of them; no majority means the sid stays
+                # unsettled and the rerun escalation takes over.
+                winner = self._cross_checked_winner(
+                    attempt, outcome, script_id, attempt_index, job_index, spec
+                )
+                if winner is None:
+                    continue
+                verified_ok.add(job_index)
                 source = self._replica_path(
                     script_id, attempt_index, winner, spec.output_path
                 )
@@ -756,9 +767,76 @@ class ClusterBFTController:
                         nodes |= attempt.chain_nodes.get((dep, run.replica), set())
         return nodes
 
+    def _cross_checked_winner(
+        self,
+        attempt: _Attempt,
+        outcome: VerificationOutcome,
+        script_id: str,
+        attempt_index: int,
+        job_index: int,
+        spec,
+    ) -> int | None:
+        """Content cross-check over the digest quorum's winner replicas.
+
+        Groups the winners by the bytes they actually stored and commits
+        the lowest replica of a strict majority.  Divergent winners are
+        demoted to equivocation faults (their digests matched, their
+        stored file did not), feeding suspicion and the fault analyzer.
+        Returns ``None`` when no majority exists — the caller must leave
+        the sid unsettled so the rerun escalation handles it.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for replica in sorted(outcome.winners):
+            path = self._replica_path(
+                script_id, attempt_index, replica, spec.output_path
+            )
+            if not self.dfs.exists(path):
+                continue
+            content = tuple(
+                encode_record(r) for r in self.dfs.file_info(path).records()
+            )
+            groups.setdefault(content, []).append(replica)
+        if not groups:
+            return None
+        readable = sum(len(replicas) for replicas in groups.values())
+        majority: list[int] | None = None
+        for replicas in groups.values():
+            if len(replicas) * 2 > readable:
+                majority = replicas
+                break
+        divergent = sorted(
+            replica
+            for replicas in groups.values()
+            if replicas is not majority
+            for replica in replicas
+        )
+        for replica in divergent:
+            nodes = attempt.chain_nodes.get((job_index, replica), set())
+            self.audit.record(
+                self.loop.now,
+                FAULT,
+                outcome.sid,
+                replica=replica,
+                fault_kind="equivocation",
+                nodes=tuple(sorted(nodes)),
+            )
+            if nodes:
+                self.suspicion.record_fault(set(nodes))
+                self.fault_analyzer.observe(set(nodes))
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "equivocations_detected"
+                ).inc()
+        if majority is None:
+            return None
+        return min(majority)
+
     def _evict_suspects(self) -> None:
         cfg = self.config.bft
-        for node_id in self.suspicion.over_threshold(cfg.suspicion_threshold):
+        # Sorted: audit-entry order must not depend on set iteration
+        # (string hashing is salted per process — byte-identical trace
+        # replays need a canonical order).
+        for node_id in sorted(self.suspicion.over_threshold(cfg.suspicion_threshold)):
             state = self.suspicion.nodes[node_id]
             if state.jobs_executed < cfg.suspicion_min_jobs:
                 continue
@@ -771,6 +849,24 @@ class ClusterBFTController:
                     suspicion=round(state.level, 3),
                     jobs=state.jobs_executed,
                 )
+        if cfg.quarantine_threshold is None:
+            return
+        for node_id in sorted(self.suspicion.over_threshold(cfg.quarantine_threshold)):
+            state = self.suspicion.nodes[node_id]
+            if state.jobs_executed < cfg.suspicion_min_jobs:
+                continue
+            if self.cluster.node(node_id).excluded:
+                continue  # eviction supersedes quarantine
+            if self.scheduler.is_quarantined(node_id):
+                continue
+            self.scheduler.quarantine(node_id)
+            self.audit.record(
+                self.loop.now,
+                QUARANTINE,
+                node_id,
+                suspicion=round(state.level, 3),
+                jobs=state.jobs_executed,
+            )
 
     # ------------------------------------------------------------------
     # output publication

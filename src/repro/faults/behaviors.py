@@ -18,7 +18,17 @@ MapReduce runtime at the points where the node could deviate:
 * ``omits_digest`` — the node withholds the verification message only
   (omission at the verification level);
 * ``slowdown`` — multiplier on task duration (a correct-but-slow node,
-  used for paper Table 3 "case 2").
+  used for paper Table 3 "case 2");
+* ``corrupt_stored_output`` — applied to the records a task *stores*
+  AFTER its verification taps ran (digest/data equivocation: the node
+  reports honest digests over a stream it never persisted, so digest
+  matching alone cannot expose it — only the trusted tier's commit-time
+  content cross-check can);
+* ``corrupt_read`` — bit-rot on the node's DFS-read path (the block the
+  node claims to have read is not the block it computed on);
+* ``note_task_start`` / ``is_crashed`` — crash-stop lifecycle: a node
+  that dies mid-run simply stops heartbeating, and every task still in
+  flight on it dies too.
 """
 
 from __future__ import annotations
@@ -35,7 +45,19 @@ class NodeBehavior:
     #: True when the behaviour can produce Byzantine deviations at all.
     faulty = False
 
+    #: True when ``corrupt_read`` can tamper — lets the DFS read path
+    #: skip per-read RNG stream setup for the (common) correct case.
+    corrupts_storage = False
+
     def corrupt_records(self, records: list[Record], rng: random.Random) -> list[Record]:
+        return records
+
+    def corrupt_stored_output(self, records: list[Record], rng: random.Random) -> list[Record]:
+        """Tamper the records a task persists, after digest taps ran."""
+        return records
+
+    def corrupt_read(self, records: list[Record], rng: random.Random) -> list[Record]:
+        """Bit-rot on this node's DFS block-read path."""
         return records
 
     def omits_completion(self, rng: random.Random) -> bool:
@@ -46,6 +68,13 @@ class NodeBehavior:
 
     def slowdown(self) -> float:
         return 1.0
+
+    def note_task_start(self) -> None:
+        """Called by the engine when this node starts a task attempt."""
+
+    def is_crashed(self) -> bool:
+        """True once the node has crash-stopped (checked per heartbeat)."""
+        return False
 
     def describe(self) -> str:
         return type(self).__name__
@@ -151,6 +180,95 @@ class SlowBehavior(NodeBehavior):
 
     def describe(self) -> str:
         return f"slow(x{self.factor})"
+
+
+def tamper_one(records: list[Record], rng: random.Random) -> list[Record]:
+    """Corrupt a single rng-chosen record of a non-empty stream."""
+    corrupted = list(records)
+    victim = rng.randrange(len(corrupted))
+    corrupted[victim] = tamper(corrupted[victim])
+    return corrupted
+
+
+@dataclass
+class CrashBehavior(NodeBehavior):
+    """Crash-stop: the node dies and stops heartbeating, permanently.
+
+    ``after_tasks`` is the number of task attempts the node starts
+    before dying (0 = it never does any work).  The crash itself takes
+    effect at the node's next heartbeat: it stops announcing capacity,
+    its in-flight task completions never fire, and the trusted execution
+    tracker only learns of the death through heartbeat silence.  A
+    behaviour instance carries the started-task counter, so it must not
+    be shared between nodes.
+    """
+
+    after_tasks: int = 0
+
+    faulty = True
+
+    def __post_init__(self) -> None:
+        self._tasks_started = 0
+
+    def note_task_start(self) -> None:
+        self._tasks_started += 1
+
+    def is_crashed(self) -> bool:
+        return self._tasks_started >= self.after_tasks
+
+    def describe(self) -> str:
+        return f"crash(after={self.after_tasks})"
+
+
+@dataclass
+class EquivocateBehavior(NodeBehavior):
+    """Digest/data equivocation: honest digests, poisoned storage.
+
+    With ``probability`` per task, the node computes the task correctly
+    — so the digests it reports at every verification point are the
+    *correct* ones and match the honest replicas — but the output it
+    actually persists is tampered.  Digest comparison alone accepts the
+    replica; only a trusted-tier cross-check of the stored bytes at
+    commit time (or a downstream reader) can expose the divergence.
+    """
+
+    probability: float = 1.0
+
+    faulty = True
+
+    def corrupt_stored_output(self, records: list[Record], rng: random.Random) -> list[Record]:
+        if not records or rng.random() >= self.probability:
+            return records
+        return tamper_one(records, rng)
+
+    def describe(self) -> str:
+        return f"equivocate(p={self.probability})"
+
+
+@dataclass
+class StorageCorruptionBehavior(NodeBehavior):
+    """Bit-rot on the node's DFS read path.
+
+    With ``probability`` per block read, the records the node computes
+    on differ from the block the trusted DFS holds.  Unlike commission
+    faults the node's *pipeline* is honest — but garbage in, garbage
+    out: its digests cover the rotten stream and lose the vote, so the
+    fault surfaces exactly like a commission failure (paper §2.1 folds
+    both into the commission class).
+    """
+
+    probability: float = 1.0
+
+    faulty = True
+    corrupts_storage = True
+
+    def corrupt_read(self, records: list[Record], rng: random.Random) -> list[Record]:
+        if not records or rng.random() >= self.probability:
+            return records
+        return tamper_one(records, rng)
+
+    def describe(self) -> str:
+        return f"storage-rot(p={self.probability})"
 
 
 @dataclass

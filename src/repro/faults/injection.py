@@ -14,9 +14,12 @@ from repro.common.errors import FaultInjectionError
 from repro.common.ids import NodeId
 from repro.faults.behaviors import (
     CommissionBehavior,
+    CrashBehavior,
+    EquivocateBehavior,
     NodeBehavior,
     OmissionBehavior,
     SlowBehavior,
+    StorageCorruptionBehavior,
 )
 
 
@@ -60,25 +63,43 @@ def no_faults() -> FaultPlan:
 def single_commission(node_id: NodeId, probability: float = 1.0) -> FaultPlan:
     """Paper Table 3 setup: "one node was set up to always produce
     commission failures resulting in an incorrect digest"."""
-    return FaultPlan({node_id: CommissionBehavior(probability=probability)})
+    return FaultPlan().assign(node_id, CommissionBehavior(probability=probability))
 
 
 def commission_nodes(node_ids: list[NodeId], probability: float) -> FaultPlan:
     """Paper §6.3 setup: faulty nodes producing commission failures with
     a given probability."""
-    return FaultPlan(
-        {node_id: CommissionBehavior(probability=probability) for node_id in node_ids}
-    )
+    plan = FaultPlan()
+    for node_id in node_ids:
+        plan.assign(node_id, CommissionBehavior(probability=probability))
+    return plan
 
 
 def single_omission(node_id: NodeId, probability: float = 1.0) -> FaultPlan:
-    return FaultPlan({node_id: OmissionBehavior(probability=probability)})
+    return FaultPlan().assign(node_id, OmissionBehavior(probability=probability))
 
 
 def slow_node(node_id: NodeId, factor: float = 10.0) -> FaultPlan:
     """Paper Table 3 case 2: a correct replica too slow for the verifier
     timeout."""
-    return FaultPlan({node_id: SlowBehavior(factor=factor)})
+    return FaultPlan().assign(node_id, SlowBehavior(factor=factor))
+
+
+def crash_node(node_id: NodeId, after_tasks: int = 0) -> FaultPlan:
+    """Crash-stop: the node dies after starting ``after_tasks`` tasks."""
+    return FaultPlan().assign(node_id, CrashBehavior(after_tasks=after_tasks))
+
+
+def equivocate_node(node_id: NodeId, probability: float = 1.0) -> FaultPlan:
+    """Digest/data equivocation: honest digests over tampered storage."""
+    return FaultPlan().assign(node_id, EquivocateBehavior(probability=probability))
+
+
+def storage_rot_node(node_id: NodeId, probability: float = 1.0) -> FaultPlan:
+    """Bit-rot injected on the node's DFS block-read path."""
+    return FaultPlan().assign(
+        node_id, StorageCorruptionBehavior(probability=probability)
+    )
 
 
 def combined(*plans: FaultPlan) -> FaultPlan:

@@ -29,6 +29,11 @@ class WorkerNode:
     #: Tasks whose completion was omitted still occupy a slot forever —
     #: that is precisely the omission failure mode.
     excluded: bool = False
+    #: False once the node crash-stopped: it no longer heartbeats and
+    #: its in-flight task completions never fire.  Distinct from
+    #: ``excluded`` (the trusted tier's inclusion list): a crash is a
+    #: fact about the node, an exclusion is a decision about it.
+    alive: bool = True
 
     @property
     def free_slots(self) -> int:

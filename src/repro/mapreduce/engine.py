@@ -277,9 +277,24 @@ class MapReduceEngine:
         self._task_rngs = RngRegistry(self._run_seed)
         self.runs: list[JobRun] = []
         self._heartbeats_running = False
+        #: Last heartbeat receipt time per node — the crash detector's
+        #: only input, mirroring Hadoop's TaskTracker expiry logic.
+        self._last_heartbeat: dict[NodeId, float] = {}
+        self._dead_nodes: set[NodeId] = set()
         self.telemetry = telemetry if telemetry is not None else DISABLED
         self._tracer = self.telemetry.tracer
         scheduler.bind_telemetry(self.telemetry)
+        dfs.set_read_fault(self._read_fault)
+
+    def _read_fault(
+        self, name: str, block_index: int, node_id: NodeId, records: list[Record]
+    ) -> list[Record]:
+        """DFS read-path hook: bit-rot as observed by a faulty node."""
+        behavior = self.cluster.node(node_id).behavior
+        if not behavior.corrupts_storage:
+            return records
+        rng = self._task_rngs.stream(f"storage/{node_id}/{name}#{block_index}")
+        return behavior.corrupt_read(list(records), rng)
 
     # ------------------------------------------------------------------
     # submission
@@ -352,6 +367,9 @@ class MapReduceEngine:
             return
         self._heartbeats_running = True
         for node_id, offset in self.cluster.heartbeat_offsets().items():
+            # Baseline the crash detector at each node's first expected
+            # beat so an idle gap between jobs never reads as silence.
+            self._last_heartbeat[node_id] = self.loop.now + offset
             self.loop.schedule(
                 offset,
                 lambda nid=node_id: self._heartbeat(nid),
@@ -371,6 +389,15 @@ class MapReduceEngine:
             self._heartbeats_running = False
             return
         node = self.cluster.node(node_id)
+        if node.behavior.is_crashed():
+            # Crash-stop: the node falls silent.  No reschedule — the
+            # other nodes' heartbeats will notice via the crash timeout.
+            node.alive = False
+            if self._tracer.enabled:
+                self._tracer.event("node.crashed", node=node_id)
+            return
+        self._last_heartbeat[node_id] = self.loop.now
+        self._detect_crashes()
         if not node.excluded:
             schedulable = [
                 run for run in self._active_runs() if run.has_ready_tasks()
@@ -384,6 +411,57 @@ class MapReduceEngine:
             lambda: self._heartbeat(node_id),
             label=f"hb:{node_id}",
         )
+
+    # ------------------------------------------------------------------
+    # crash detection (graceful degradation)
+    # ------------------------------------------------------------------
+
+    def _detect_crashes(self) -> None:
+        """Declare nodes whose heartbeat has been silent past the
+        timeout crashed and re-dispatch their in-flight tasks.
+
+        Piggybacks on live nodes' heartbeats (no dedicated timer event),
+        so crash-free runs schedule the exact same event sequence as
+        before the detector existed.
+        """
+        timeout = self.cluster.config.crash_timeout
+        if timeout <= 0:
+            return
+        now = self.loop.now
+        for node_id in self.cluster.node_ids():
+            if node_id in self._dead_nodes:
+                continue
+            last = self._last_heartbeat.get(node_id)
+            if last is None or now - last <= timeout:
+                continue
+            self._handle_dead_node(node_id, silent_for=now - last)
+
+    def _handle_dead_node(self, node_id: NodeId, silent_for: float) -> None:
+        self._dead_nodes.add(node_id)
+        node = self.cluster.node(node_id)
+        node.alive = False
+        self.cluster.exclude(node_id)
+        redispatched = 0
+        for run in self._active_runs():
+            states = list(run.map_states) + list(run.reduce_states)
+            for state in states:
+                if state.node == node_id and state.status in (RUNNING, OMITTED):
+                    state.status = PENDING
+                    state.node = None
+                    redispatched += 1
+        node.running.clear()
+        if self._tracer.enabled:
+            self._tracer.event(
+                "node.crash_detected",
+                node=node_id,
+                silent_for=silent_for,
+                redispatched=redispatched,
+            )
+            self.telemetry.metrics.counter("nodes_crash_detected").inc()
+            if redispatched:
+                self.telemetry.metrics.counter(
+                    "tasks_redispatched", reason="crash"
+                ).inc(redispatched)
 
     # ------------------------------------------------------------------
     # task lifecycle
@@ -432,6 +510,7 @@ class MapReduceEngine:
         task_key = f"{run.job_id}:{ref.kind}{ref.index}{attempt_tag}"
         node.start_task(task_key)
         behavior = node.behavior
+        behavior.note_task_start()
         # Deterministic per-task stream: independent of scheduling order,
         # stable across replicas only in structure (node id + task key),
         # so a probabilistic fault on one node cannot accidentally strike
@@ -466,6 +545,8 @@ class MapReduceEngine:
             return
 
         def complete() -> None:
+            if not node.alive:
+                return  # the node crash-stopped; its completion is lost
             node.finish_task(task_key)
             if run.cancelled or state.status == DONE:
                 return  # a sibling attempt already delivered this task
@@ -539,7 +620,9 @@ class MapReduceEngine:
         split = run.splits[index]
         branch = run.spec.branches[split.branch_index]
         physical = run.physical_path(branch.input_path)
-        block = self.dfs.read_block(physical, split.block_index, scope=run.scope)
+        block = self.dfs.read_block(
+            physical, split.block_index, scope=run.scope, node_id=node.node_id
+        )
         result = execute_map_task(
             run.spec,
             split.branch_index,
@@ -586,6 +669,21 @@ class MapReduceEngine:
         self, node: WorkerNode, run: JobRun, index: int, node_rng: random.Random
     ) -> tuple[ReduceTaskOutput, TaskMetrics]:
         keyed = run.reduce_input(index)
+        if node.behavior.corrupts_storage and keyed:
+            # Shuffle spills live on the reducer's local disk in Hadoop:
+            # bit-rot on this node's read path hits them just like DFS
+            # blocks.  Same rng scheme as the DFS hook, so the fault is
+            # independent of scheduling order.
+            rng = self._task_rngs.stream(
+                f"storage/{node.node_id}/shuffle/{run.job_id}#{index}"
+            )
+            raw = [record for _, _, record in keyed]
+            observed = node.behavior.corrupt_read(raw, rng)
+            if observed is not raw:
+                keyed = [
+                    (key, tag, new_record)
+                    for (key, tag, _), new_record in zip(keyed, observed)
+                ]
         result = execute_reduce_task(run.spec, keyed, node.behavior, node_rng)
         digest_bytes = sum(t.bytes_hashed for t in result.taps)
         digest_records = sum(t.record_count for t in result.taps)

@@ -129,6 +129,9 @@ def execute_map_task(
         bytes_in=bytes_in,
     )
     if spec.blocking is None:
+        # Equivocation point: taps above digested the honest stream; a
+        # faulty node may still persist something else entirely.
+        out_records = behavior.corrupt_stored_output(out_records, rng)
         result.output_records = out_records
         result.bytes_out = sum(r.size_bytes() for r in out_records)
         return result
@@ -227,6 +230,9 @@ def execute_reduce_task(
     if spec.post_limit_pipeline:
         out_records, post_taps = run_pipeline(out_records, spec.post_limit_pipeline)
         taps = taps + post_taps
+    # Equivocation point: digests cover the honest stream; the stored
+    # output may still be tampered (caught only by commit-time checks).
+    out_records = behavior.corrupt_stored_output(out_records, rng)
 
     return ReduceTaskOutput(
         output_records=out_records,

@@ -44,9 +44,29 @@ class TaskScheduler:
     #: Bound by the engine; decision counters only — scheduling must
     #: behave identically whether or not telemetry observes it.
     telemetry = DISABLED
+    #: Suspicion quarantine (soft degradation below eviction): these
+    #: nodes receive no new tasks but keep their cluster membership.
+    #: Class-level empty default keeps schedulers constructed before
+    #: this feature byte-identical; ``quarantine`` promotes it to an
+    #: instance set on first use.
+    quarantined: frozenset[NodeId] | set[NodeId] = frozenset()
 
     def bind_telemetry(self, telemetry) -> None:
         self.telemetry = telemetry if telemetry is not None else DISABLED
+
+    def quarantine(self, node_id: NodeId) -> None:
+        """Stop assigning new tasks to ``node_id``."""
+        if not isinstance(self.quarantined, set):
+            self.quarantined = set(self.quarantined)
+        self.quarantined.add(node_id)
+
+    def release(self, node_id: NodeId) -> None:
+        """Lift a quarantine (e.g. after reinstatement)."""
+        if isinstance(self.quarantined, set):
+            self.quarantined.discard(node_id)
+
+    def is_quarantined(self, node_id: NodeId) -> bool:
+        return node_id in self.quarantined
 
     def record_assignments(
         self, node: WorkerNode, assignments: list[TaskRef]
@@ -68,6 +88,8 @@ class TaskScheduler:
 
     def eligible(self, node: WorkerNode, run: "JobRun") -> bool:
         """May this node run tasks of this run at all?"""
+        if node.node_id in self.quarantined:
+            return False
         return self.placement_allows(node, run)
 
     @staticmethod
@@ -145,6 +167,8 @@ class ClusterBFTScheduler(TaskScheduler):
         return self._node_ordinal(node.node_id)
 
     def eligible(self, node: WorkerNode, run: "JobRun") -> bool:
+        if node.node_id in self.quarantined:
+            return False
         if not self.placement_allows(node, run):
             return False
         pin = self._pins.get((node.node_id, run.sid))

@@ -17,8 +17,15 @@ from typing import Any, Callable, Protocol
 
 from repro.common.errors import SimulationError
 from repro.simulation.events import EventLoop
+from repro.telemetry import DISABLED
 
 MessageHandler = Callable[[str, Any], None]
+
+#: Delay rule: (sender, receiver, message) -> extra latency seconds to
+#: add on top of the sampled base latency (0 for "no opinion").  Models
+#: adversarial delay spikes on selected links without reordering the
+#: underlying latency stream.
+DelayRule = Callable[[str, str, Any], float]
 
 
 @dataclass(frozen=True)
@@ -58,16 +65,27 @@ class SimNetwork:
         loop: EventLoop,
         rng: random.Random,
         latency: LatencyModel | None = None,
+        telemetry=None,
     ) -> None:
         self.loop = loop
         self.rng = rng
         self.latency = latency or LatencyModel()
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         self._handlers: dict[str, MessageHandler] = {}
         self._filters: list[NetworkFilter] = []
+        self._delay_rules: list[DelayRule] = []
         self.messages_sent = 0
         self.messages_delivered = 0
-        self.messages_dropped = 0
+        #: Rejected by an installed filter (partition / selective drop).
+        self.messages_filtered = 0
+        #: Receiver unknown at delivery time (crashed or unregistered).
+        self.messages_undeliverable = 0
         self.bytes_sent = 0
+
+    @property
+    def messages_dropped(self) -> int:
+        """Total losses, whatever the cause (filtered + undeliverable)."""
+        return self.messages_filtered + self.messages_undeliverable
 
     def register(self, name: str, handler: MessageHandler) -> None:
         """Register (or replace) the endpoint called ``name``."""
@@ -86,23 +104,39 @@ class SimNetwork:
     def remove_filter(self, rule: NetworkFilter) -> None:
         self._filters.remove(rule)
 
+    def add_delay(self, rule: DelayRule) -> None:
+        """Install a delay rule; extra latencies from all rules add up."""
+        self._delay_rules.append(rule)
+
+    def remove_delay(self, rule: DelayRule) -> None:
+        self._delay_rules.remove(rule)
+
+    def _count(self, counter: str, **labels) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(counter, **labels).inc()
+
     def send(self, sender: str, receiver: str, message: Any, size_bytes: int = 0) -> None:
         """Send ``message``; delivery happens asynchronously (or never, if
         the receiver is unknown or a filter rejects it)."""
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        self._count("network_messages_sent")
         for rule in self._filters:
             if not rule(sender, receiver, message):
-                self.messages_dropped += 1
+                self.messages_filtered += 1
+                self._count("network_messages_dropped", cause="filtered")
                 return
         delay = self.latency.sample(self.rng)
+        for rule in self._delay_rules:
+            delay += max(rule(sender, receiver, message), 0.0)
 
         def deliver() -> None:
             handler = self._handlers.get(receiver)
             if handler is None:
                 # Receiver crashed/unregistered meanwhile: silently drop,
                 # as a real datagram network would.
-                self.messages_dropped += 1
+                self.messages_undeliverable += 1
+                self._count("network_messages_dropped", cause="undeliverable")
                 return
             self.messages_delivered += 1
             handler(sender, message)
@@ -135,5 +169,40 @@ def partition(groups: list[set[str]]) -> NetworkFilter:
             if sender_in != receiver_in:
                 return False
         return True
+
+    return rule
+
+
+def selective_drop(
+    endpoints: set[str], probability: float, rng: random.Random
+) -> NetworkFilter:
+    """Endpoint network fault: messages *from* ``endpoints`` are dropped
+    with ``probability`` (a Byzantine endpoint refusing to send — the
+    adversary may silence its own nodes, never the network at large)."""
+
+    def rule(sender: str, receiver: str, message: Any) -> bool:
+        if sender not in endpoints:
+            return True
+        return rng.random() >= probability
+
+    return rule
+
+
+def delay_spike(
+    endpoints: set[str],
+    extra_seconds: float,
+    rng: random.Random,
+    probability: float = 1.0,
+) -> DelayRule:
+    """Endpoint network fault: messages from ``endpoints`` arrive late by
+    ``extra_seconds`` (with ``probability``) — a slow link rather than a
+    lossy one, so protocol timeouts fire while data still arrives."""
+
+    def rule(sender: str, receiver: str, message: Any) -> float:
+        if sender not in endpoints:
+            return 0.0
+        if probability < 1.0 and rng.random() >= probability:
+            return 0.0
+        return extra_seconds
 
     return rule

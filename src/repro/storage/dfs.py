@@ -16,10 +16,17 @@ system needs from such a layer:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.errors import FileAlreadyExists, FileNotFound, StorageError
 from repro.common.ids import NodeId
 from repro.common.records import Record
+
+#: Read-path fault hook: (file name, block index, reading node, records)
+#: -> the records that node actually observes.  Installed by the engine
+#: to model per-node bit-rot; the DFS contents themselves stay pristine
+#: (the storage layer is trusted — the *node's read path* is not).
+ReadFault = Callable[[str, int, NodeId, list[Record]], list[Record]]
 
 DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024  # HDFS default in Hadoop 1.x
 
@@ -92,6 +99,7 @@ class TrustedDFS:
             raise StorageError("block_bytes must be > 0")
         self.block_bytes = block_bytes
         self.replication = replication
+        self._read_fault: ReadFault | None = None
         self._files: dict[str, DfsFile] = {}
         self._placement_nodes: list[NodeId] = []
         self._placement_cursor = 0
@@ -106,6 +114,10 @@ class TrustedDFS:
         """Declare the worker nodes over which new blocks are placed
         (round-robin with ``replication`` copies), enabling locality."""
         self._placement_nodes = list(nodes)
+
+    def set_read_fault(self, hook: ReadFault | None) -> None:
+        """Install (or clear) the per-node read-path fault injector."""
+        self._read_fault = hook
 
     def exists(self, name: str) -> bool:
         return name in self._files
@@ -191,13 +203,33 @@ class TrustedDFS:
         self.global_counters.records_read += len(records)
         return records
 
-    def read_block(self, name: str, block_index: int, scope: str = "") -> Block:
-        """Read one block (the unit a map task consumes)."""
+    def read_block(
+        self,
+        name: str,
+        block_index: int,
+        scope: str = "",
+        node_id: NodeId | None = None,
+    ) -> Block:
+        """Read one block (the unit a map task consumes).
+
+        ``node_id`` identifies the worker doing the read; a registered
+        read-fault hook may then hand that node a bit-rotten view of the
+        block without touching the trusted copy.
+        """
         file = self._get(name)
         try:
             block = file.blocks[block_index]
         except IndexError:
             raise StorageError(f"{name} has no block {block_index}") from None
+        if self._read_fault is not None and node_id is not None:
+            observed = self._read_fault(name, block.index, node_id, block.records)
+            if observed is not block.records:
+                block = Block(
+                    index=block.index,
+                    records=observed,
+                    size_bytes=block.size_bytes,
+                    locations=block.locations,
+                )
         counters = self._counters(scope)
         counters.bytes_read += block.size_bytes
         counters.records_read += len(block.records)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.telemetry.export import (
+    JsonlStreamSink,
     read_jsonl,
     to_chrome_trace,
     to_jsonl,
@@ -57,6 +58,7 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "InMemorySink",
+    "JsonlStreamSink",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -124,15 +126,46 @@ class Telemetry:
         self,
         clock: Callable[[], float] | None = None,
         wall_clock: bool = False,
+        stream_path: str | None = None,
     ) -> None:
         self.sink = InMemorySink()
-        self.tracer = Tracer(clock or (lambda: 0.0), [self.sink], wall_clock=wall_clock)
+        self.stream_sink: JsonlStreamSink | None = None
+        sinks: list = [self.sink]
+        if stream_path is not None:
+            # Streaming mode is memory-bounded: records go to disk only
+            # (the in-memory sink stays attached-but-empty so consumers
+            # of ``.sink`` keep working).
+            self.stream_sink = JsonlStreamSink(stream_path)
+            sinks = [self.stream_sink]
+        self.tracer = Tracer(clock or (lambda: 0.0), sinks, wall_clock=wall_clock)
         self.metrics = MetricsRegistry()
 
     @classmethod
     def recording(cls, clock: Callable[[], float] | None = None, wall_clock: bool = False) -> "Telemetry":
         """An enabled telemetry pipeline backed by an in-memory sink."""
         return cls(clock=clock, wall_clock=wall_clock)
+
+    @classmethod
+    def streaming(
+        cls, path: str, clock: Callable[[], float] | None = None
+    ) -> "Telemetry":
+        """An enabled pipeline that writes records through to ``path``
+        (JSONL) as they are emitted; call :meth:`finalize` when done."""
+        return cls(clock=clock, stream_path=path)
+
+    def finalize(self) -> int | None:
+        """Append the trailing metrics snapshot to the stream sink and
+        close it; returns total records written (None when not
+        streaming).  The resulting file matches what :meth:`write_jsonl`
+        would have produced from an in-memory run."""
+        if self.stream_sink is None:
+            return None
+        now = self.tracer.clock()
+        for row in self.metrics.snapshot():
+            record = {"type": "metric", "metric_kind": row.pop("kind"), "ts": now}
+            record.update(row)
+            self.stream_sink.handle(record)
+        return self.stream_sink.close()
 
     @staticmethod
     def disabled() -> "Telemetry":
@@ -178,6 +211,7 @@ class _DisabledTelemetry(Telemetry):
 
     def __init__(self) -> None:
         self.sink = InMemorySink()  # stays empty: NULL_TRACER never writes
+        self.stream_sink = None
         self.tracer = NULL_TRACER
         self.metrics = _NullMetrics()
 

@@ -39,6 +39,41 @@ def write_jsonl(records: Iterable[dict], path: str) -> int:
     return count
 
 
+class JsonlStreamSink:
+    """Write-through telemetry sink: every record lands on disk as it is
+    emitted, one JSONL line per record, instead of accumulating in
+    memory.  This is what bounds a chaos campaign's footprint — hundreds
+    of traced runs stream to files rather than growing the heap — and
+    what preserves the trace prefix if a run dies mid-flight.
+
+    The line format is byte-identical to :func:`write_jsonl` over the
+    same records, so :func:`read_jsonl` and the trace analysis tools
+    consume either interchangeably.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: IO[str] | None = open(path, "w")
+        self.records_written = 0
+
+    def handle(self, record: dict) -> None:
+        if self._handle is None:
+            return  # closed: late stragglers are dropped, not crashed on
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> int:
+        """Flush and close; returns the total records written."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        return self.records_written
+
+
 def read_jsonl(path_or_file: str | IO[str]) -> list[dict]:
     """Load a JSONL trace (skips blank lines)."""
     if isinstance(path_or_file, str):

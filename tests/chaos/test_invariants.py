@@ -1,0 +1,211 @@
+"""Unit tests for the invariant checkers, over synthetic run contexts.
+
+The checkers only read from the context, so they can be exercised with
+hand-built stand-ins — no cluster required.
+"""
+
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+from repro.chaos.invariants import (
+    DEGR1,
+    LIVE1,
+    LIVE2,
+    SAFE1,
+    RunContext,
+    Violation,
+    check_degr1,
+    check_live1,
+    check_live2,
+    check_safe1,
+)
+from repro.chaos.scenarios import Scenario
+from repro.common.records import records_from_rows
+from repro.core.audit import QUARANTINE, AuditLog
+from repro.core.verifier import VERIFIED
+
+
+@dataclass
+class FakeResult:
+    assured: bool = True
+    attempts: int = 1
+    outputs: dict = field(default_factory=dict)
+    outcomes: list = field(default_factory=list)
+
+
+def make_ctx(scenario=None, results=None, truth=None, controller=None, records=None):
+    return RunContext(
+        scenario=scenario or Scenario(name="t", description=""),
+        controller=controller or SimpleNamespace(audit=AuditLog()),
+        results=results if results is not None else [],
+        truth=truth or {},
+        records=records or [],
+        trace_name=None,
+    )
+
+
+class TestSafe1:
+    def test_matching_outputs_pass(self):
+        rows = records_from_rows([(1, 2)])
+        ctx = make_ctx(
+            results=[FakeResult(outputs={"out": rows})], truth={"out": rows}
+        )
+        assert check_safe1(ctx) == []
+
+    def test_divergent_verified_sink_violates(self):
+        ctx = make_ctx(
+            results=[FakeResult(outputs={"out": records_from_rows([(1, 3)])})],
+            truth={"out": records_from_rows([(1, 2)])},
+        )
+        violations = check_safe1(ctx)
+        assert [v.invariant for v in violations] == [SAFE1]
+
+    def test_unassured_runs_are_exempt(self):
+        """SAFE1 is about *verified* sinks; a run that admits failure
+        made no integrity claim."""
+        ctx = make_ctx(
+            results=[
+                FakeResult(assured=False, outputs={"out": records_from_rows([(9,)])})
+            ],
+            truth={"out": records_from_rows([(1, 2)])},
+        )
+        assert check_safe1(ctx) == []
+
+
+class TestLive1:
+    def test_within_budget_passes(self):
+        scenario = Scenario(name="t", description="", max_reruns=3)
+        ctx = make_ctx(scenario=scenario, results=[FakeResult(attempts=2)])
+        assert check_live1(ctx) == []
+
+    def test_budget_overrun_violates(self):
+        scenario = Scenario(name="t", description="", max_reruns=1)
+        ctx = make_ctx(scenario=scenario, results=[FakeResult(attempts=5)])
+        assert LIVE1 in [v.invariant for v in check_live1(ctx)]
+
+    def test_unassured_without_verdict_violates(self):
+        scenario = Scenario(
+            name="t", description="", max_reruns=3, expect_assured=False
+        )
+        verdictless = FakeResult(
+            assured=False,
+            attempts=1,
+            outcomes=[SimpleNamespace(status=VERIFIED)],
+        )
+        ctx = make_ctx(scenario=scenario, results=[verdictless])
+        assert LIVE1 in [v.invariant for v in check_live1(ctx)]
+
+    def test_expect_assured_folds_in(self):
+        scenario = Scenario(name="t", description="", expect_assured=True)
+        failed = FakeResult(
+            assured=False,
+            attempts=4,
+            outcomes=[SimpleNamespace(status="FAILED")],
+        )
+        ctx = make_ctx(scenario=scenario, results=[failed])
+        assert len(check_live1(ctx)) == 1  # only the expectation breach
+
+
+class TestLive2:
+    def make_controller(self, suspects, saturated=False, analyzer_suspects=()):
+        return SimpleNamespace(
+            audit=AuditLog(),
+            cluster=SimpleNamespace(node_ids=lambda: [f"node_{i:04d}" for i in range(4)]),
+            suspicion=SimpleNamespace(suspects=lambda: list(suspects)),
+            fault_analyzer=SimpleNamespace(
+                saturated=saturated, suspects=lambda: list(analyzer_suspects)
+            ),
+        )
+
+    def test_superset_passes(self):
+        scenario = Scenario(name="t", description="", attributed_nodes=(1,))
+        ctx = make_ctx(
+            scenario=scenario,
+            controller=self.make_controller({"node_0001", "node_0002"}),
+        )
+        assert check_live2(ctx) == []
+
+    def test_missed_culprit_violates(self):
+        scenario = Scenario(name="t", description="", attributed_nodes=(1,))
+        ctx = make_ctx(scenario=scenario, controller=self.make_controller(set()))
+        violations = check_live2(ctx)
+        assert [v.invariant for v in violations] == [LIVE2]
+        assert "node_0001" in violations[0].detail
+
+    def test_saturated_analyzer_contributes_suspects(self):
+        scenario = Scenario(name="t", description="", attributed_nodes=(1,))
+        ctx = make_ctx(
+            scenario=scenario,
+            controller=self.make_controller(
+                set(), saturated=True, analyzer_suspects={"node_0001"}
+            ),
+        )
+        assert check_live2(ctx) == []
+
+    def test_no_expectation_no_check(self):
+        ctx = make_ctx(controller=self.make_controller(set()))
+        assert check_live2(ctx) == []
+
+
+class TestDegr1:
+    def quarantined_controller(self, node="node_0003", at=5.0):
+        audit = AuditLog()
+        audit.record(at, QUARANTINE, node, suspicion=0.5)
+        return SimpleNamespace(audit=audit)
+
+    def test_task_after_quarantine_violates(self):
+        records = [
+            {
+                "type": "span",
+                "name": "task",
+                "start": 6.0,
+                "attrs": {"node": "node_0003"},
+            }
+        ]
+        ctx = make_ctx(controller=self.quarantined_controller(), records=records)
+        assert [v.invariant for v in check_degr1(ctx)] == [DEGR1]
+
+    def test_task_before_quarantine_passes(self):
+        records = [
+            {
+                "type": "span",
+                "name": "task",
+                "start": 4.0,
+                "attrs": {"node": "node_0003"},
+            }
+        ]
+        ctx = make_ctx(controller=self.quarantined_controller(), records=records)
+        assert check_degr1(ctx) == []
+
+    def test_other_nodes_unconstrained(self):
+        records = [
+            {
+                "type": "span",
+                "name": "task",
+                "start": 9.0,
+                "attrs": {"node": "node_0001"},
+            }
+        ]
+        ctx = make_ctx(controller=self.quarantined_controller(), records=records)
+        assert check_degr1(ctx) == []
+
+    def test_no_quarantine_short_circuits(self):
+        ctx = make_ctx(records=[{"type": "span", "name": "task", "start": 1.0}])
+        assert check_degr1(ctx) == []
+
+
+class TestViolation:
+    def test_as_dict_round_trip(self):
+        violation = Violation(SAFE1, "detail", "trace.jsonl#sid=x")
+        assert violation.as_dict() == {
+            "invariant": SAFE1,
+            "detail": "detail",
+            "trace_ref": "trace.jsonl#sid=x",
+        }
+
+    def test_ref_prefixes_trace_name(self):
+        ctx = make_ctx()
+        ctx.trace_name = "cell.jsonl"
+        assert ctx.ref("sid=1") == "cell.jsonl#sid=1"
+        ctx.trace_name = None
+        assert ctx.ref("sid=1") == "sid=1"

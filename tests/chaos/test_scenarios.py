@@ -1,0 +1,96 @@
+"""Tests for chaos scenario definitions and resolution."""
+
+import pytest
+
+from repro.chaos.scenarios import (
+    CAMPAIGNS,
+    DEFAULT_CAMPAIGN,
+    SCENARIOS,
+    SMOKE_CAMPAIGN,
+    FaultSpec,
+    Scenario,
+    build_fault_plan,
+    resolve_scenarios,
+)
+from repro.common.errors import ReproError
+from repro.faults.behaviors import CommissionBehavior, CrashBehavior
+
+
+class TestResolution:
+    def test_campaign_names_resolve(self):
+        assert [s.name for s in resolve_scenarios("default")] == list(
+            DEFAULT_CAMPAIGN
+        )
+        assert [s.name for s in resolve_scenarios("smoke")] == list(SMOKE_CAMPAIGN)
+
+    def test_comma_list_resolves_in_order(self):
+        chosen = resolve_scenarios("crash, baseline")
+        assert [s.name for s in chosen] == ["crash", "baseline"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ReproError, match="unknown scenario"):
+            resolve_scenarios("no-such-thing")
+
+    def test_empty_selector_rejected(self):
+        with pytest.raises(ReproError, match="no scenarios"):
+            resolve_scenarios(",")
+
+    def test_campaign_members_exist(self):
+        for members in CAMPAIGNS.values():
+            for name in members:
+                assert name in SCENARIOS
+
+    def test_weakened_scenario_not_in_campaigns(self):
+        """The deliberately broken scenario must never ride a campaign."""
+        for members in CAMPAIGNS.values():
+            assert "weakened-safe1" not in members
+
+
+class TestScenarioConfigs:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_config_validates(self, name):
+        SCENARIOS[name].system_config(seed=1)
+
+    def test_seed_perturbs_config_seed(self):
+        scenario = SCENARIOS["baseline"]
+        assert (
+            scenario.system_config(1).seed != scenario.system_config(2).seed
+        )
+
+    def test_network_fault_detection(self):
+        assert SCENARIOS["net-drop"].uses_network_faults
+        assert not SCENARIOS["commission"].uses_network_faults
+
+
+class TestFaultPlans:
+    def test_build_fault_plan_resolves_indices(self):
+        scenario = Scenario(
+            name="t",
+            description="",
+            faults=(
+                FaultSpec("commission", 1, (("probability", 0.5),)),
+                FaultSpec("crash", 2, (("after_tasks", 4),)),
+            ),
+        )
+        plan = build_fault_plan(scenario, ["n0", "n1", "n2"])
+        assert isinstance(plan.behavior_for("n1"), CommissionBehavior)
+        assert plan.behavior_for("n1").probability == 0.5
+        assert isinstance(plan.behavior_for("n2"), CrashBehavior)
+        assert plan.behavior_for("n2").after_tasks == 4
+
+    def test_network_faults_excluded_from_node_plan(self):
+        scenario = SCENARIOS["net-drop"]
+        plan = build_fault_plan(scenario, [f"n{i}" for i in range(12)])
+        assert plan.faulty_nodes() == set()
+
+    def test_unknown_kind_rejected(self):
+        scenario = Scenario(name="t", description="", faults=(FaultSpec("warp", 0),))
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            build_fault_plan(scenario, ["n0"])
+
+    def test_out_of_range_index_rejected(self):
+        scenario = Scenario(
+            name="t", description="", faults=(FaultSpec("commission", 9),)
+        )
+        with pytest.raises(ReproError, match="out of range"):
+            build_fault_plan(scenario, ["n0"])

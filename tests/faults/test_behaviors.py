@@ -10,18 +10,25 @@ from repro.common.records import Record, records_from_rows
 from repro.faults.behaviors import (
     CORRECT,
     CommissionBehavior,
+    CrashBehavior,
+    EquivocateBehavior,
     FlakyCommissionBehavior,
     OmissionBehavior,
     SlowBehavior,
+    StorageCorruptionBehavior,
     tamper,
+    tamper_one,
 )
 from repro.faults.injection import (
     combined,
     commission_nodes,
+    crash_node,
+    equivocate_node,
     no_faults,
     single_commission,
     single_omission,
     slow_node,
+    storage_rot_node,
 )
 
 
@@ -100,10 +107,104 @@ class TestBehaviors:
         )
         assert 40 < fires < 200
 
+    def test_omission_digest_probability_independent(self):
+        """``digest_probability`` withholds only the verification
+        message: the completion still arrives."""
+        behavior = OmissionBehavior(probability=0.0, digest_probability=1.0)
+        assert not behavior.omits_completion(random.Random(0))
+        assert behavior.omits_digest(random.Random(0))
+
+    def test_omission_digest_probability_statistics(self):
+        behavior = OmissionBehavior(probability=0.0, digest_probability=0.3)
+        rng = random.Random(1)
+        fires = sum(behavior.omits_digest(rng) for _ in range(2000))
+        assert 450 < fires < 750
+
     def test_describe_strings(self):
         assert "commission" in CommissionBehavior().describe()
         assert "omission" in OmissionBehavior().describe()
         assert "slow" in SlowBehavior().describe()
+        assert "crash" in CrashBehavior().describe()
+        assert "equivocate" in EquivocateBehavior().describe()
+        assert "storage-rot" in StorageCorruptionBehavior().describe()
+
+
+class TestTamperOne:
+    def test_changes_exactly_one_record(self):
+        records = records_from_rows([(i,) for i in range(50)])
+        corrupted = tamper_one(records, random.Random(0))
+        assert sum(a != b for a, b in zip(records, corrupted)) == 1
+        assert len(corrupted) == len(records)
+
+
+class TestCrashBehavior:
+    def test_crashes_after_k_task_starts(self):
+        behavior = CrashBehavior(after_tasks=2)
+        assert not behavior.is_crashed()
+        behavior.note_task_start()
+        assert not behavior.is_crashed()
+        behavior.note_task_start()
+        assert behavior.is_crashed()
+
+    def test_after_zero_is_dead_on_arrival(self):
+        assert CrashBehavior(after_tasks=0).is_crashed()
+
+    def test_counter_is_per_instance(self):
+        a, b = CrashBehavior(after_tasks=1), CrashBehavior(after_tasks=1)
+        a.note_task_start()
+        assert a.is_crashed() and not b.is_crashed()
+
+    def test_pipeline_itself_is_honest(self):
+        """Crash-stop nodes never tamper — they only fall silent."""
+        behavior = CrashBehavior(after_tasks=1)
+        records = records_from_rows([(1,)])
+        assert behavior.corrupt_records(records, random.Random(0)) == records
+        assert not behavior.omits_digest(random.Random(0))
+
+
+class TestEquivocateBehavior:
+    def test_digests_honest_storage_poisoned(self):
+        """The defining property: the consumed stream (digest source)
+        is untouched, the persisted stream is tampered."""
+        behavior = EquivocateBehavior(probability=1.0)
+        records = records_from_rows([(i,) for i in range(10)])
+        assert behavior.corrupt_records(records, random.Random(0)) == records
+        stored = behavior.corrupt_stored_output(records, random.Random(0))
+        assert stored != records
+        assert sum(a != b for a, b in zip(records, stored)) == 1
+
+    def test_probability_zero_never_fires(self):
+        behavior = EquivocateBehavior(probability=0.0)
+        records = records_from_rows([(1,)])
+        for seed in range(20):
+            assert (
+                behavior.corrupt_stored_output(records, random.Random(seed))
+                == records
+            )
+
+    def test_empty_stream_safe(self):
+        behavior = EquivocateBehavior(probability=1.0)
+        assert behavior.corrupt_stored_output([], random.Random(0)) == []
+
+
+class TestStorageCorruptionBehavior:
+    def test_read_path_rots_pipeline_honest(self):
+        behavior = StorageCorruptionBehavior(probability=1.0)
+        assert behavior.corrupts_storage
+        records = records_from_rows([(i,) for i in range(10)])
+        assert behavior.corrupt_records(records, random.Random(0)) == records
+        observed = behavior.corrupt_read(records, random.Random(0))
+        assert observed != records
+
+    def test_correct_behavior_does_not_corrupt_storage(self):
+        records = records_from_rows([(1,)])
+        assert not CORRECT.corrupts_storage
+        assert CORRECT.corrupt_read(records, random.Random(0)) == records
+        assert CORRECT.corrupt_stored_output(records, random.Random(0)) == records
+
+    def test_empty_stream_safe(self):
+        behavior = StorageCorruptionBehavior(probability=1.0)
+        assert behavior.corrupt_read([], random.Random(0)) == []
 
 
 class TestFaultPlans:
@@ -131,6 +232,29 @@ class TestFaultPlans:
     def test_combined_rejects_conflicts(self):
         with pytest.raises(FaultInjectionError):
             combined(single_commission("a"), single_omission("a"))
+
+    def test_crash_node_plan(self):
+        plan = crash_node("n1", after_tasks=3)
+        assert plan.faulty_nodes() == {"n1"}
+        assert plan.behavior_for("n1").after_tasks == 3
+
+    def test_equivocate_node_plan(self):
+        plan = equivocate_node("n1", probability=0.5)
+        assert plan.faulty_nodes() == {"n1"}
+        assert plan.behavior_for("n1").probability == 0.5
+
+    def test_storage_rot_node_plan(self):
+        plan = storage_rot_node("n1")
+        assert plan.faulty_nodes() == {"n1"}
+        assert plan.behavior_for("n1").corrupts_storage
+
+    def test_combined_rejects_conflicts_across_new_kinds(self):
+        with pytest.raises(FaultInjectionError):
+            combined(crash_node("a"), storage_rot_node("a"))
+
+    def test_combined_merges_new_kinds(self):
+        plan = combined(crash_node("a"), equivocate_node("b"), storage_rot_node("c"))
+        assert plan.faulty_nodes() == {"a", "b", "c"}
 
     def test_describe(self):
         assert no_faults().describe() == "no faults"

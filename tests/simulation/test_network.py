@@ -3,7 +3,14 @@
 import random
 
 from repro.simulation.events import EventLoop
-from repro.simulation.network import LatencyModel, SimNetwork, partition
+from repro.simulation.network import (
+    LatencyModel,
+    SimNetwork,
+    delay_spike,
+    partition,
+    selective_drop,
+)
+from repro.telemetry import Telemetry
 
 
 def make_network(latency=None):
@@ -32,6 +39,9 @@ class TestDelivery:
         net.send("a", "ghost", "x")
         loop.run_until_idle()
         assert net.messages_dropped == 1
+        # The loss is classified by cause, not just counted.
+        assert net.messages_undeliverable == 1
+        assert net.messages_filtered == 0
 
     def test_unregister_drops_in_flight(self):
         loop, net = make_network()
@@ -70,6 +80,8 @@ class TestFilters:
         net.send("a", "b", "x")
         loop.run_until_idle()
         assert inbox == [] and net.messages_dropped == 1
+        assert net.messages_filtered == 1
+        assert net.messages_undeliverable == 0
 
     def test_filter_removal_restores_delivery(self):
         loop, net = make_network()
@@ -101,6 +113,85 @@ class TestFilters:
         net.send("c", "d", "x")
         loop.run_until_idle()
         assert inbox == ["x"]
+
+
+class TestEndpointFaults:
+    def test_selective_drop_silences_only_target(self):
+        loop, net = make_network()
+        inbox = []
+        net.register("c", lambda s, m: inbox.append((s, m)))
+        net.add_filter(selective_drop({"bad"}, 1.0, random.Random(0)))
+        net.send("bad", "c", "x")
+        net.send("good", "c", "y")
+        loop.run_until_idle()
+        assert inbox == [("good", "y")]
+        assert net.messages_filtered == 1
+
+    def test_selective_drop_probability_statistics(self):
+        loop, net = make_network()
+        net.register("c", lambda *a: None)
+        net.add_filter(selective_drop({"bad"}, 0.3, random.Random(1)))
+        for _ in range(2000):
+            net.send("bad", "c", "x")
+        loop.run_until_idle()
+        assert 450 < net.messages_filtered < 750
+
+    def test_delay_spike_slows_only_target(self):
+        loop, net = make_network(LatencyModel(base=0.1, jitter=0.0))
+        arrivals = {}
+        net.register("c", lambda s, m: arrivals.setdefault(s, loop.now))
+        net.add_delay(delay_spike({"slow"}, 2.0, random.Random(0)))
+        net.send("slow", "c", "x")
+        net.send("fast", "c", "y")
+        loop.run_until_idle()
+        assert arrivals["fast"] == 0.1
+        assert arrivals["slow"] == 2.1
+        assert net.messages_dropped == 0  # a slow link, not a lossy one
+
+    def test_delay_rule_removal_restores_latency(self):
+        loop, net = make_network(LatencyModel(base=0.1, jitter=0.0))
+        net.register("c", lambda *a: None)
+        rule = delay_spike({"a"}, 5.0, random.Random(0))
+        net.add_delay(rule)
+        net.remove_delay(rule)
+        net.send("a", "c", "x")
+        loop.run_until_idle()
+        assert loop.now == 0.1
+
+    def test_negative_delay_contribution_clamped(self):
+        loop, net = make_network(LatencyModel(base=0.1, jitter=0.0))
+        net.register("c", lambda *a: None)
+        net.add_delay(lambda s, r, m: -100.0)
+        net.send("a", "c", "x")
+        loop.run_until_idle()
+        assert loop.now == 0.1
+
+
+class TestTelemetryCounters:
+    def make_instrumented(self):
+        loop = EventLoop()
+        telemetry = Telemetry.recording(clock=lambda: loop.now)
+        net = SimNetwork(loop, random.Random(0), LatencyModel(), telemetry=telemetry)
+        return loop, net, telemetry
+
+    def test_drop_causes_are_labelled(self):
+        loop, net, telemetry = self.make_instrumented()
+        net.register("b", lambda *a: None)
+        net.add_filter(selective_drop({"bad"}, 1.0, random.Random(0)))
+        net.send("bad", "b", "x")  # filtered
+        net.send("a", "ghost", "x")  # undeliverable
+        net.send("a", "b", "x")  # delivered
+        loop.run_until_idle()
+        metrics = {
+            (m["name"], tuple(sorted(m.get("labels", {}).items()))): m["value"]
+            for m in telemetry.metrics.snapshot()
+            if m["name"].startswith("network_")
+        }
+        assert metrics[("network_messages_sent", ())] == 3
+        assert metrics[("network_messages_dropped", (("cause", "filtered"),))] == 1
+        assert (
+            metrics[("network_messages_dropped", (("cause", "undeliverable"),))] == 1
+        )
 
 
 class TestLatencyModel:
