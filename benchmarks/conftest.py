@@ -30,12 +30,17 @@ def emit(text: str, result_file: str | None = None) -> None:
 
 
 def emit_bench_json(name: str, metrics, seed: int | None = None) -> pathlib.Path:
-    """Write ``BENCH_<name>.json`` at the repo root.
+    """Write ``BENCH_<name>.json`` in the ``repro.bench/v1`` schema.
 
     ``metrics`` is a list of ``(metric_name, value, units)`` triples (or
     dicts with those keys) — the machine-readable companion to the
-    rendered tables, for trend tracking across commits.
+    rendered tables, for trend tracking across commits.  The payload is
+    the same schema ``repro bench`` writes, so one tooling path consumes
+    both; it lands at the repo root (the legacy location) and in
+    ``benchmarks/results/`` next to the rendered ``.txt`` tables.
     """
+    from repro.bench.runner import SCHEMA_VERSION, git_sha
+
     if seed is None:
         from repro.common.rng import DEFAULT_SEED
 
@@ -43,21 +48,31 @@ def emit_bench_json(name: str, metrics, seed: int | None = None) -> pathlib.Path
     rows = []
     for metric in metrics:
         if isinstance(metric, dict):
-            rows.append(
-                {
-                    "name": metric["name"],
-                    "value": metric["value"],
-                    "units": metric["units"],
-                }
-            )
+            row = {
+                "name": metric["name"],
+                "value": metric["value"],
+                "units": metric["units"],
+            }
+            if metric.get("tolerance"):
+                row["tolerance"] = metric["tolerance"]
+            rows.append(row)
         else:
             metric_name, value, units = metric
             rows.append({"name": metric_name, "value": value, "units": units})
-    payload = {"benchmark": name, "seed": seed, "metrics": rows}
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": name,
+        "variant": "full",
+        "seed": seed,
+        "git_sha": git_sha(),
+        "metrics": rows,
+    }
     path = REPO_ROOT / f"BENCH_{name}.json"
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for target in (path, RESULTS_DIR / f"BENCH_{name}.json"):
+        with open(target, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return path
 
 

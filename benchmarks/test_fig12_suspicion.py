@@ -14,19 +14,27 @@ import pytest
 
 from repro.isolation.simulator import IsolationSimulator
 from repro.reporting.tables import Series, render_figure
+from repro.telemetry import Telemetry
+from repro.telemetry.analysis import first_event, gauge_series, last_gauge_value
 
 MAX_TIME = 150
 
 
 @pytest.fixture(scope="module")
 def timeline():
-    simulator = IsolationSimulator(f=1, commission_probability=0.8, seed=12)
+    # Run under telemetry: the BENCH metrics below are derived from the
+    # recorded trace (the same series `repro report` and `repro bench`
+    # read), with the simulator's own stats kept for the shape asserts.
+    telemetry = Telemetry.recording()
+    simulator = IsolationSimulator(
+        f=1, commission_probability=0.8, seed=12, telemetry=telemetry
+    )
     stats = simulator.run(max_time=MAX_TIME)
-    return simulator, stats
+    return simulator, stats, telemetry.export_records()
 
 
 def test_fig12_benchmark(benchmark, timeline, reporter, bench_json):
-    simulator, stats = timeline
+    simulator, stats, records = timeline
 
     def rerun():
         return IsolationSimulator(f=1, commission_probability=0.8, seed=99).run(
@@ -51,15 +59,51 @@ def test_fig12_benchmark(benchmark, timeline, reporter, bench_json):
         ),
         "fig12.txt",
     )
+    # BENCH metrics come from the trace, not the simulator's bookkeeping:
+    # the saturation event and the gauge series ARE the figure's data.
+    saturation = first_event(records, "saturation")
+    assert saturation is not None
     bench_json(
         "fig12",
         [
-            ("saturation_time", stats.saturation_time, "simulated_seconds"),
-            ("jobs_completed", stats.jobs_completed, "jobs"),
-            ("final_suspects", len(stats.final_suspects), "nodes"),
+            ("saturation_time", saturation["ts"], "simulated_seconds"),
+            (
+                "jobs_at_saturation",
+                saturation["attrs"]["jobs_completed"],
+                "jobs",
+            ),
+            (
+                "jobs_completed",
+                last_gauge_value(records, "sim_jobs_completed", 0),
+                "jobs",
+            ),
+            (
+                "final_suspects",
+                last_gauge_value(records, "suspicion_suspects", 0),
+                "nodes",
+            ),
+            (
+                "final_high_band",
+                last_gauge_value(records, "suspicion_band_nodes", 0, band="high"),
+                "nodes",
+            ),
         ],
         seed=12,
     )
+
+    # The trace and the simulator's own stats must agree exactly.
+    assert saturation["ts"] == float(stats.saturation_time)
+    assert last_gauge_value(records, "sim_jobs_completed") == float(
+        stats.jobs_completed
+    )
+    assert last_gauge_value(records, "suspicion_suspects") == float(
+        len(stats.final_suspects)
+    )
+    trace_bands = {
+        point.time: point.high for point in stats.timeline
+    }
+    for ts, value in gauge_series(records, "suspicion_band_nodes", band="high"):
+        assert trace_bands.get(int(ts), value) == value
 
     # Shape 1: no suspicion at the very start.
     first = stats.timeline[0]

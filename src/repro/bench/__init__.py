@@ -1,0 +1,26 @@
+"""Benchmark regression harness: ``repro bench``.
+
+Runs a suite of deterministic, seeded benchmarks (trace-backed where
+the paper's figure is a time-series), writes schema-versioned
+``BENCH_<name>.json`` result files, and compares them against committed
+baselines with per-metric tolerances — exit 1 on regression.  This is
+the perf trajectory the ROADMAP's north-star tracks: every commit can
+re-run the suite and diff against the last accepted numbers.
+"""
+
+from repro.bench.runner import (
+    SCHEMA_VERSION,
+    Regression,
+    compare_payload,
+    run_suite,
+)
+from repro.bench.suites import SUITES, BenchSpec
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUITES",
+    "BenchSpec",
+    "Regression",
+    "compare_payload",
+    "run_suite",
+]

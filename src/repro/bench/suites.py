@@ -1,0 +1,211 @@
+"""Benchmark suite definitions.
+
+Each spec is a named, seeded, deterministic measurement.  The figure
+benchmarks are **trace-backed**: they run the workload under telemetry
+and derive their metrics from the recorded gauge series/events via
+:mod:`repro.telemetry.analysis` — the same numbers ``repro report``
+shows — rather than keeping bespoke in-benchmark bookkeeping.  The
+``smoke`` variant shrinks sizes for CI while keeping the same code
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.telemetry import Telemetry
+from repro.telemetry.analysis import (
+    first_event,
+    gauge_series,
+    last_gauge_value,
+    summarize,
+)
+
+Metric = dict
+
+
+def metric(name: str, value, units: str, tolerance: float = 0.0) -> Metric:
+    """One benchmark metric row (tolerance is relative, 0 = exact)."""
+    row = {"name": name, "value": value, "units": units}
+    if tolerance:
+        row["tolerance"] = tolerance
+    return row
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    name: str
+    description: str
+    seed: int
+    run: Callable[[bool], list[Metric]]  # run(smoke) -> metrics
+
+
+# ---------------------------------------------------------------------------
+# fig12 — suspicion saturation (isolation simulator, trace-backed)
+# ---------------------------------------------------------------------------
+
+
+def _fig12(smoke: bool) -> list[Metric]:
+    from repro.isolation.simulator import IsolationSimulator
+
+    telemetry = Telemetry.recording()
+    simulator = IsolationSimulator(
+        f=1, commission_probability=0.8, seed=12, telemetry=telemetry
+    )
+    simulator.run(max_time=30 if smoke else 150)
+    records = telemetry.export_records()
+    saturation = first_event(records, "saturation")
+    return [
+        metric(
+            "saturation_time",
+            saturation["ts"] if saturation else -1,
+            "simulated_seconds",
+        ),
+        metric(
+            "jobs_at_saturation",
+            (saturation.get("attrs") or {}).get("jobs_completed", -1)
+            if saturation
+            else -1,
+            "jobs",
+        ),
+        metric(
+            "jobs_completed",
+            last_gauge_value(records, "sim_jobs_completed", 0),
+            "jobs",
+        ),
+        metric(
+            "final_suspects",
+            last_gauge_value(records, "suspicion_suspects", 0),
+            "nodes",
+        ),
+        metric(
+            "final_high_band",
+            last_gauge_value(records, "suspicion_band_nodes", 0, band="high"),
+            "nodes",
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fig13 — suspicion spikes (multi-seed peak, trace-backed)
+# ---------------------------------------------------------------------------
+
+_FIG13_SEEDS_FULL = (3, 5, 11, 17, 23)
+_FIG13_SEEDS_SMOKE = (3, 5)
+
+
+def _fig13(smoke: bool) -> list[Metric]:
+    from repro.isolation.simulator import IsolationSimulator
+
+    seeds = _FIG13_SEEDS_SMOKE if smoke else _FIG13_SEEDS_FULL
+    max_time = 60 if smoke else 150
+    peaks = []
+    for seed in seeds:
+        telemetry = Telemetry.recording()
+        simulator = IsolationSimulator(
+            f=2,
+            ratio=(10, 1, 1),
+            commission_probability=0.25,
+            seed=seed,
+            telemetry=telemetry,
+        )
+        simulator.run(max_time=max_time)
+        series = gauge_series(
+            telemetry.export_records(), "suspicion_suspects"
+        )
+        peaks.append(max((value for _, value in series), default=0.0))
+    return [
+        metric("peak_suspects_max", max(peaks), "nodes"),
+        metric("peak_suspects_mean", sum(peaks) / len(peaks), "nodes"),
+        metric("runs", len(peaks), "runs"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# exec — assured group-count execution (controller, trace-backed)
+# ---------------------------------------------------------------------------
+
+_EXEC_SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+B = FILTER A BY v IS NOT NULL;
+G = GROUP B BY k;
+C = FOREACH G GENERATE group AS k, COUNT(B) AS n;
+STORE C INTO 'out';
+"""
+
+
+def _exec(smoke: bool) -> list[Metric]:
+    from repro.chaos.runner import workload
+    from repro.common.config import (
+        ClusterBFTConfig,
+        ClusterConfig,
+        SystemConfig,
+    )
+    from repro.core.controller import ClusterBFTController
+
+    telemetry = Telemetry.recording()
+    config = SystemConfig(
+        cluster=ClusterConfig(
+            num_nodes=16 if smoke else 32,
+            slots_per_node=3,
+            heartbeat_period=0.2,
+        ),
+        bft=ClusterBFTConfig(f=1, replication=4, verification_points=1),
+        seed=20131209,
+    )
+    controller = ClusterBFTController(
+        config, block_bytes=2048, telemetry=telemetry
+    )
+    controller.load_input("in", workload(7)[: 120 if smoke else 320])
+    result = controller.run_assured(_EXEC_SCRIPT)
+    summary = summarize(telemetry.export_records())
+    return [
+        metric("latency", round(result.latency, 6), "simulated_seconds"),
+        metric("assured", int(result.assured), "bool"),
+        metric("attempts", result.attempts, "attempts"),
+        metric("tasks", summary.task_count, "tasks"),
+        metric(
+            "task_seconds", round(summary.task_seconds, 6), "simulated_seconds"
+        ),
+        metric(
+            "verify_seconds",
+            round(summary.verify_seconds, 6),
+            "simulated_seconds",
+        ),
+        metric(
+            "verify_tail_seconds",
+            round(summary.verify_tail_seconds, 6),
+            "simulated_seconds",
+        ),
+    ]
+
+
+SUITES: tuple[BenchSpec, ...] = (
+    BenchSpec(
+        name="fig12",
+        description="suspicion saturation from an isolation-simulator trace",
+        seed=12,
+        run=_fig12,
+    ),
+    BenchSpec(
+        name="fig13",
+        description="suspicion spike peaks across seeds (trace-backed)",
+        seed=3,
+        run=_fig13,
+    ),
+    BenchSpec(
+        name="exec_groupcount",
+        description="assured execution latency/verification split from a trace",
+        seed=20131209,
+        run=_exec,
+    ),
+)
+
+
+def spec_by_name(name: str) -> BenchSpec:
+    for spec in SUITES:
+        if spec.name == name:
+            return spec
+    known = ", ".join(spec.name for spec in SUITES)
+    raise KeyError(f"unknown benchmark {name!r} (known: {known})")

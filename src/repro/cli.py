@@ -17,7 +17,20 @@ Examples::
     python -m repro trace out.jsonl
 
     # compare two traces of the same script (attempt/critical-path deltas)
-    python -m repro trace --diff clean.jsonl faulty.jsonl
+    python -m repro trace clean.jsonl faulty.jsonl --diff
+
+    # per-run dashboard from a trace (text or self-contained html)
+    python -m repro report out.jsonl
+    python -m repro report out.jsonl --format html -o out.report.html
+
+    # host-time self-profile: record with --profile-host, render --profile
+    python -m repro run analysis.pig --trace out.jsonl --profile-host ...
+    python -m repro report out.jsonl --profile
+
+    # benchmark regression suite (exit 1 on drift beyond tolerance)
+    python -m repro bench --list
+    python -m repro bench --smoke
+    python -m repro bench fig12 --update-baselines
 
     # static analysis: determinism linter / plan checker
     python -m repro lint src/repro
@@ -42,10 +55,16 @@ from repro.common.records import Record
 from repro.core.controller import ClusterBFTController
 from repro.core.graph_analyzer import input_ratios
 from repro.core.request_handler import RequestHandler
+from repro.bench.cli import add_bench_parser, cmd_bench
 from repro.lint.cli import add_lint_parser, cmd_lint
 from repro.telemetry import Telemetry
 from repro.telemetry.analysis import diff_traces, summarize
-from repro.telemetry.export import read_jsonl, write_chrome_trace
+from repro.telemetry.export import (
+    read_jsonl,
+    read_jsonl_lenient,
+    write_chrome_trace,
+)
+from repro.telemetry.report import build_report, render_html, render_text
 
 
 def _chrome_path_for(jsonl_path: str) -> str:
@@ -120,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a telemetry trace: writes a JSONL event stream plus "
         "a Chrome trace_event file (OUT.chrome.json) for Perfetto",
     )
+    run.add_argument(
+        "--profile-host",
+        action="store_true",
+        help="stamp each trace record with a host_time wall-clock field "
+        "so `repro report --profile` can surface simulator hotspots "
+        "(breaks byte-comparability of the trace across runs)",
+    )
 
     explain = sub.add_parser("explain", help="show plan, markers, job graph")
     common(explain)
@@ -145,6 +171,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--top-nodes", type=int, default=10,
                        help="rows in the per-node task-time table")
 
+    report = sub.add_parser(
+        "report",
+        help="render a per-run dashboard from a trace (text or html)",
+    )
+    report.add_argument(
+        "trace_file", help="JSONL trace from `repro run --trace`"
+    )
+    report.add_argument(
+        "--format",
+        choices=("text", "html"),
+        default="text",
+        dest="fmt",
+        help="text to stdout (default) or a single-file html dashboard",
+    )
+    report.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write to FILE instead of stdout "
+        "(default for html: <trace>.report.html)",
+    )
+    report.add_argument(
+        "--profile",
+        action="store_true",
+        help="add the host-time hotspot section (needs a trace recorded "
+        "with --profile-host / wall_clock=True)",
+    )
+    report.add_argument("--top-nodes", type=int, default=16,
+                        help="rows in the node timeline section")
+
+    add_bench_parser(sub)
     add_lint_parser(sub)
     add_chaos_parser(sub)
     return parser
@@ -178,9 +236,13 @@ def cmd_run(args) -> int:
         # Streaming sink: records hit the file as they are emitted, so a
         # crashed run still leaves its trace prefix on disk.
         try:
-            telemetry = Telemetry.streaming(args.trace)
+            telemetry = Telemetry.streaming(
+                args.trace, wall_clock=args.profile_host
+            )
         except OSError as exc:
             raise SystemExit(f"cannot open trace file: {exc}")
+    elif args.profile_host:
+        raise SystemExit("--profile-host needs --trace OUT.jsonl")
     controller = make_controller(args, telemetry=telemetry)
     with open(args.script) as handle:
         script = handle.read()
@@ -236,12 +298,26 @@ def cmd_explain(args) -> int:
 
 
 def _read_trace(path: str) -> list[dict]:
+    records, warnings = _read_trace_lenient(path)
+    return records
+
+
+def _read_trace_lenient(path: str) -> tuple[list[dict], list[str]]:
+    """Read a trace, degrading gracefully on truncated streams.
+
+    A streaming trace whose run died before ``finalize()`` has no
+    trailing metrics snapshot and possibly a cut-off last line; both are
+    reported as warnings on stderr instead of crashing the analysis.
+    """
     try:
-        return read_jsonl(path)
+        records, warnings = read_jsonl_lenient(path)
     except OSError as exc:
         raise SystemExit(f"cannot read trace: {exc}")
     except ValueError as exc:
         raise SystemExit(f"not a JSONL trace: {path}: {exc}")
+    for warning in warnings:
+        print(f"warning: {path}: {warning}", file=sys.stderr)
+    return records, warnings
 
 
 def cmd_trace(args) -> int:
@@ -267,6 +343,40 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    records, warnings = _read_trace_lenient(args.trace_file)
+    report = build_report(
+        records,
+        source=args.trace_file,
+        warnings=warnings,
+        top_nodes=args.top_nodes,
+        profile=args.profile,
+    )
+    if args.fmt == "html":
+        rendered = render_html(report)
+        out_path = args.out
+        if out_path is None:
+            base = (
+                args.trace_file[:-6]
+                if args.trace_file.endswith(".jsonl")
+                else args.trace_file
+            )
+            out_path = base + ".report.html"
+    else:
+        rendered = render_text(report)
+        out_path = args.out
+    if out_path is None or out_path == "-":
+        sys.stdout.write(rendered)
+    else:
+        try:
+            with open(out_path, "w") as handle:
+                handle.write(rendered)
+        except OSError as exc:
+            raise SystemExit(f"cannot write report: {exc}")
+        print(f"report written to {out_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -274,6 +384,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_run(args)
         if args.command == "trace":
             return cmd_trace(args)
+        if args.command == "report":
+            return cmd_report(args)
+        if args.command == "bench":
+            return cmd_bench(args)
         if args.command == "lint":
             return cmd_lint(args)
         if args.command == "chaos":

@@ -46,6 +46,7 @@ from repro.core.audit import (
     AuditLog,
 )
 from repro.core.fault_analyzer import FaultAnalyzer
+from repro.core.gauges import publish_suspicion
 from repro.core.request_handler import (
     PreparedScript,
     RequestHandler,
@@ -709,6 +710,8 @@ class ClusterBFTController:
         self.suspicion.record_fault(set(fault.nodes))
         if fault.kind == COMMISSION:
             self.fault_analyzer.observe(set(fault.nodes))
+        if self.telemetry.enabled:
+            self._publish_suspicion_gauges()
 
     # ------------------------------------------------------------------
     # outcome handling: suspicion, fault isolation, eviction
@@ -752,6 +755,8 @@ class ClusterBFTController:
             if cleared:
                 self.suspicion.clear_faults(cleared)
         self._evict_suspects()
+        if self.telemetry.enabled:
+            self._publish_suspicion_gauges()
 
     def _missing_replica_nodes(
         self, attempt: _Attempt, outcome: VerificationOutcome
@@ -827,6 +832,8 @@ class ClusterBFTController:
                 self.telemetry.metrics.counter(
                     "equivocations_detected"
                 ).inc()
+        if divergent and self.telemetry.enabled:
+            self._publish_suspicion_gauges()
         if majority is None:
             return None
         return min(majority)
@@ -867,6 +874,19 @@ class ClusterBFTController:
                 suspicion=round(state.level, 3),
                 jobs=state.jobs_executed,
             )
+
+    def _publish_suspicion_gauges(self) -> None:
+        """One gauge-publication path for every execution surface: the
+        same series the isolation simulator emits (via the shared
+        :func:`~repro.core.gauges.publish_suspicion`), so controller
+        traces — including chaos-campaign cells — carry Fig. 12-style
+        time-series too."""
+        publish_suspicion(
+            self.telemetry.metrics,
+            self.suspicion,
+            self.fault_analyzer,
+            quarantined=len(self.scheduler.quarantined),
+        )
 
     # ------------------------------------------------------------------
     # output publication

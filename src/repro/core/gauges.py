@@ -1,0 +1,44 @@
+"""Suspicion/isolation gauge publication — the ONE code path that turns
+tracker state into telemetry time-series.
+
+Both execution surfaces publish through :func:`publish_suspicion`: the
+ClusterBFT controller (after every outcome batch, so chaos-campaign
+traces carry the series) and the §6.3 isolation simulator (after every
+time step, so Figs. 12/13 regenerate from a trace).  Keeping a single
+helper guarantees the two trace flavours use identical metric names and
+labels — ``repro report`` and the benchmark suite read them back with
+:func:`repro.telemetry.analysis.gauge_series`.
+
+Series published (gauges; each ``set()`` lands one timestamped sample
+in the trace stream):
+
+* ``suspicion_band_nodes{band=none|low|med|high}`` — Fig. 12's y-axis;
+* ``suspicion_suspects`` — nodes with level > 0 (Fig. 13's spikes);
+* ``fault_analyzer_disjoint_sets`` / ``fault_analyzer_overlapping_sets``
+  — |D| and |O| of the Fig. 7 analyzer;
+* ``fault_analyzer_suspects`` — |⋃D|, the bound that stops growing at
+  saturation;
+* ``nodes_quarantined`` — when the caller tracks a quarantine tier.
+"""
+
+from __future__ import annotations
+
+from repro.core.fault_analyzer import FaultAnalyzer
+from repro.core.suspicion import SuspicionTracker
+
+
+def publish_suspicion(
+    metrics,
+    suspicion: SuspicionTracker,
+    analyzer: FaultAnalyzer,
+    quarantined: int | None = None,
+) -> None:
+    """Set the suspicion/isolation gauges from current tracker state."""
+    for band_name, count in suspicion.band_counts().items():
+        metrics.gauge("suspicion_band_nodes", band=band_name).set(count)
+    metrics.gauge("suspicion_suspects").set(len(suspicion.suspects()))
+    metrics.gauge("fault_analyzer_disjoint_sets").set(len(analyzer.disjoint))
+    metrics.gauge("fault_analyzer_overlapping_sets").set(len(analyzer.overlapping))
+    metrics.gauge("fault_analyzer_suspects").set(len(analyzer.suspects()))
+    if quarantined is not None:
+        metrics.gauge("nodes_quarantined").set(quarantined)

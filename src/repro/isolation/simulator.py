@@ -31,7 +31,9 @@ from repro.common.errors import SimulationError
 from repro.common.ids import NodeId
 from repro.common.rng import RngRegistry, weighted_choice
 from repro.core.fault_analyzer import FaultAnalyzer
+from repro.core.gauges import publish_suspicion
 from repro.core.suspicion import SuspicionTracker
+from repro.telemetry import DISABLED, Telemetry
 
 LARGE = "large"
 MEDIUM = "medium"
@@ -103,6 +105,7 @@ class IsolationSimulator:
         num_faulty: int | None = None,
         seed: int = 63,
         overlap_strategy: str = "overlap",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if f < 1:
             raise SimulationError("f must be >= 1")
@@ -140,6 +143,11 @@ class IsolationSimulator:
         self.jobs_completed = 0
         self._job_counter = 0
         self.time = 0
+        # The discrete time counter is the telemetry clock: every gauge
+        # sample/event is stamped with the simulated time unit, so the
+        # Fig. 12/13 timelines come straight back out of the trace.
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.telemetry.bind_clock(lambda: float(self.time))
 
     # ------------------------------------------------------------------
     # job lifecycle
@@ -196,6 +204,16 @@ class IsolationSimulator:
 
     def _complete_job(self, job: SimJob) -> None:
         self.jobs_completed += 1
+        if self.telemetry.enabled:
+            self.telemetry.tracer.emit(
+                "sim_job",
+                start=float(job.started_at),
+                end=float(self.time),
+                job_id=job.job_id,
+                category=job.category,
+                slots=job.slots,
+                replicas=len(job.replicas),
+            )
         faulty_replicas: list[set[NodeId]] = []
         for replica in job.replicas:
             self.suspicion.record_job(replica)
@@ -208,6 +226,14 @@ class IsolationSimulator:
                 faulty_replicas.append(replica)
             for node in replica:
                 self.free_slots[node] += 1
+        if faulty_replicas and self.telemetry.enabled:
+            self.telemetry.tracer.event(
+                "commission_fault",
+                job_id=job.job_id,
+                category=job.category,
+                faulty_replicas=len(faulty_replicas),
+                cluster_size=job.slots,
+            )
         correct = self.replicas - len(faulty_replicas)
         if correct < self.f + 1:
             # No quorum: all clusters suspect, no attribution possible.
@@ -243,6 +269,12 @@ class IsolationSimulator:
         if not saturated_before and self.analyzer.saturated:
             self._jobs_at_saturation = self.jobs_completed
             self._saturation_time = self.time
+            if self.telemetry.enabled:
+                self.telemetry.tracer.event(
+                    "saturation",
+                    jobs_completed=self.jobs_completed,
+                    disjoint_sets=len(self.analyzer.disjoint),
+                )
         # Backfill: keep the cluster busy.
         for _ in range(1000):
             job = self._new_job()
@@ -250,6 +282,11 @@ class IsolationSimulator:
                 self._job_counter -= 1
                 break
             self.active_jobs.append(job)
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            publish_suspicion(metrics, self.suspicion, self.analyzer)
+            metrics.gauge("sim_jobs_completed").set(self.jobs_completed)
+            metrics.gauge("sim_active_jobs").set(len(self.active_jobs))
 
     _jobs_at_saturation: int | None = None
     _saturation_time: int | None = None

@@ -30,6 +30,7 @@ from typing import Callable
 from repro.telemetry.export import (
     JsonlStreamSink,
     read_jsonl,
+    read_jsonl_lenient,
     to_chrome_trace,
     to_jsonl,
     write_chrome_trace,
@@ -65,6 +66,7 @@ __all__ = [
     "Histogram",
     "DEFAULT_BUCKETS",
     "read_jsonl",
+    "read_jsonl_lenient",
     "to_jsonl",
     "to_chrome_trace",
     "write_jsonl",
@@ -139,6 +141,9 @@ class Telemetry:
             sinks = [self.stream_sink]
         self.tracer = Tracer(clock or (lambda: 0.0), sinks, wall_clock=wall_clock)
         self.metrics = MetricsRegistry()
+        # Gauge mutations become timestamped `sample` records in the
+        # trace stream — the registry snapshot alone only keeps finals.
+        self.metrics.bind_sampler(self.tracer.sample)
 
     @classmethod
     def recording(cls, clock: Callable[[], float] | None = None, wall_clock: bool = False) -> "Telemetry":
@@ -147,11 +152,14 @@ class Telemetry:
 
     @classmethod
     def streaming(
-        cls, path: str, clock: Callable[[], float] | None = None
+        cls,
+        path: str,
+        clock: Callable[[], float] | None = None,
+        wall_clock: bool = False,
     ) -> "Telemetry":
         """An enabled pipeline that writes records through to ``path``
         (JSONL) as they are emitted; call :meth:`finalize` when done."""
-        return cls(clock=clock, stream_path=path)
+        return cls(clock=clock, stream_path=path, wall_clock=wall_clock)
 
     def finalize(self) -> int | None:
         """Append the trailing metrics snapshot to the stream sink and

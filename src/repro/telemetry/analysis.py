@@ -65,6 +65,8 @@ class TraceSummary:
     node_tasks: dict[str, int] = field(default_factory=dict)
     event_counts: dict[str, int] = field(default_factory=dict)
     metric_rows: list[dict] = field(default_factory=list)
+    #: Gauge time-series points (``type: sample`` records, in order).
+    sample_rows: list[dict] = field(default_factory=list)
 
     def render(self, top_nodes: int = 10) -> str:
         lines: list[str] = []
@@ -186,6 +188,44 @@ def _critical_path(job_spans: list[dict]) -> CriticalPath | None:
                     end=end,
                 )
     return best
+
+
+def gauge_series(
+    records: list[dict], name: str, **labels
+) -> list[tuple[float, float]]:
+    """(ts, value) points of one gauge series, in emission order.
+
+    Label matching is subset-style (omitted labels match anything), the
+    same convention :meth:`MetricsRegistry.counter_value` uses.  This is
+    the read-side of gauge sampling: benchmarks and reports regenerate
+    Fig. 12/13-style timelines from a trace instead of keeping bespoke
+    in-run bookkeeping.
+    """
+    want = {k: str(v) for k, v in labels.items()}
+    points: list[tuple[float, float]] = []
+    for record in records:
+        if record.get("type") != "sample" or record.get("name") != name:
+            continue
+        have = {k: str(v) for k, v in (record.get("labels") or {}).items()}
+        if all(have.get(k) == v for k, v in want.items()):
+            points.append((record["ts"], record["value"]))
+    return points
+
+
+def last_gauge_value(
+    records: list[dict], name: str, default: float | None = None, **labels
+) -> float | None:
+    """Final value of a gauge series (``default`` when never sampled)."""
+    points = gauge_series(records, name, **labels)
+    return points[-1][1] if points else default
+
+
+def first_event(records: list[dict], name: str) -> dict | None:
+    """The first ``type: event`` record with ``name``, or None."""
+    for record in records:
+        if record.get("type") == "event" and record.get("name") == name:
+            return record
+    return None
 
 
 def _fmt_delta(before: float, after: float) -> str:
@@ -323,6 +363,9 @@ def summarize(records: list[dict]) -> TraceSummary:
             continue
         if kind == "metric":
             summary.metric_rows.append(record)
+            continue
+        if kind == "sample":
+            summary.sample_rows.append(record)
             continue
         if kind != "span" or record.get("end") is None:
             continue

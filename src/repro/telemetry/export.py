@@ -84,6 +84,48 @@ def read_jsonl(path_or_file: str | IO[str]) -> list[dict]:
     return [json.loads(line) for line in lines if line.strip()]
 
 
+def read_jsonl_lenient(
+    path_or_file: str | IO[str],
+) -> tuple[list[dict], list[str]]:
+    """Load a possibly-truncated streaming trace, best-effort.
+
+    A run that died mid-flight leaves a :class:`JsonlStreamSink` file
+    whose last line may be cut off and whose trailing metrics snapshot
+    (``Telemetry.finalize()``) never landed.  Instead of crashing the
+    analysis tools, return every parseable record plus human-readable
+    warnings describing what is missing.  A parse error anywhere *other*
+    than the tail still raises — that is a corrupt file, not a
+    truncated one.
+    """
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as handle:
+            lines = handle.readlines()
+    else:
+        lines = path_or_file.readlines()
+    lines = [line for line in lines if line.strip()]
+    warnings: list[str] = []
+    records: list[dict] = []
+    for index, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except ValueError as exc:
+            if index == len(lines) - 1:
+                warnings.append(
+                    f"trace truncated: dropped unparseable final line "
+                    f"(record {index + 1}): {exc}"
+                )
+                break
+            raise
+    if not records:
+        warnings.append("trace is empty (no records)")
+    elif not any(r.get("type") == "metric" for r in records):
+        warnings.append(
+            "trace has no metrics snapshot (run never reached finalize()); "
+            "counter/gauge totals are reconstructed from the stream prefix"
+        )
+    return records, warnings
+
+
 def _track_for(record: dict) -> str:
     attrs = record.get("attrs") or {}
     for key in _TRACK_ATTRS:
@@ -142,6 +184,20 @@ def to_chrome_trace(records: Iterable[dict]) -> dict:
                     "pid": 1,
                     "tid": tid_for(record),
                     "args": dict(record.get("attrs") or {}),
+                }
+            )
+        elif kind == "sample":
+            # Gauge time-series points render as Chrome counter tracks
+            # (one track per name+labels), so Perfetto plots the series.
+            labels = record.get("labels") or {}
+            suffix = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "name": record["name"] + (f"{{{suffix}}}" if suffix else ""),
+                    "ts": record.get("ts", 0.0) * 1e6,
+                    "pid": 1,
+                    "args": {"value": record["value"]},
                 }
             )
         elif kind == "metric" and record.get("metric_kind") == "counter":

@@ -17,7 +17,7 @@ whose disabled form short-circuits before building label dicts.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable
+from typing import Callable, Iterable
 
 #: Default duration buckets (seconds, simulated) — spans three orders of
 #: magnitude around typical task/verification costs in the cost model.
@@ -60,21 +60,35 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down.
 
-    __slots__ = ("value",)
+    When the owning registry has a sampler bound (see
+    :meth:`MetricsRegistry.bind_sampler`), every mutation additionally
+    records a timestamped sample — the time-series behind the Fig. 12/13
+    suspicion plots.  ``_emit`` is ``None`` otherwise, so unbound gauges
+    stay a plain attribute store.
+    """
+
+    __slots__ = ("value", "_emit")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._emit: "Callable[[float], None] | None" = None
 
     def set(self, value: float) -> None:
         self.value = value
+        if self._emit is not None:
+            self._emit(value)
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
+        if self._emit is not None:
+            self._emit(self.value)
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+        if self._emit is not None:
+            self._emit(self.value)
 
 
 class Histogram:
@@ -127,6 +141,33 @@ class MetricsRegistry:
         self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
         self._histogram_buckets: dict[str, tuple[float, ...]] = {}
+        self._sampler: Callable[[str, dict, float], None] | None = None
+
+    def bind_sampler(self, sampler: Callable[[str, dict, float], None]) -> None:
+        """Record every gauge mutation as a timestamped sample.
+
+        ``sampler(name, labels, value)`` is invoked on each ``set`` /
+        ``inc`` / ``dec`` of every gauge (existing and future) — the
+        :class:`~repro.telemetry.Telemetry` facade binds this to
+        :meth:`~repro.telemetry.spans.Tracer.sample` so gauge series land
+        in the trace stream next to spans and events.
+        """
+        self._sampler = sampler
+        for (name, label_key), gauge in self._gauges.items():
+            gauge._emit = self._emitter_for(name, label_key)
+
+    def _emitter_for(
+        self, name: str, label_key: LabelKey
+    ) -> Callable[[float], None] | None:
+        if self._sampler is None:
+            return None
+        sampler = self._sampler
+        labels = dict(label_key)
+
+        def emit(value: float) -> None:
+            sampler(name, labels, value)
+
+        return emit
 
     # -- accessors ------------------------------------------------------
 
@@ -142,6 +183,7 @@ class MetricsRegistry:
         metric = self._gauges.get(key)
         if metric is None:
             metric = self._gauges[key] = Gauge()
+            metric._emit = self._emitter_for(*key)
         return metric
 
     def histogram(

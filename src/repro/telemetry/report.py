@@ -1,0 +1,580 @@
+"""Per-run dashboard from a trace: the backend of ``repro report``.
+
+Where ``repro trace`` prints a quick summary, this module renders the
+full §6-style story of one run from its JSONL record stream, in five
+sections:
+
+1. **critical path** — per-attempt durations and the slowest replica
+   dependency chain (what verification actually waited on);
+2. **node timeline** — per-node busy/idle occupancy over the run window
+   (an ASCII/HTML strip per node, plus busy seconds and utilization);
+3. **verification tail** — the distribution of ``verify`` span
+   durations against fixed buckets, and how far verification ran past
+   the last task (the "offline, off the critical path" claim);
+4. **suspicion series** — the Fig. 12/13 band time-series read back
+   from gauge samples (``suspicion_band_nodes`` et al., published by
+   the one shared code path in :mod:`repro.core.gauges`);
+5. **event log** — faults, quarantines, evictions, equivocations,
+   saturation and every other instant event, in stream order.
+
+``--profile`` adds a host-time section: when the trace was recorded
+with ``wall_clock=True``, the gaps between consecutive records' host
+timestamps are attributed to the record that closed the gap, giving a
+coarse self-profile of the simulator (the ROADMAP's wall-clock item).
+
+Everything here is a pure function of the record list — rendering the
+same trace twice is byte-identical, which CI exploits.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from dataclasses import dataclass, field
+
+from repro.reporting.tables import Series, Table, render_figure
+from repro.telemetry.analysis import TraceSummary, gauge_series, summarize
+
+#: Verify-duration buckets (seconds, simulated) for section 3.
+VERIFY_BUCKETS = (0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+#: Width (characters) of a node occupancy strip.
+TIMELINE_CELLS = 60
+
+#: Busy-fraction glyphs for the occupancy strip, from idle to saturated.
+_OCCUPANCY_GLYPHS = " .:-=#"
+
+#: Maximum rows in the rendered suspicion series (downsampled evenly).
+MAX_SERIES_ROWS = 24
+
+#: Maximum rows in the event log before truncation.
+MAX_EVENT_ROWS = 48
+
+#: Maximum rows in the profile hotspot table.
+MAX_PROFILE_ROWS = 20
+
+_BANDS = ("none", "low", "med", "high")
+
+
+@dataclass
+class NodeStrip:
+    """One node's occupancy over the run window."""
+
+    node: str
+    busy_seconds: float
+    tasks: int
+    utilization: float  # busy_seconds / window length
+    strip: str  # TIMELINE_CELLS glyphs, ' ' idle .. '#' saturated
+
+
+@dataclass
+class RunReport:
+    """All five dashboard sections, ready to render."""
+
+    source: str | None
+    warnings: list[str]
+    summary: TraceSummary
+    window: tuple[float, float]
+    record_count: int
+    nodes: list[NodeStrip] = field(default_factory=list)
+    verify_buckets: list[tuple[str, int]] = field(default_factory=list)
+    suspicion_rows: list[dict] = field(default_factory=list)
+    event_rows: list[tuple[float, str, str]] = field(default_factory=list)
+    events_truncated: int = 0
+    #: (name, host_seconds, records) hotspots; None = profiling not requested.
+    profile_rows: list[tuple[str, float, int]] | None = None
+    profile_total: float = 0.0
+    profile_missing: bool = False
+
+
+# ---------------------------------------------------------------------------
+# building
+# ---------------------------------------------------------------------------
+
+
+def _run_window(records: list[dict]) -> tuple[float, float]:
+    start, end = None, None
+    for record in records:
+        kind = record.get("type")
+        if kind == "span" and record.get("end") is not None:
+            t0, t1 = record["start"], record["end"]
+        elif kind == "event" or kind == "sample":
+            t0 = t1 = record.get("ts", 0.0)
+        else:
+            continue
+        start = t0 if start is None else min(start, t0)
+        end = t1 if end is None else max(end, t1)
+    if start is None:
+        return (0.0, 0.0)
+    return (start, end)
+
+
+def _node_strips(
+    records: list[dict], window: tuple[float, float], top_nodes: int
+) -> list[NodeStrip]:
+    intervals: dict[str, list[tuple[float, float]]] = {}
+    for record in records:
+        if record.get("type") != "span" or record.get("name") != "task":
+            continue
+        if record.get("end") is None:
+            continue
+        node = (record.get("attrs") or {}).get("node")
+        if node is None:
+            continue
+        intervals.setdefault(str(node), []).append(
+            (record["start"], record["end"])
+        )
+
+    t0, t1 = window
+    length = max(t1 - t0, 1e-12)
+    cell = length / TIMELINE_CELLS
+    strips: list[NodeStrip] = []
+    for node, spans in intervals.items():
+        busy = sum(end - start for start, end in spans)
+        occupancy = [0.0] * TIMELINE_CELLS
+        for start, end in spans:
+            for index in range(TIMELINE_CELLS):
+                lo = t0 + index * cell
+                hi = lo + cell
+                overlap = min(end, hi) - max(start, lo)
+                if overlap > 0:
+                    occupancy[index] += overlap / cell
+        glyphs = []
+        for value in occupancy:
+            # value is summed concurrency; clamp at 1.5+ tasks => '#'.
+            scaled = min(value / 1.5, 1.0)
+            glyphs.append(
+                _OCCUPANCY_GLYPHS[
+                    min(
+                        int(scaled * (len(_OCCUPANCY_GLYPHS) - 1) + 1e-9),
+                        len(_OCCUPANCY_GLYPHS) - 1,
+                    )
+                    if value > 0
+                    else 0
+                ]
+            )
+        strips.append(
+            NodeStrip(
+                node=node,
+                busy_seconds=busy,
+                tasks=len(spans),
+                utilization=busy / length,
+                strip="".join(glyphs),
+            )
+        )
+    strips.sort(key=lambda s: (-s.busy_seconds, s.node))
+    return strips[:top_nodes]
+
+
+def _verify_histogram(summary_records: list[dict]) -> list[tuple[str, int]]:
+    counts = [0] * (len(VERIFY_BUCKETS) + 1)
+    for record in summary_records:
+        if record.get("type") != "span" or record.get("name") != "verify":
+            continue
+        if record.get("end") is None:
+            continue
+        duration = record["end"] - record["start"]
+        for index, boundary in enumerate(VERIFY_BUCKETS):
+            if duration <= boundary:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    rows: list[tuple[str, int]] = []
+    previous = 0.0
+    for boundary, count in zip(VERIFY_BUCKETS, counts):
+        rows.append((f"{previous:g}–{boundary:g}s", count))
+        previous = boundary
+    rows.append((f">{VERIFY_BUCKETS[-1]:g}s", counts[-1]))
+    return rows
+
+
+def _suspicion_rows(records: list[dict]) -> list[dict]:
+    """Time-indexed band counts, merged across gauge series."""
+    by_time: dict[float, dict] = {}
+
+    def row(ts: float) -> dict:
+        if ts not in by_time:
+            by_time[ts] = {"time": ts}
+        return by_time[ts]
+
+    for band in _BANDS:
+        for ts, value in gauge_series(
+            records, "suspicion_band_nodes", band=band
+        ):
+            row(ts)[band] = value
+    for name, column in (
+        ("suspicion_suspects", "suspects"),
+        ("fault_analyzer_disjoint_sets", "|D|"),
+        ("nodes_quarantined", "quarantined"),
+    ):
+        for ts, value in gauge_series(records, name):
+            row(ts)[column] = value
+    rows = [by_time[ts] for ts in sorted(by_time)]
+    # Carry the last seen value forward so downsampling never shows
+    # holes, then keep only the latest row per timestamp.
+    carried: dict = {}
+    for entry in rows:
+        carried.update(entry)
+        entry.update({k: v for k, v in carried.items() if k not in entry})
+    if len(rows) > MAX_SERIES_ROWS:
+        stride = (len(rows) + MAX_SERIES_ROWS - 1) // MAX_SERIES_ROWS
+        sampled = rows[::stride]
+        if sampled[-1] is not rows[-1]:
+            sampled.append(rows[-1])
+        rows = sampled
+    return rows
+
+
+def _event_rows(
+    records: list[dict],
+) -> tuple[list[tuple[float, str, str]], int]:
+    rows: list[tuple[float, str, str]] = []
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        attrs = record.get("attrs") or {}
+        detail = " ".join(
+            f"{key}={_compact(value)}" for key, value in sorted(attrs.items())
+        )
+        rows.append((record.get("ts", 0.0), record["name"], detail))
+    truncated = max(len(rows) - MAX_EVENT_ROWS, 0)
+    return rows[:MAX_EVENT_ROWS], truncated
+
+
+def _compact(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, (list, tuple)):
+        return json.dumps(list(value), separators=(",", ":"))
+    return str(value)
+
+
+def _profile_rows(
+    records: list[dict],
+) -> tuple[list[tuple[str, float, int]], float, bool]:
+    """Attribute host-time gaps between consecutive records.
+
+    The gap before record *i* is the simulator work that produced it, so
+    it is charged to record *i*'s name.  Coarse, but it needs no extra
+    instrumentation beyond ``wall_clock=True`` and reliably surfaces
+    which subsystem burns host time.
+    """
+    seconds: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    previous: float | None = None
+    saw_host_time = False
+    for record in records:
+        host = record.get("host_time")
+        if host is None:
+            continue
+        saw_host_time = True
+        if previous is not None:
+            name = record.get("name", record.get("type", "?"))
+            seconds[name] = seconds.get(name, 0.0) + (host - previous)
+            counts[name] = counts.get(name, 0) + 1
+        previous = host
+    rows = sorted(
+        ((name, total, counts[name]) for name, total in seconds.items()),
+        key=lambda item: (-item[1], item[0]),
+    )[:MAX_PROFILE_ROWS]
+    total = sum(seconds.values())
+    return rows, total, not saw_host_time
+
+
+def build_report(
+    records: list[dict],
+    source: str | None = None,
+    warnings: list[str] | None = None,
+    top_nodes: int = 16,
+    profile: bool = False,
+) -> RunReport:
+    """Assemble every dashboard section from a record stream."""
+    summary = summarize(records)
+    window = _run_window(records)
+    report = RunReport(
+        source=source,
+        warnings=list(warnings or []),
+        summary=summary,
+        window=window,
+        record_count=len(records),
+        nodes=_node_strips(records, window, top_nodes),
+        verify_buckets=_verify_histogram(records),
+        suspicion_rows=_suspicion_rows(records),
+    )
+    report.event_rows, report.events_truncated = _event_rows(records)
+    if profile:
+        report.profile_rows, report.profile_total, report.profile_missing = (
+            _profile_rows(records)
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# text rendering
+# ---------------------------------------------------------------------------
+
+
+def _section(title: str) -> list[str]:
+    return ["", title, "=" * len(title)]
+
+
+def render_text(report: RunReport) -> str:
+    lines: list[str] = []
+    lines.append("repro report" + (f" — {report.source}" if report.source else ""))
+    t0, t1 = report.window
+    lines.append(
+        f"window: {t0:.3f}s – {t1:.3f}s simulated "
+        f"({report.record_count} trace records)"
+    )
+    for warning in report.warnings:
+        lines.append(f"warning: {warning}")
+    summary = report.summary
+    for span in summary.run_spans:
+        attrs = span.get("attrs") or {}
+        lines.append(
+            f"run {attrs.get('script_id', '?')}: "
+            f"{span['end'] - span['start']:.3f}s simulated, "
+            f"mode={attrs.get('mode', '?')}, assured={attrs.get('assured', '?')}"
+        )
+
+    # 1. critical path -------------------------------------------------
+    lines += _section("1. critical path")
+    if not summary.attempts:
+        lines.append("no job/task spans in trace")
+    for attempt in summary.attempts:
+        lines.append(
+            f"attempt {attempt.attempt}: {attempt.duration:.3f}s, "
+            f"{attempt.jobs} job replicas, {attempt.tasks} tasks "
+            f"({attempt.task_seconds:.3f} busy task-seconds)"
+        )
+        if attempt.critical_path:
+            cp = attempt.critical_path
+            lines.append(
+                f"  critical path (replica {cp.replica}, {cp.duration:.3f}s): "
+                + " -> ".join(cp.job_ids)
+            )
+
+    # 2. node timeline -------------------------------------------------
+    lines += _section("2. node timeline (busy/idle)")
+    if not report.nodes:
+        lines.append("no per-node task spans in trace")
+    else:
+        width = max(len(strip.node) for strip in report.nodes)
+        for strip in report.nodes:
+            lines.append(
+                f"{strip.node:<{width}} |{strip.strip}| "
+                f"{strip.busy_seconds:9.3f}s busy, {strip.tasks:4d} tasks, "
+                f"{strip.utilization * 100:5.1f}%"
+            )
+        total_nodes = len(summary.node_seconds)
+        if total_nodes > len(report.nodes):
+            lines.append(f"... {total_nodes - len(report.nodes)} more nodes")
+
+    # 3. verification tail --------------------------------------------
+    lines += _section("3. verification tail")
+    if summary.verify_count == 0:
+        lines.append("no verify spans in trace")
+    else:
+        status = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary.verify_by_status.items())
+        )
+        lines.append(
+            f"{summary.verify_seconds:.3f} span-seconds across "
+            f"{summary.verify_count} sids ({status})"
+        )
+        lines.append(
+            f"tail past last task: {summary.verify_tail_seconds:.3f}s "
+            f"(offline, off the critical path)"
+        )
+        table = Table("verify span durations", ["bucket", "count", ""])
+        peak = max((count for _, count in report.verify_buckets), default=0)
+        for label, count in report.verify_buckets:
+            bar = "#" * (0 if peak == 0 else round(count / peak * 30))
+            table.add_row(label, count, bar)
+        lines.append("")
+        lines.append(table.render())
+
+    # 4. suspicion series ---------------------------------------------
+    lines += _section("4. suspicion series")
+    if not report.suspicion_rows:
+        lines.append(
+            "no suspicion gauge samples in trace "
+            "(series are published by fault handling; a fault-free plain "
+            "run carries none)"
+        )
+    else:
+        columns = ["low", "med", "high", "suspects", "|D|"]
+        if any("quarantined" in row for row in report.suspicion_rows):
+            columns.append("quarantined")
+        series = [Series(name) for name in columns]
+        for row in report.suspicion_rows:
+            for column, entry in zip(columns, series):
+                entry.add(f"{row['time']:g}", float(row.get(column, 0)))
+        lines.append(
+            render_figure("suspicion bands over time", "time", series)
+        )
+
+    # 5. event log -----------------------------------------------------
+    lines += _section("5. event log")
+    if not report.event_rows:
+        lines.append("no events in trace")
+    else:
+        counts = Table("event counts", ["event", "count"])
+        for name, count in sorted(summary.event_counts.items()):
+            counts.add_row(name, count)
+        lines.append(counts.render())
+        lines.append("")
+        for ts, name, detail in report.event_rows:
+            lines.append(f"[{ts:10.3f}] {name:<24} {detail}")
+        if report.events_truncated:
+            lines.append(f"... {report.events_truncated} more events")
+
+    # host-time profile (opt-in) --------------------------------------
+    if report.profile_rows is not None:
+        lines += _section("host-time profile")
+        if report.profile_missing:
+            lines.append(
+                "trace has no host_time fields; record with "
+                "Telemetry.recording(wall_clock=True) or "
+                "`repro run --trace out.jsonl --profile-host`"
+            )
+        else:
+            lines.append(
+                f"{report.profile_total:.3f} host-seconds attributed across "
+                f"record gaps (coarse: each gap charged to the record that "
+                f"closed it)"
+            )
+            table = Table(
+                "hotspots", ["record name", "host seconds", "records", "share"]
+            )
+            for name, seconds, count in report.profile_rows:
+                share = (
+                    seconds / report.profile_total * 100
+                    if report.profile_total > 0
+                    else 0.0
+                )
+                table.add_row(name, f"{seconds:.4f}", count, f"{share:.1f}%")
+            lines.append("")
+            lines.append(table.render())
+
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# html rendering
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #1a1a2e; padding-bottom: .3rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; }
+pre { background: #f6f6fa; padding: .8rem; overflow-x: auto;
+      border-left: 3px solid #5555aa; font-size: .82rem; line-height: 1.35; }
+.warning { color: #aa3311; font-weight: 600; }
+svg { background: #f6f6fa; border-left: 3px solid #5555aa; }
+.legend span { margin-right: 1.2rem; font-size: .85rem; }
+"""
+
+_SERIES_COLORS = {
+    "low": "#7aa6c2",
+    "med": "#e0a83c",
+    "high": "#c94f3d",
+    "suspects": "#5b5ea6",
+    "|D|": "#3d8b5f",
+    "quarantined": "#8a5ac2",
+}
+
+
+def _svg_series_chart(rows: list[dict], width: int = 640, height: int = 220) -> str:
+    """Inline SVG line chart of the suspicion series (deterministic)."""
+    columns = [c for c in ("low", "med", "high", "suspects", "|D|", "quarantined")
+               if any(c in row for row in rows)]
+    if not rows or not columns:
+        return ""
+    times = [row["time"] for row in rows]
+    t_lo, t_hi = min(times), max(times)
+    v_hi = max(
+        (float(row.get(column, 0)) for row in rows for column in columns),
+        default=0.0,
+    )
+    t_span = max(t_hi - t_lo, 1e-9)
+    v_span = max(v_hi, 1e-9)
+    pad = 28
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img">'
+    ]
+    # axes
+    parts.append(
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - 8}" '
+        f'y2="{height - pad}" stroke="#888" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<line x1="{pad}" y1="8" x2="{pad}" y2="{height - pad}" '
+        f'stroke="#888" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{pad}" y="{height - 8}" font-size="10">{t_lo:g}</text>'
+    )
+    parts.append(
+        f'<text x="{width - 40}" y="{height - 8}" font-size="10">{t_hi:g}</text>'
+    )
+    parts.append(f'<text x="4" y="16" font-size="10">{v_hi:g}</text>')
+    for column in columns:
+        points = []
+        for row in rows:
+            x = pad + (row["time"] - t_lo) / t_span * (width - pad - 12)
+            y = (height - pad) - float(row.get(column, 0)) / v_span * (
+                height - pad - 14
+            )
+            points.append(f"{x:.1f},{y:.1f}")
+        color = _SERIES_COLORS.get(column, "#333333")
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.6" '
+            f'points="{" ".join(points)}"/>'
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span style="color:{_SERIES_COLORS.get(c, "#333")}">&#9632; '
+        f"{_html.escape(c)}</span>"
+        for c in columns
+    )
+    return f'<div class="legend">{legend}</div>\n' + "".join(parts)
+
+
+def render_html(report: RunReport) -> str:
+    """Single-file HTML dashboard (no external assets, deterministic)."""
+    text = render_text(report)
+    # Split the text rendering back into its sections; each becomes a
+    # <pre> block so the two formats can never drift apart, with the
+    # suspicion series additionally charted as SVG.
+    sections: list[tuple[str, str]] = []
+    current_title, current_lines = "overview", []
+    for line in text.splitlines():
+        if set(line) == {"="} and current_lines:
+            title = current_lines.pop()
+            sections.append((current_title, "\n".join(current_lines)))
+            current_title, current_lines = title, []
+        else:
+            current_lines.append(line)
+    sections.append((current_title, "\n".join(current_lines)))
+
+    out = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        f"<title>repro report{_html.escape(' — ' + report.source if report.source else '')}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>repro report{_html.escape(' — ' + report.source if report.source else '')}</h1>",
+    ]
+    for warning in report.warnings:
+        out.append(f'<p class="warning">warning: {_html.escape(warning)}</p>')
+    for title, body in sections:
+        if title != "overview":
+            out.append(f"<h2>{_html.escape(title)}</h2>")
+        if title.startswith("4.") and report.suspicion_rows:
+            out.append(_svg_series_chart(report.suspicion_rows))
+        out.append(f"<pre>{_html.escape(body.strip(chr(10)))}</pre>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"

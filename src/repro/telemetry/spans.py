@@ -140,6 +140,9 @@ class NullTracer:
     def event(self, name: str, time: float | None = None, **attrs: Any) -> None:
         pass
 
+    def sample(self, name: str, labels: dict, value: float, time: float | None = None) -> None:
+        pass
+
 
 NULL_TRACER = NullTracer()
 
@@ -169,6 +172,7 @@ class Tracer:
         self._stack: list[int] = []
         self.spans_recorded = 0
         self.events_recorded = 0
+        self.samples_recorded = 0
 
     def add_sink(self, sink: TelemetrySink) -> None:
         self.sinks.append(sink)
@@ -249,6 +253,25 @@ class Tracer:
         }
         self._dispatch(record)
 
+    def sample(
+        self, name: str, labels: dict, value: float, time: float | None = None
+    ) -> None:
+        """Record one timestamped point of a gauge time-series.
+
+        Samples are how metric *history* reaches the trace (the trailing
+        metrics snapshot only keeps final values); the registry's bound
+        sampler routes every gauge mutation here.
+        """
+        self.samples_recorded += 1
+        record = {
+            "type": "sample",
+            "name": name,
+            "labels": labels,
+            "ts": self.clock() if time is None else time,
+            "value": value,
+        }
+        self._dispatch(record)
+
     def _dispatch(self, record: dict) -> None:
         if self.wall_clock:
             # Host timestamps are opt-in profiling metadata, never fed
@@ -279,6 +302,13 @@ class InMemorySink:
             r
             for r in self.records
             if r["type"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def samples(self, name: str | None = None) -> list[dict]:
+        return [
+            r
+            for r in self.records
+            if r["type"] == "sample" and (name is None or r["name"] == name)
         ]
 
     def __len__(self) -> int:

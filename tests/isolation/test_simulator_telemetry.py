@@ -1,0 +1,104 @@
+"""Telemetry instrumentation of the isolation simulator.
+
+The Fig. 12/13 benchmarks derive their numbers from the recorded trace;
+these tests pin the contract: gauge series mirror the simulator's own
+state, tracing never perturbs the simulation, and the saturation event
+fires exactly once.
+"""
+
+from repro.isolation.simulator import IsolationSimulator
+from repro.telemetry import Telemetry
+from repro.telemetry.analysis import (
+    first_event,
+    gauge_series,
+    last_gauge_value,
+)
+
+
+def run_traced(seed=12, max_time=20, **kwargs):
+    telemetry = Telemetry.recording()
+    simulator = IsolationSimulator(
+        f=1, commission_probability=0.8, seed=seed, telemetry=telemetry, **kwargs
+    )
+    simulator.run(max_time=max_time)
+    return simulator, telemetry.export_records()
+
+
+class TestGaugeParity:
+    def test_final_gauges_match_simulator_state(self):
+        simulator, records = run_traced()
+        assert last_gauge_value(records, "sim_jobs_completed") == float(
+            simulator.jobs_completed
+        )
+        assert last_gauge_value(records, "suspicion_suspects") == float(
+            len(simulator.suspicion.suspects())
+        )
+        bands = simulator.suspicion.band_counts()
+        for band in ("low", "med", "high"):
+            assert last_gauge_value(
+                records, "suspicion_band_nodes", 0.0, band=band
+            ) == float(bands.get(band, 0))
+
+    def test_disjoint_set_gauge_matches_analyzer(self):
+        simulator, records = run_traced()
+        assert last_gauge_value(
+            records, "fault_analyzer_disjoint_sets"
+        ) == float(len(simulator.analyzer.disjoint))
+
+    def test_series_timestamps_are_monotonic(self):
+        _, records = run_traced()
+        series = gauge_series(records, "suspicion_suspects")
+        assert series
+        times = [ts for ts, _ in series]
+        assert times == sorted(times)
+
+
+class TestSaturationEvent:
+    def test_fires_at_most_once_with_attrs(self):
+        simulator, records = run_traced(max_time=60)
+        events = [
+            r
+            for r in records
+            if r.get("type") == "event" and r.get("name") == "saturation"
+        ]
+        if simulator._saturation_time is None:
+            assert events == []
+        else:
+            (event,) = events
+            assert event["ts"] == float(simulator._saturation_time)
+            assert event["attrs"]["jobs_completed"] >= 1
+
+    def test_saturation_time_recoverable_from_trace(self):
+        simulator, records = run_traced(max_time=60)
+        event = first_event(records, "saturation")
+        if simulator._saturation_time is not None:
+            assert event is not None
+            assert event["ts"] == float(simulator._saturation_time)
+
+
+class TestNonPerturbation:
+    def test_traced_run_matches_untraced_run(self):
+        traced, _ = run_traced(seed=7)
+        untraced = IsolationSimulator(
+            f=1, commission_probability=0.8, seed=7
+        )
+        untraced.run(max_time=20)
+        assert traced.jobs_completed == untraced.jobs_completed
+        assert traced._saturation_time == untraced._saturation_time
+        assert traced.suspicion.suspects() == untraced.suspicion.suspects()
+
+    def test_job_spans_and_commission_events_recorded(self):
+        _, records = run_traced()
+        spans = [
+            r
+            for r in records
+            if r.get("type") == "span" and r.get("name") == "sim_job"
+        ]
+        assert spans
+        assert all("category" in s["attrs"] for s in spans)
+        faults = [
+            r
+            for r in records
+            if r.get("type") == "event" and r.get("name") == "commission_fault"
+        ]
+        assert faults  # p=0.8 commission makes faults certain in 20s

@@ -1,0 +1,136 @@
+"""Edge-case tests for trace analysis: empty/degenerate traces, diffs,
+and the gauge-series helpers backing `repro report` and `repro bench`."""
+
+from repro.telemetry.analysis import (
+    diff_traces,
+    first_event,
+    gauge_series,
+    last_gauge_value,
+    summarize,
+)
+
+
+def span(name, start, end, span_id=0, **attrs):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": None,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs,
+    }
+
+
+def job(job_index, start, end, deps=(), replica=0, attempt=0):
+    return span(
+        "job",
+        start,
+        end,
+        job_index=job_index,
+        deps=list(deps),
+        replica=replica,
+        attempt=attempt,
+        job_id=f"j{job_index}.r{replica}",
+    )
+
+
+def sample(name, ts, value, **labels):
+    return {
+        "type": "sample",
+        "name": name,
+        "labels": labels,
+        "ts": ts,
+        "value": value,
+    }
+
+
+class TestEmptyTrace:
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary.attempts == []
+        assert summary.task_count == 0
+        assert summary.task_seconds == 0.0
+        assert summary.verify_seconds == 0.0
+
+    def test_render_empty_does_not_raise(self):
+        assert isinstance(summarize([]).render(), str)
+
+    def test_diff_of_empty_traces_renders(self):
+        rendered = diff_traces([], []).render()
+        assert "trace diff" in rendered
+
+
+class TestSingleAttempt:
+    RECORDS = [
+        span("run", 0.0, 5.0, script_id="s1", mode="assured"),
+        job(0, 0.0, 5.0),
+        span("task", 0.0, 5.0, node="a", attempt=0),
+    ]
+
+    def test_single_attempt_summary(self):
+        summary = summarize(self.RECORDS)
+        (attempt,) = summary.attempts
+        assert attempt.attempt == 0
+        assert attempt.critical_path.job_ids == ["j0.r0"]
+        assert summary.task_count == 1
+
+    def test_no_verify_spans_means_zero_tail(self):
+        summary = summarize(self.RECORDS)
+        assert summary.verify_seconds == 0.0
+        assert summary.verify_tail_seconds == 0.0
+
+
+class TestMismatchedAttemptDiff:
+    ONE = [
+        span("run", 0.0, 5.0, script_id="s1", mode="assured"),
+        job(0, 0.0, 5.0, attempt=0),
+    ]
+    TWO = [
+        span("run", 0.0, 12.0, script_id="s1", mode="assured"),
+        job(0, 0.0, 5.0, attempt=0),
+        job(0, 6.0, 12.0, attempt=1),
+    ]
+
+    def test_extra_attempt_reported_one_sided(self):
+        rendered = diff_traces(self.ONE, self.TWO, "clean", "faulty").render()
+        assert "attempt 1: only in faulty" in rendered
+
+    def test_extra_attempt_other_direction(self):
+        rendered = diff_traces(self.TWO, self.ONE, "faulty", "clean").render()
+        assert "attempt 1: only in faulty" in rendered
+
+
+class TestGaugeHelpers:
+    RECORDS = [
+        sample("suspects", 1.0, 2.0),
+        sample("band", 1.0, 4.0, band="high"),
+        sample("band", 2.0, 1.0, band="low"),
+        sample("suspects", 3.0, 5.0),
+        {"type": "event", "name": "saturation", "ts": 2.5, "attrs": {"n": 7}},
+    ]
+
+    def test_gauge_series_orders_by_time(self):
+        assert gauge_series(self.RECORDS, "suspects") == [
+            (1.0, 2.0),
+            (3.0, 5.0),
+        ]
+
+    def test_gauge_series_label_filter(self):
+        assert gauge_series(self.RECORDS, "band", band="high") == [(1.0, 4.0)]
+        assert gauge_series(self.RECORDS, "band", band="none") == []
+
+    def test_last_gauge_value_and_default(self):
+        assert last_gauge_value(self.RECORDS, "suspects") == 5.0
+        assert last_gauge_value(self.RECORDS, "absent", 0.0) == 0.0
+        assert last_gauge_value(self.RECORDS, "absent") is None
+
+    def test_first_event(self):
+        event = first_event(self.RECORDS, "saturation")
+        assert event["ts"] == 2.5
+        assert event["attrs"]["n"] == 7
+        assert first_event(self.RECORDS, "absent") is None
+
+    def test_summarize_routes_samples(self):
+        summary = summarize(self.RECORDS)
+        assert len(summary.sample_rows) == 4

@@ -1,0 +1,95 @@
+"""Tests for gauge time-series sampling (gauge set -> trace samples)."""
+
+from repro.telemetry import DISABLED, Telemetry
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import InMemorySink, Tracer
+
+
+class TestRegistrySampler:
+    def test_unbound_gauge_emits_nothing(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)  # no sampler bound: must not raise
+
+    def test_bound_gauge_emits_on_set_inc_dec(self):
+        seen = []
+        registry = MetricsRegistry()
+        registry.bind_sampler(
+            lambda name, labels, value: seen.append((name, labels, value))
+        )
+        gauge = registry.gauge("depth", queue="verify")
+        gauge.set(4.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert seen == [
+            ("depth", {"queue": "verify"}, 4.0),
+            ("depth", {"queue": "verify"}, 5.0),
+            ("depth", {"queue": "verify"}, 3.0),
+        ]
+
+    def test_bind_sampler_rebinds_existing_gauges(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")  # created before the sampler exists
+        seen = []
+        registry.bind_sampler(lambda name, labels, value: seen.append(value))
+        gauge.set(7.0)
+        assert seen == [7.0]
+
+    def test_counters_and_histograms_do_not_sample(self):
+        seen = []
+        registry = MetricsRegistry()
+        registry.bind_sampler(lambda *a: seen.append(a))
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        assert seen == []
+
+
+class TestTracerSamples:
+    def test_sample_record_shape(self):
+        sink = InMemorySink()
+        tracer = Tracer(lambda: 2.5, [sink])
+        tracer.sample("inflight", {"node": "n1"}, 3.0)
+        (record,) = sink.samples()
+        assert record == {
+            "type": "sample",
+            "name": "inflight",
+            "labels": {"node": "n1"},
+            "ts": 2.5,
+            "value": 3.0,
+        }
+        assert tracer.samples_recorded == 1
+
+    def test_samples_filter_by_name(self):
+        sink = InMemorySink()
+        tracer = Tracer(lambda: 0.0, [sink])
+        tracer.sample("a", {}, 1.0)
+        tracer.sample("b", {}, 2.0)
+        assert [r["value"] for r in sink.samples("b")] == [2.0]
+
+
+class TestTelemetryWiring:
+    def test_recording_telemetry_streams_gauge_sets(self):
+        telemetry = Telemetry.recording()
+        telemetry.metrics.gauge("suspects").set(2.0)
+        telemetry.metrics.gauge("suspects").set(5.0)
+        samples = [
+            r for r in telemetry.export_records() if r.get("type") == "sample"
+        ]
+        assert [s["value"] for s in samples] == [2.0, 5.0]
+        assert all(s["name"] == "suspects" for s in samples)
+
+    def test_sample_timestamps_follow_bound_clock(self):
+        telemetry = Telemetry.recording()
+        now = {"t": 0.0}
+        telemetry.bind_clock(lambda: now["t"])
+        gauge = telemetry.metrics.gauge("g")
+        gauge.set(1.0)
+        now["t"] = 9.0
+        gauge.set(2.0)
+        samples = [
+            r for r in telemetry.export_records() if r.get("type") == "sample"
+        ]
+        assert [s["ts"] for s in samples] == [0.0, 9.0]
+
+    def test_disabled_telemetry_gauges_are_inert(self):
+        DISABLED.metrics.gauge("g").set(1.0)  # must not raise or record
+        assert DISABLED.export_records() == []

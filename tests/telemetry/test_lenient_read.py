@@ -1,0 +1,108 @@
+"""Regression tests for truncated-trace handling (`read_jsonl_lenient`).
+
+A crash or kill mid-run leaves a streaming trace whose final line is cut
+off; ``repro trace`` / ``repro report`` / ``diff_traces`` must degrade
+gracefully instead of raising a parse error at the user.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.export import read_jsonl_lenient
+
+
+def write_trace(tmp_path, name="t.jsonl"):
+    telemetry = Telemetry.recording()
+    with telemetry.tracer.span("run", attrs={"script_id": "s1"}):
+        telemetry.metrics.gauge("g").set(1.0)
+    telemetry.finalize()
+    path = tmp_path / name
+    telemetry.write_jsonl(str(path))
+    return path
+
+
+class TestLenientRead:
+    def test_intact_trace_reads_clean(self, tmp_path):
+        path = write_trace(tmp_path)
+        records, warnings = read_jsonl_lenient(str(path))
+        assert warnings == []
+        assert any(r.get("type") == "metric" for r in records)
+
+    def test_truncated_final_line_warns_and_drops(self, tmp_path):
+        path = write_trace(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])  # cut mid-record
+        intact, _ = read_jsonl_lenient(str(write_trace(tmp_path, "u.jsonl")))
+        records, warnings = read_jsonl_lenient(str(path))
+        assert len(records) == len(intact) - 1
+        assert any("truncated" in w for w in warnings)
+
+    def test_missing_metrics_snapshot_warns(self, tmp_path):
+        path = tmp_path / "nometrics.jsonl"
+        with open(path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "id": 0,
+                        "parent": None,
+                        "name": "run",
+                        "start": 0.0,
+                        "end": 1.0,
+                        "attrs": {},
+                    }
+                )
+                + "\n"
+            )
+        records, warnings = read_jsonl_lenient(str(path))
+        assert len(records) == 1
+        assert any("metrics snapshot" in w for w in warnings)
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        with open(path, "w") as handle:
+            handle.write('{"type": "event", "name": "a", "ts": 0.0\n')  # bad
+            handle.write(
+                '{"type": "metric", "name": "m", "labels": {}, "value": 1.0}\n'
+            )
+        with pytest.raises(ValueError):
+            read_jsonl_lenient(str(path))
+
+    def test_empty_file_is_tolerated(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        records, warnings = read_jsonl_lenient(str(path))
+        assert records == []
+        assert any("empty" in w for w in warnings)
+
+
+class TestCliIntegration:
+    def test_trace_command_survives_truncation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = write_trace(tmp_path)
+        path.write_bytes(path.read_bytes()[:-10])
+        assert main(["trace", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.err
+
+    def test_report_command_survives_truncation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = write_trace(tmp_path)
+        path.write_bytes(path.read_bytes()[:-10])
+        assert main(["report", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "1. critical path" in captured.out
+        assert "truncated" in captured.err
+
+    def test_diff_survives_truncation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = write_trace(tmp_path, "a.jsonl")
+        b = write_trace(tmp_path, "b.jsonl")
+        b.write_bytes(b.read_bytes()[:-10])
+        assert main(["trace", str(a), str(b), "--diff"]) == 0
+        assert "truncated" in capsys.readouterr().err

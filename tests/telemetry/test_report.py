@@ -1,0 +1,160 @@
+"""Tests for the ``repro report`` dashboard builder and renderers."""
+
+from repro.telemetry.report import (
+    RunReport,
+    build_report,
+    render_html,
+    render_text,
+)
+
+
+def span(name, start, end, span_id=0, **attrs):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": None,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs,
+    }
+
+
+def job(job_index, start, end, deps=(), replica=0, attempt=0):
+    return span(
+        "job",
+        start,
+        end,
+        job_index=job_index,
+        deps=list(deps),
+        replica=replica,
+        attempt=attempt,
+        job_id=f"j{job_index}.r{replica}",
+    )
+
+
+def sample(name, ts, value, **labels):
+    return {
+        "type": "sample",
+        "name": name,
+        "labels": labels,
+        "ts": ts,
+        "value": value,
+    }
+
+
+def trace():
+    return [
+        span("run", 0.0, 10.0, script_id="s1", mode="assured", assured=True),
+        job(0, 0.0, 4.0),
+        job(1, 4.0, 8.0, deps=[0]),
+        span("task", 0.0, 4.0, node="node01", attempt=0),
+        span("task", 4.0, 8.0, node="node02", attempt=0),
+        span("verify", 8.0, 10.0, sid="s0", status="verified"),
+        {"type": "event", "name": "fault.crash", "ts": 4.5, "attrs": {"node": "node02"}},
+        sample("suspicion_suspects", 4.5, 1.0),
+        sample("suspicion_band_nodes", 4.5, 1.0, band="high"),
+        sample("suspicion_suspects", 6.0, 0.0),
+        {"type": "metric", "name": "tasks_total", "labels": {}, "value": 2.0},
+    ]
+
+
+class TestBuildReport:
+    def test_collects_all_sections(self):
+        report = build_report(trace(), source="t.jsonl")
+        assert isinstance(report, RunReport)
+        assert report.window == (0.0, 10.0)
+        assert report.record_count == 11
+        assert {strip.node for strip in report.nodes} == {"node01", "node02"}
+        assert sum(count for _, count in report.verify_buckets) == 1
+        assert report.suspicion_rows  # series present
+        assert any("fault.crash" in row for row in report.event_rows)
+
+    def test_suspicion_rows_carry_forward(self):
+        report = build_report(trace())
+        # second sample row keeps the earlier high-band value
+        last = report.suspicion_rows[-1]
+        assert last["suspects"] == 0.0
+        assert last["high"] == 1.0
+
+    def test_node_utilization_and_strip_width(self):
+        report = build_report(trace())
+        for strip in report.nodes:
+            assert len(strip.strip) > 0
+            assert strip.busy_seconds == 4.0
+            assert abs(strip.utilization - 0.4) < 1e-9
+
+    def test_empty_trace_is_tolerated(self):
+        report = build_report([])
+        text = render_text(report)
+        assert "1. critical path" in text
+        assert "no job spans" in text or "no attempts" in text or text
+
+
+class TestRenderText:
+    def test_five_sections_present(self):
+        text = render_text(build_report(trace(), source="t.jsonl"))
+        for heading in (
+            "1. critical path",
+            "2. node timeline (busy/idle)",
+            "3. verification tail",
+            "4. suspicion series",
+            "5. event log",
+        ):
+            assert heading in text
+
+    def test_deterministic(self):
+        records = trace()
+        assert render_text(build_report(records)) == render_text(
+            build_report(records)
+        )
+
+    def test_warnings_rendered(self):
+        text = render_text(build_report(trace(), warnings=["trace truncated"]))
+        assert "warning: trace truncated" in text
+
+    def test_profile_section_only_when_requested(self):
+        host = 0.0
+        records = []
+        for record in trace():
+            host += 0.01
+            records.append({**record, "host_time": host})
+        without = render_text(build_report(records))
+        with_profile = render_text(build_report(records, profile=True))
+        assert "host-time profile" not in without
+        assert "host-time profile" in with_profile
+        assert "hotspots" in with_profile
+
+    def test_profile_without_host_times_says_so(self):
+        text = render_text(build_report(trace(), profile=True))
+        assert "no host_time fields" in text
+
+
+class TestRenderHtml:
+    def test_contains_sections_and_svg(self):
+        html = render_html(build_report(trace(), source="t.jsonl"))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "1. critical path" in html
+        assert "4. suspicion series" in html
+        assert "<svg" in html  # series chart
+        assert "t.jsonl" in html
+
+    def test_deterministic(self):
+        records = trace()
+        assert render_html(build_report(records)) == render_html(
+            build_report(records)
+        )
+
+    def test_escapes_markup(self):
+        records = trace()
+        records.append(
+            {
+                "type": "event",
+                "name": "<script>alert(1)</script>",
+                "ts": 1.0,
+                "attrs": {},
+            }
+        )
+        html = render_html(build_report(records))
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
