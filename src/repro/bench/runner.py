@@ -25,6 +25,7 @@ import subprocess
 from dataclasses import dataclass
 
 from repro.bench.suites import SUITES, BenchSpec, spec_by_name
+from repro.common.atomic_io import write_json
 
 SCHEMA_VERSION = "repro.bench/v1"
 
@@ -84,9 +85,9 @@ def build_payload(
 def write_payload(payload: dict, directory: str) -> str:
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{payload['benchmark']}.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Atomic replace: a crashed or concurrent bench run never leaves a
+    # torn result file for the comparison gate to choke on.
+    write_json(path, payload)
     return path
 
 
@@ -170,11 +171,7 @@ def run_suite(
         base_path = baseline_path(spec.name, baseline_dir, smoke)
         if update_baselines:
             os.makedirs(os.path.dirname(base_path), exist_ok=True)
-            with open(base_path, "w") as handle:
-                json.dump(
-                    _as_baseline(payload), handle, indent=2, sort_keys=True
-                )
-                handle.write("\n")
+            write_json(base_path, _as_baseline(payload))
             log(f"  baseline updated: {base_path}")
             continue
         if not os.path.exists(base_path):

@@ -136,12 +136,16 @@ STORE C INTO 'out';
 
 
 def _exec(smoke: bool) -> list[Metric]:
+    import os
+    import tempfile
+
     from repro.chaos.runner import workload
     from repro.common.config import (
         ClusterBFTConfig,
         ClusterConfig,
         SystemConfig,
     )
+    from repro.core import journal as wal
     from repro.core.controller import ClusterBFTController
 
     telemetry = Telemetry.recording()
@@ -154,11 +158,25 @@ def _exec(smoke: bool) -> list[Metric]:
         bft=ClusterBFTConfig(f=1, replication=4, verification_points=1),
         seed=20131209,
     )
-    controller = ClusterBFTController(
-        config, block_bytes=2048, telemetry=telemetry
-    )
-    controller.load_input("in", workload(7)[: 120 if smoke else 320])
-    result = controller.run_assured(_EXEC_SCRIPT)
+    inputs = {"in": workload(7)[: 120 if smoke else 320]}
+    # Journal into a throwaway file: the WAL is pure host-side I/O, so
+    # every simulated-time metric must stay byte-identical to the
+    # baselines committed before journaling existed — the regression
+    # gate doubles as the zero-overhead proof for the durable tier.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        journal = wal.Journal.create(
+            os.path.join(tmp, "exec.wal"),
+            config,
+            _EXEC_SCRIPT,
+            inputs,
+            block_bytes=2048,
+        )
+        controller = ClusterBFTController(
+            config, block_bytes=2048, telemetry=telemetry, journal=journal
+        )
+        for path, records in inputs.items():
+            controller.load_input(path, records)
+        result = controller.run_assured(_EXEC_SCRIPT)
     summary = summarize(telemetry.export_records())
     return [
         metric("latency", round(result.latency, 6), "simulated_seconds"),

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.chaos.runner import render_report, run_campaign
 from repro.chaos.scenarios import CAMPAIGNS, SCENARIOS, resolve_scenarios
+from repro.common.atomic_io import write_text
 from repro.common.errors import ReproError
 
 
@@ -92,8 +93,7 @@ def _cmd_chaos_run(args) -> int:
     rendered = render_report(report)
     if args.report:
         try:
-            with open(args.report, "w") as handle:
-                handle.write(rendered)
+            write_text(args.report, rendered)
         except OSError as exc:
             raise SystemExit(f"cannot write report: {exc}")
         print(f"report    : {args.report}")
@@ -113,6 +113,14 @@ def _cmd_chaos_run(args) -> int:
             extras.append(f"evicted={','.join(cell['evicted'])}")
         if cell["crashes_detected"]:
             extras.append(f"crashed={','.join(cell['crashes_detected'])}")
+        if any(cell.get("exhausted", ())):
+            extras.append("exhausted")
+        durability = cell.get("durability")
+        if durability:
+            extras.append(
+                f"ctl-crashes={durability['crash_points']} "
+                f"resumed={durability['resumed_assured']}"
+            )
         suffix = f"  [{' '.join(extras)}]" if extras else ""
         print(f"  {status} {cell['scenario']:<16} seed={cell['seed']}{suffix}")
         for violation in cell["violations"]:

@@ -25,6 +25,11 @@ Invariant ids (stable — referenced by reports, tests and DESIGN.md):
 ``DEGR1``
     Quarantined nodes receive no new task attempts after the
     quarantine's audit timestamp.
+``DUR1``
+    Crash-resume equivalence: a run killed at any journaled decision
+    point and resumed from its WAL publishes byte-identical outputs
+    (and the same assured verdict) as the uninterrupted journaled run
+    with the same seed.
 """
 
 from __future__ import annotations
@@ -40,8 +45,9 @@ SAFE2 = "SAFE2"
 LIVE1 = "LIVE1"
 LIVE2 = "LIVE2"
 DEGR1 = "DEGR1"
+DUR1 = "DUR1"
 
-INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1)
+INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1)
 
 
 @dataclass(frozen=True)
@@ -62,6 +68,40 @@ class Violation:
         }
 
 
+@dataclass(frozen=True)
+class DurabilityCell:
+    """One crash point of a control-tier crash sweep: the run was
+    killed right after journal record ``seq`` became durable, then
+    resumed from the WAL."""
+
+    seq: int
+    kind: str  # journal record kind the crash landed on
+    start_attempt: int
+    commits_replayed: int
+    assured: bool
+    exhausted: bool
+    #: Canonical published outputs of the resumed run (per logical
+    #: path, as tuples of encoded record bytes — bag-order free).
+    outputs: dict[str, tuple[bytes, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DurabilityProbe:
+    """A full crash sweep plus its uninterrupted reference run."""
+
+    reference_assured: bool
+    reference_outputs: dict[str, tuple[bytes, ...]]
+    cells: tuple[DurabilityCell, ...] = ()
+
+
+def canonical_outputs(outputs: dict[str, list[Record]]) -> dict[str, tuple[bytes, ...]]:
+    """Encode published outputs for order-insensitive byte comparison."""
+    return {
+        path: tuple(encode_record(record) for record in records)
+        for path, records in outputs.items()
+    }
+
+
 @dataclass
 class RunContext:
     """Everything a checker may look at for one (scenario, seed) run."""
@@ -72,6 +112,9 @@ class RunContext:
     truth: dict[str, list[Record]]
     records: list[dict] = field(default_factory=list)  # trace records
     trace_name: str | None = None
+    #: Control-tier crash sweep results (scenarios with
+    #: ``control_crashes``); ``None`` when the sweep did not run.
+    durability: DurabilityProbe | None = None
 
     def ref(self, locator: str) -> str | None:
         if self.trace_name is None:
@@ -179,8 +222,15 @@ def check_live1(ctx: RunContext) -> list[Violation]:
                 )
             )
         if not result.assured:
-            explicit = result.attempts >= budget or any(
-                outcome.status != VERIFIED for outcome in result.outcomes
+            # Rerun-budget exhaustion is an explicit LIVE-class verdict
+            # (the controller reports it, audits it, and ``repro run``
+            # maps it to a dedicated exit code) — not a crash.
+            explicit = (
+                result.exhausted
+                or result.attempts >= budget
+                or any(
+                    outcome.status != VERIFIED for outcome in result.outcomes
+                )
             )
             if not explicit:
                 violations.append(
@@ -262,12 +312,49 @@ def check_degr1(ctx: RunContext) -> list[Violation]:
     return violations
 
 
+def check_dur1(ctx: RunContext) -> list[Violation]:
+    """Every crash-resume cell must match the uninterrupted run:
+    byte-identical published outputs and the same assured verdict.
+    (Latency and attempt counts legitimately differ — the resumed
+    controller re-simulates the crashed attempt with fresh RNG
+    streams; correctness is output equivalence.)"""
+    probe = ctx.durability
+    if probe is None:
+        return []
+    violations = []
+    for cell in probe.cells:
+        if cell.assured != probe.reference_assured:
+            violations.append(
+                Violation(
+                    DUR1,
+                    f"crash at seq {cell.seq} ({cell.kind}): resumed run "
+                    f"reported assured={cell.assured}, uninterrupted run "
+                    f"reported assured={probe.reference_assured}",
+                    ctx.ref(f"seq={cell.seq}"),
+                )
+            )
+        for path, expected in probe.reference_outputs.items():
+            got = cell.outputs.get(path, ())
+            if got != expected:
+                violations.append(
+                    Violation(
+                        DUR1,
+                        f"crash at seq {cell.seq} ({cell.kind}): resumed "
+                        f"output {path!r} diverges from the uninterrupted "
+                        f"run ({len(got)} vs {len(expected)} records)",
+                        ctx.ref(f"seq={cell.seq},sink={path}"),
+                    )
+                )
+    return violations
+
+
 _CHECKERS = (
     (SAFE1, check_safe1),
     (SAFE2, check_safe2),
     (LIVE1, check_live1),
     (LIVE2, check_live2),
     (DEGR1, check_degr1),
+    (DUR1, check_dur1),
 )
 
 

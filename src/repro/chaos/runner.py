@@ -13,13 +13,23 @@ from __future__ import annotations
 import json
 import os
 import random
+import tempfile
 
-from repro.chaos.invariants import RunContext, Violation, check_all
+from repro.chaos.invariants import (
+    DurabilityCell,
+    DurabilityProbe,
+    RunContext,
+    Violation,
+    canonical_outputs,
+    check_all,
+)
 from repro.chaos.scenarios import Scenario, build_fault_plan
 from repro.common.errors import ReproError
 from repro.common.records import Record, records_from_rows
+from repro.core import journal as wal
 from repro.core.audit import EVICTION, QUARANTINE, RERUN
 from repro.core.controller import ClusterBFTController
+from repro.core.recovery import resume_run
 from repro.simulation.network import delay_spike, selective_drop
 from repro.telemetry import Telemetry
 
@@ -98,6 +108,75 @@ def _reference_truth(scenario: Scenario, seed: int) -> dict[str, list[Record]]:
     return reference.run_plain(DEFAULT_SCRIPT).outputs
 
 
+def _node_ids(scenario: Scenario) -> list[str]:
+    return [f"node_{index:04d}" for index in range(scenario.num_nodes)]
+
+
+def _journaled_run(
+    scenario: Scenario, seed: int, path: str, crash_hook=None
+):
+    """One fresh deployment executing the campaign script with a WAL."""
+    config = scenario.system_config(seed)
+    journal = wal.Journal.create(
+        path,
+        config,
+        DEFAULT_SCRIPT,
+        {"in": workload(seed)},
+        block_bytes=_BLOCK_BYTES,
+        crash_hook=crash_hook,
+    )
+    controller = ClusterBFTController(
+        config,
+        fault_plan=build_fault_plan(scenario, _node_ids(scenario)),
+        block_bytes=_BLOCK_BYTES,
+        journal=journal,
+    )
+    controller.load_input("in", workload(seed))
+    return controller.run_assured(DEFAULT_SCRIPT)
+
+
+def run_durability_probe(scenario: Scenario, seed: int) -> DurabilityProbe:
+    """Control-tier crash sweep: run once journaled and uninterrupted,
+    then once per journal record with the control tier dying right
+    after that record becomes durable, resuming each crash from its
+    WAL.  Every resumed run is compared (by the ``DUR1`` checker)
+    against the uninterrupted reference."""
+    cells = []
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as tmp:
+        reference_path = os.path.join(tmp, "reference.wal")
+        reference = _journaled_run(scenario, seed, reference_path)
+        records, _ = wal.read_journal(reference_path)
+        for crash_seq in range(1, records[-1]["seq"] + 1):
+            crash_path = os.path.join(tmp, f"crash-{crash_seq:04d}.wal")
+            try:
+                _journaled_run(
+                    scenario, seed, crash_path, crash_hook=wal.crash_at(crash_seq)
+                )
+                continue  # hook never fired (run shorter than reference)
+            except wal.ControlTierCrash:
+                pass
+            recovered = resume_run(
+                crash_path,
+                fault_plan=build_fault_plan(scenario, _node_ids(scenario)),
+            )
+            cells.append(
+                DurabilityCell(
+                    seq=crash_seq,
+                    kind=records[crash_seq]["kind"],
+                    start_attempt=recovered.start_attempt,
+                    commits_replayed=recovered.commits_replayed,
+                    assured=recovered.result.assured,
+                    exhausted=recovered.result.exhausted,
+                    outputs=canonical_outputs(recovered.result.outputs),
+                )
+            )
+    return DurabilityProbe(
+        reference_assured=reference.assured,
+        reference_outputs=canonical_outputs(reference.outputs),
+        cells=tuple(cells),
+    )
+
+
 def run_one(
     scenario: Scenario, seed: int, trace_dir: str | None = None
 ) -> tuple[RunContext, list[Violation]]:
@@ -111,9 +190,7 @@ def run_one(
         telemetry = Telemetry.recording()
 
     config = scenario.system_config(seed)
-    fault_plan = build_fault_plan(scenario, [
-        f"node_{index:04d}" for index in range(scenario.num_nodes)
-    ])
+    fault_plan = build_fault_plan(scenario, _node_ids(scenario))
     controller = ClusterBFTController(
         config,
         fault_plan=fault_plan,
@@ -135,6 +212,9 @@ def run_one(
         records = telemetry.export_records()
 
     truth = _reference_truth(scenario, seed)
+    durability = (
+        run_durability_probe(scenario, seed) if scenario.control_crashes else None
+    )
     ctx = RunContext(
         scenario=scenario,
         controller=controller,
@@ -142,6 +222,7 @@ def run_one(
         truth=truth,
         records=records,
         trace_name=trace_name,
+        durability=durability,
     )
     return ctx, check_all(ctx)
 
@@ -158,8 +239,23 @@ def _cell_report(
         "expected_violations": list(ctx.scenario.expected_violations),
         "violations": [v.as_dict() for v in violations],
         "assured": [bool(r.assured) for r in ctx.results],
+        "exhausted": [bool(r.exhausted) for r in ctx.results],
         "attempts": [r.attempts for r in ctx.results],
         "latency": [round(r.latency, 6) for r in ctx.results],
+        "durability": (
+            None
+            if ctx.durability is None
+            else {
+                "crash_points": len(ctx.durability.cells),
+                "commits_replayed": sum(
+                    cell.commits_replayed for cell in ctx.durability.cells
+                ),
+                "resumed_assured": sum(
+                    1 for cell in ctx.durability.cells if cell.assured
+                ),
+                "kinds": sorted({cell.kind for cell in ctx.durability.cells}),
+            }
+        ),
         "reruns": len(audit.events(kind=RERUN)),
         "quarantined": sorted(
             {e.subject for e in audit.events(kind=QUARANTINE)}

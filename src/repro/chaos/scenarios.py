@@ -80,6 +80,12 @@ class Scenario:
     #: Scripts executed back-to-back on the same deployment (suspicion
     #: and attribution accumulate across them).
     runs: int = 1
+    #: Control-tier crash sweep: run the cell once journaled and
+    #: uninterrupted, then once per journal record with the control
+    #: tier crashing right after that record — resuming each crash and
+    #: checking the ``DUR1`` invariant (resume ≡ uninterrupted).
+    #: Durability cells imply one script run per journal (``runs=1``).
+    control_crashes: bool = False
     # -- expectations the invariant checkers consume ---------------------
     #: Every script run must end assured (LIVE1 folds this in).
     expect_assured: bool = True
@@ -217,6 +223,35 @@ def _scenario_list() -> list[Scenario]:
             runs=2,
         ),
         Scenario(
+            name="exhaustion",
+            description="verifier timeout far below any job latency: every "
+            "attempt times out, the rerun budget exhausts, and the run must "
+            "end with an explicit unassured/exhausted verdict (LIVE-class "
+            "outcome), not a crash",
+            verifier_timeout=0.05,
+            max_reruns=1,
+            expect_assured=False,
+        ),
+        Scenario(
+            name="ctl-crash",
+            description="control-tier crash sweep under a commission fault: "
+            "kill the trusted tier after every journaled decision point, "
+            "resume from the WAL, require byte-identical outputs (DUR1)",
+            faults=(FaultSpec("commission", 2, (("probability", 0.8),)),),
+            control_crashes=True,
+            attributed_nodes=(2,),
+        ),
+        Scenario(
+            name="ctl-crash-omission",
+            description="control-tier crash sweep with a verifier timeout "
+            "below the first attempt's latency: rerun escalation spans "
+            "several attempts, so crashes land after attempt boundaries "
+            "and the resume path restores mid-escalation state",
+            faults=(FaultSpec("omission", 3, (("probability", 0.5),)),),
+            verifier_timeout=1.5,
+            control_crashes=True,
+        ),
+        Scenario(
             name="weakened-safe1",
             description="DELIBERATELY WEAKENED: f=0, r=1 — the single "
             "(corrupt) replica is its own quorum, so a tampered record "
@@ -244,6 +279,7 @@ DEFAULT_CAMPAIGN = (
     "net-drop",
     "net-delay",
     "combo",
+    "exhaustion",
 )
 
 #: CI-sized campaign: small, fast, still covers every fault family.
@@ -256,9 +292,18 @@ SMOKE_CAMPAIGN = (
     "quarantine",
 )
 
+#: Control-tier durability campaign: crash-at-every-decision-point
+#: sweeps (the ``DUR1`` acceptance demo) plus the exhaustion path.
+DURABILITY_CAMPAIGN = (
+    "ctl-crash",
+    "ctl-crash-omission",
+    "exhaustion",
+)
+
 CAMPAIGNS: dict[str, tuple[str, ...]] = {
     "default": DEFAULT_CAMPAIGN,
     "smoke": SMOKE_CAMPAIGN,
+    "durability": DURABILITY_CAMPAIGN,
 }
 
 

@@ -40,6 +40,10 @@ Examples::
     python -m repro chaos run --scenarios default --seeds 3
     python -m repro chaos list
 
+    # durable control tier: journal the run, resume it after a crash
+    python -m repro run analysis.pig --journal run.wal ...
+    python -m repro resume run.wal
+
 Input CSVs are headerless; values are parsed as int, then float, then
 kept as strings; empty cells become NULL.
 """
@@ -47,11 +51,15 @@ kept as strings; empty cells become NULL.
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 
 from repro.chaos.cli import add_chaos_parser, cmd_chaos
+from repro.common.atomic_io import write_json, write_text
 from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
 from repro.common.records import Record
+from repro.core import journal as wal
 from repro.core.controller import ClusterBFTController
 from repro.core.graph_analyzer import input_ratios
 from repro.core.request_handler import RequestHandler
@@ -65,6 +73,12 @@ from repro.telemetry.export import (
     write_chrome_trace,
 )
 from repro.telemetry.report import build_report, render_html, render_text
+
+
+#: ``repro run``/``repro resume`` exit status when rerun escalation
+#: exhausted ``max_reruns`` without assurance (distinct from 1 =
+#: plainly unassured and 2 = usage/journal errors).
+EXIT_EXHAUSTED = 3
 
 
 def _chrome_path_for(jsonl_path: str) -> str:
@@ -146,6 +160,39 @@ def build_parser() -> argparse.ArgumentParser:
         "so `repro report --profile` can surface simulator hotspots "
         "(breaks byte-comparability of the trace across runs)",
     )
+    run.add_argument(
+        "--journal",
+        metavar="OUT.wal",
+        default=None,
+        help="write a durable control-plane journal (write-ahead log); "
+        "a crashed run can be continued with `repro resume OUT.wal` "
+        "(assured mode only)",
+    )
+    run.add_argument(
+        "--outputs-json",
+        metavar="OUT.json",
+        default=None,
+        help="write the published outputs as canonical JSON (atomic, "
+        "deterministic) — used to byte-compare runs",
+    )
+
+    resume = sub.add_parser(
+        "resume", help="resume a journaled run from its write-ahead log"
+    )
+    resume.add_argument(
+        "wal", help="journal written by `repro run --journal OUT.wal`"
+    )
+    resume.add_argument(
+        "--show-output", type=int, default=10, metavar="N",
+        help="print up to N records per store (0 = none)",
+    )
+    resume.add_argument(
+        "--outputs-json",
+        metavar="OUT.json",
+        default=None,
+        help="write the published outputs as canonical JSON (atomic, "
+        "deterministic) — used to byte-compare runs",
+    )
 
     explain = sub.add_parser("explain", help="show plan, markers, job graph")
     common(explain)
@@ -208,9 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def make_controller(args, telemetry=None) -> ClusterBFTController:
+def config_from_args(args) -> SystemConfig:
     replication = args.replication or 3 * args.faults + 1
-    config = SystemConfig(
+    return SystemConfig(
         cluster=ClusterConfig(num_nodes=args.nodes, slots_per_node=args.slots),
         bft=ClusterBFTConfig(
             f=args.faults,
@@ -221,13 +268,89 @@ def make_controller(args, telemetry=None) -> ClusterBFTController:
         ),
         seed=args.seed,
     )
-    controller = ClusterBFTController(config, telemetry=telemetry)
+
+
+def inputs_from_args(args) -> dict[str, list[Record]]:
+    inputs: dict[str, list[Record]] = {}
     for spec in args.input:
         if "=" not in spec:
             raise SystemExit(f"--input needs PATH=CSV, got {spec!r}")
         dfs_path, csv_path = spec.split("=", 1)
-        controller.load_input(dfs_path, load_csv(csv_path))
+        inputs[dfs_path] = load_csv(csv_path)
+    return inputs
+
+
+def make_controller(args, telemetry=None, journal=None) -> ClusterBFTController:
+    controller = ClusterBFTController(
+        config_from_args(args), telemetry=telemetry, journal=journal
+    )
+    for dfs_path, records in inputs_from_args(args).items():
+        controller.load_input(dfs_path, records)
     return controller
+
+
+def _env_kill_hook():
+    """Chaos seam for the CI kill-and-resume job: with
+    ``REPRO_JOURNAL_KILL_AT=<seq>`` in the environment, the process
+    SIGKILLs itself right after journal record ``<seq>`` becomes
+    durable — a real, unhandleable control-tier death."""
+    value = os.environ.get("REPRO_JOURNAL_KILL_AT")
+    if not value:
+        return None
+    try:
+        target = int(value)
+    except ValueError:
+        raise SystemExit(
+            f"REPRO_JOURNAL_KILL_AT needs an integer seq, got {value!r}"
+        )
+
+    def hook(record: dict) -> None:
+        if record["seq"] == target:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def _write_outputs_json(path: str, result) -> None:
+    """Canonical, deterministic outputs artifact (atomic write): the
+    byte-comparison target of the CI kill-and-resume job."""
+    payload = {
+        "assured": bool(result.assured),
+        "exhausted": bool(result.exhausted),
+        "outputs": {
+            logical: wal.records_to_json(records)
+            for logical, records in sorted(result.outputs.items())
+        },
+    }
+    try:
+        write_json(path, payload)
+    except OSError as exc:
+        raise SystemExit(f"cannot write outputs json: {exc}")
+    print(f"outputs   : {path}")
+
+
+def _print_result(result, show_output: int) -> None:
+    print(f"assured   : {result.assured}")
+    print(f"latency   : {result.latency:.2f} simulated seconds")
+    print(f"attempts  : {result.attempts}")
+    for outcome in result.outcomes:
+        print(f"  verdict {outcome.sid}: {outcome.status}")
+    for path, records in result.outputs.items():
+        print(f"\n{path} ({len(records)} records):")
+        for record in records[:show_output]:
+            print(f"  {tuple(record.fields)}")
+        if len(records) > show_output:
+            print(f"  ... {len(records) - show_output} more")
+
+
+def _exhausted_diag(prog: str, result) -> int:
+    """One-line diagnostic (no traceback) + the dedicated exit code."""
+    print(
+        f"{prog}: {result.script_id}: rerun escalation exhausted after "
+        f"{result.attempts} attempt(s) without assurance",
+        file=sys.stderr,
+    )
+    return EXIT_EXHAUSTED
 
 
 def cmd_run(args) -> int:
@@ -243,9 +366,23 @@ def cmd_run(args) -> int:
             raise SystemExit(f"cannot open trace file: {exc}")
     elif args.profile_host:
         raise SystemExit("--profile-host needs --trace OUT.jsonl")
-    controller = make_controller(args, telemetry=telemetry)
     with open(args.script) as handle:
         script = handle.read()
+    journal = None
+    if args.journal:
+        if args.mode != "assured":
+            raise SystemExit("--journal requires --mode assured")
+        try:
+            journal = wal.Journal.create(
+                args.journal,
+                config_from_args(args),
+                script,
+                inputs_from_args(args),
+                crash_hook=_env_kill_hook(),
+            )
+        except OSError as exc:
+            raise SystemExit(f"cannot open journal: {exc}")
+    controller = make_controller(args, telemetry=telemetry, journal=journal)
     if args.mode == "plain":
         result = controller.run_plain(script)
     elif args.mode == "single":
@@ -260,19 +397,41 @@ def cmd_run(args) -> int:
         except OSError as exc:
             raise SystemExit(f"cannot write trace: {exc}")
         print(f"trace     : {args.trace} (+ {chrome_path})")
+    if args.journal:
+        print(f"journal   : {args.journal}")
     print(f"mode      : {args.mode}")
-    print(f"assured   : {result.assured}")
-    print(f"latency   : {result.latency:.2f} simulated seconds")
-    print(f"attempts  : {result.attempts}")
-    for outcome in result.outcomes:
-        print(f"  verdict {outcome.sid}: {outcome.status}")
-    for path, records in result.outputs.items():
-        print(f"\n{path} ({len(records)} records):")
-        for record in records[: args.show_output]:
-            print(f"  {tuple(record.fields)}")
-        if len(records) > args.show_output:
-            print(f"  ... {len(records) - args.show_output} more")
+    _print_result(result, args.show_output)
+    if args.outputs_json:
+        _write_outputs_json(args.outputs_json, result)
+    if args.mode == "assured" and result.exhausted:
+        return _exhausted_diag("repro run", result)
     return 0 if (result.assured or args.mode != "assured") else 1
+
+
+def cmd_resume(args) -> int:
+    from repro.core.recovery import resume_run
+
+    try:
+        recovered = resume_run(args.wal, crash_hook=_env_kill_hook())
+    except wal.JournalError as exc:
+        print(f"repro resume: {exc}", file=sys.stderr)
+        return 2
+    for warning in recovered.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    result = recovered.result
+    if recovered.completed:
+        print("journal   : complete — recorded result, nothing re-executed")
+    else:
+        print(
+            f"resumed   : attempt {recovered.start_attempt}, "
+            f"{recovered.commits_replayed} commit(s) replayed"
+        )
+    _print_result(result, args.show_output)
+    if args.outputs_json:
+        _write_outputs_json(args.outputs_json, result)
+    if result.exhausted:
+        return _exhausted_diag("repro resume", result)
+    return 0 if result.assured else 1
 
 
 def cmd_explain(args) -> int:
@@ -369,8 +528,7 @@ def cmd_report(args) -> int:
         sys.stdout.write(rendered)
     else:
         try:
-            with open(out_path, "w") as handle:
-                handle.write(rendered)
+            write_text(out_path, rendered)
         except OSError as exc:
             raise SystemExit(f"cannot write report: {exc}")
         print(f"report written to {out_path}")
@@ -382,6 +540,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "run":
             return cmd_run(args)
+        if args.command == "resume":
+            return cmd_resume(args)
         if args.command == "trace":
             return cmd_trace(args)
         if args.command == "report":

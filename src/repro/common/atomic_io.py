@@ -1,0 +1,57 @@
+"""Atomic artifact writes: temp file + ``os.replace``.
+
+Report artifacts (chaos campaign reports, BENCH payloads, rendered HTML
+reports) are consumed by CI byte-comparisons and by humans after the
+producing process is long gone.  A plain ``open(path, "w")`` that dies
+mid-write leaves a torn artifact that *looks* complete; every artifact
+writer routes through :func:`write_text` instead, so a path either
+holds the previous content or the complete new content — never a
+prefix.
+
+The temp file lives in the destination directory (``os.replace`` must
+not cross filesystems) and is fsync'd before the rename; the rename
+itself is atomic on POSIX.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def write_text(path: str, text: str, fsync: bool = True) -> None:
+    """Atomically replace ``path``'s content with ``text``.
+
+    Writes to a sibling temp file, optionally fsyncs, then renames over
+    the destination.  On any failure the temp file is removed and the
+    destination is left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_json(path: str, payload, indent: int = 2, fsync: bool = True) -> None:
+    """Atomically write ``payload`` as deterministic JSON (sorted keys,
+    trailing newline) — the serialization every byte-compared artifact
+    in this repo uses."""
+    import json
+
+    write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n", fsync=fsync
+    )

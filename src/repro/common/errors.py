@@ -96,6 +96,23 @@ class IntegrityViolation(VerificationError):
     by the configured replication degree."""
 
 
+class VerificationExhausted(VerificationError):
+    """Rerun escalation ran out of ``max_reruns`` attempts without
+    assuring the run.  Carries the best-effort :class:`ScriptResult` as
+    ``result`` so callers can still inspect outputs and audit state."""
+
+    def __init__(self, script_id: str, attempts: int, unsettled: list[str]):
+        pending = ", ".join(unsettled) if unsettled else "none"
+        super().__init__(
+            f"{script_id}: rerun escalation exhausted after {attempts} "
+            f"attempt(s) without assurance (unsettled: {pending})"
+        )
+        self.script_id = script_id
+        self.attempts = attempts
+        self.unsettled = list(unsettled)
+        self.result = None  # set by the controller before raising
+
+
 class FaultInjectionError(ReproError):
     """Invalid fault-injection plan."""
 

@@ -32,6 +32,7 @@ REINSTATE = "reinstate"
 PROBE = "probe"
 RERUN = "rerun"
 COMMIT = "commit"
+EXHAUSTED = "exhausted"
 
 _AUDIT_PREFIX = "audit."
 

@@ -30,14 +30,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.common.config import SystemConfig
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, VerificationExhausted
 from repro.common.ids import NodeId
 from repro.common.records import Record, encode_record
 from repro.common.rng import RngRegistry
 from repro.compiler.mr_compiler import CompileOptions
+from repro.core import journal as wal
 from repro.core.audit import (
     COMMIT,
     EVICTION,
+    EXHAUSTED,
     FAULT,
     QUARANTINE,
     RERUN,
@@ -86,6 +88,8 @@ class ScriptResult:
     outcomes: list[VerificationOutcome] = field(default_factory=list)
     marked_vertices: list[VertexId] = field(default_factory=list)
     reused_jobs: int = 0  # jobs skipped on reruns thanks to commits
+    #: Rerun escalation ran out of ``max_reruns`` without assurance.
+    exhausted: bool = False
 
     @property
     def verified(self) -> bool:
@@ -136,6 +140,7 @@ class ClusterBFTController:
         block_bytes: int = 1 << 20,
         replicate_frontend: bool = False,
         telemetry: Telemetry | None = None,
+        journal: wal.Journal | None = None,
     ) -> None:
         self.config = (config or SystemConfig()).validate()
         self.rng = RngRegistry(self.config.seed)
@@ -165,6 +170,12 @@ class ClusterBFTController:
         self.suspicion = SuspicionTracker()
         self.fault_analyzer = FaultAnalyzer(f=self.config.bft.f)
         self.audit = AuditLog(tracer=self.telemetry.tracer)
+        # Durable control-plane journal (write-ahead log): pure host-side
+        # I/O — never schedules loop events, never draws randomness — so
+        # attaching one leaves the simulation byte-identical.
+        self.journal = journal
+        if journal is not None:
+            journal.bind_tracer(self.telemetry.tracer)
         self._script_counter = 0
         # §6.4: drop the implicit-trust assumption for the control tier —
         # request handling is ordered through 3f+1 PBFT replicas, adding
@@ -250,8 +261,15 @@ class ClusterBFTController:
         explicit_points: list[VertexId] | None = None,
         include_output_points: bool = True,
         replication: int | None = None,
+        strict: bool = False,
     ) -> ScriptResult:
-        """Full ClusterBFT execution with verification and reruns."""
+        """Full ClusterBFT execution with verification and reruns.
+
+        With ``strict`` the controller raises
+        :class:`~repro.common.errors.VerificationExhausted` (carrying the
+        best-effort result) instead of returning an unassured result when
+        the rerun escalation runs out of ``max_reruns``.
+        """
         cfg = self.config.bft
         if replication is not None:
             cfg = replace(cfg, replication=replication).validate()
@@ -263,7 +281,21 @@ class ClusterBFTController:
             include_output_points=include_output_points,
             compile_options=self._compile_options(),
         )
-        return self._run_assured(prepared)
+        return self._run_assured(prepared, strict=strict)
+
+    def resume_assured(
+        self,
+        prepared: PreparedScript,
+        resume: wal.ResumeState,
+        strict: bool = False,
+    ) -> ScriptResult:
+        """Continue a journaled run from its last settled attempt
+        boundary.  Callers (see :mod:`repro.core.recovery`) must already
+        have re-staged the journal's inputs and committed outputs into
+        this controller's DFS; the rerun-escalation loop picks up with
+        the restored replication degree/timeout and re-executes only the
+        unsettled sub-graphs."""
+        return self._run_assured(prepared, resume=resume, strict=strict)
 
     def _to_plan(self, script: str | LogicalPlan) -> LogicalPlan:
         if isinstance(script, LogicalPlan):
@@ -322,9 +354,17 @@ class ClusterBFTController:
     # assured execution
     # ------------------------------------------------------------------
 
-    def _run_assured(self, prepared: PreparedScript) -> ScriptResult:
+    def _run_assured(
+        self,
+        prepared: PreparedScript,
+        resume: wal.ResumeState | None = None,
+        strict: bool = False,
+    ) -> ScriptResult:
         cfg = prepared.config
-        script_id = self._next_script_id()
+        journal = self.journal
+        script_id = (
+            resume.script_id if resume is not None else self._next_script_id()
+        )
         start = self.loop.now
         tracer = self.telemetry.tracer
         run_span = tracer.begin(
@@ -336,6 +376,20 @@ class ClusterBFTController:
             jobs=len(prepared.job_graph.jobs),
             points=len(prepared.marked_vertices),
         )
+        if journal is not None and resume is None:
+            # Write-ahead: the run exists in the journal before any job
+            # is submitted.  ``marked``/``include_output_points`` let a
+            # recovery re-prepare the exact same instrumented plan.
+            journal.append(
+                wal.RUN_START,
+                script_id=script_id,
+                jobs=len(prepared.job_graph.jobs),
+                replication=cfg.replication,
+                points=len(prepared.marked_vertices),
+                marked=list(prepared.marked_vertices),
+                include_output_points=prepared.include_output_points,
+            )
+            journal.run_started = True
         self.audit.record(
             start,
             SUBMIT,
@@ -359,6 +413,11 @@ class ClusterBFTController:
         verified_ok: set[int] = set()  # sid VERIFIED (maybe uncommittable)
         verified_paths: dict[str, str] = {}
         reused = 0
+        if resume is not None:
+            verified_jobs = set(resume.verified_jobs)
+            verified_ok = set(resume.verified_ok)
+            verified_paths = dict(resume.verified_paths)
+            reused = resume.reused
 
         deps = graph.dependencies()
         verifiable = {
@@ -384,28 +443,55 @@ class ClusterBFTController:
         replication = cfg.replication
         timeout = cfg.verifier_timeout
         attempts_used = 0
+        start_attempt = 0
+        if resume is not None:
+            replication = resume.replication
+            timeout = resume.timeout
+            attempts_used = resume.attempts_used
+            start_attempt = resume.start_attempt
         assured = False
         last_attempt: _Attempt | None = None
 
-        for attempt_index in range(cfg.max_reruns + 1):
+        for attempt_index in range(start_attempt, cfg.max_reruns + 1):
             attempts_used += 1
-            if attempt_index == 0:
+            if attempt_index == start_attempt and resume is None:
                 pending = list(order)
             else:
+                # Resumed first attempts also take the closure path:
+                # commits replayed from the journal are reused, never
+                # re-executed.
                 pending = rerun_closure()
                 reused += len(order) - len(pending)
-                metrics.reruns += 1
-                self.audit.record(
-                    self.loop.now,
-                    RERUN,
-                    script_id,
+                if attempt_index > 0:
+                    metrics.reruns += 1
+                    self.audit.record(
+                        self.loop.now,
+                        RERUN,
+                        script_id,
+                        attempt=attempt_index,
+                        replication=replication,
+                        jobs_rerun=len(pending),
+                        jobs_reused=len(order) - len(pending),
+                    )
+            if not pending:
+                # Nothing left to run — e.g. a resume whose journal
+                # already captured the full commit set.  Assurance holds
+                # iff the restored state covers every output.
+                if verifiable:
+                    assured = (
+                        all(i in verified_jobs for i in final_jobs)
+                        and verifiable <= verified_ok
+                    )
+                break
+            if journal is not None:
+                journal.append(
+                    wal.ATTEMPT_START,
+                    script_id=script_id,
                     attempt=attempt_index,
                     replication=replication,
-                    jobs_rerun=len(pending),
-                    jobs_reused=len(order) - len(pending),
+                    timeout=timeout,
+                    jobs=list(pending),
                 )
-            if not pending:
-                break
             attempt = _Attempt()
             last_attempt = attempt
             attempt_span = tracer.begin(
@@ -424,7 +510,7 @@ class ClusterBFTController:
                 self.config.cost,
                 timeout,
                 on_verdict=lambda outcome, a=attempt: self._on_verdict(a, outcome),
-                on_late_fault=lambda sid, fault: self._on_late_fault(fault),
+                on_late_fault=lambda sid, fault: self._on_late_fault(sid, fault),
                 telemetry=self.telemetry,
             )
             self._submit_attempt(
@@ -473,6 +559,16 @@ class ClusterBFTController:
             for job_index, sid in self._sids(prepared, pending, script_id, attempt_index):
                 outcome = attempt.outcomes.get(sid)
                 if outcome is not None:
+                    if journal is not None:
+                        journal.append(
+                            wal.VERDICT,
+                            sid=sid,
+                            status=outcome.status,
+                            winners=sorted(outcome.winners),
+                            faulty_replicas=sorted(
+                                fault.replica for fault in outcome.faults
+                            ),
+                        )
                     self.audit.record(
                         self.loop.now,
                         VERDICT,
@@ -504,6 +600,19 @@ class ClusterBFTController:
                     script_id, attempt_index, winner, spec.output_path
                 )
                 target = f"__run/{script_id}/verified/{spec.output_path}"
+                if journal is not None:
+                    # The commit record carries the full winning content
+                    # (fsync'd): recovery re-stages it into a fresh DFS
+                    # without re-executing the job.
+                    journal.append(
+                        wal.COMMIT,
+                        sid=sid,
+                        job_index=job_index,
+                        path=spec.output_path,
+                        target=target,
+                        winner=winner,
+                        content=wal.records_to_json(self.dfs.read(source)),
+                    )
                 self._copy_file(source, target)
                 verified_paths[spec.output_path] = target
                 verified_jobs.add(job_index)
@@ -522,6 +631,44 @@ class ClusterBFTController:
                 },
                 comparisons=verifier.total_comparisons,
             )
+            if journal is not None:
+                # The settled attempt boundary (fsync'd): everything
+                # recovery needs to rebuild the control tier's state.
+                # next_replication/next_timeout are the deterministic
+                # escalation values — written *before* the escalation
+                # branch runs (write-ahead).
+                journal.append(
+                    wal.ATTEMPT_END,
+                    script_id=script_id,
+                    attempt=attempt_index,
+                    attempts_used=attempts_used,
+                    next_replication=replication + cfg.rerun_extra_replicas,
+                    next_timeout=timeout * 2,
+                    verified_jobs=sorted(verified_jobs),
+                    verified_ok=sorted(verified_ok),
+                    verified_paths=dict(sorted(verified_paths.items())),
+                    reused=reused,
+                    suspicion={
+                        node_id: [state.jobs_executed, state.faults_associated]
+                        for node_id, state in sorted(self.suspicion.nodes.items())
+                    },
+                    analyzer={
+                        "observations": self.fault_analyzer.observations,
+                        "saturated_at": self.fault_analyzer.saturated_at,
+                        "disjoint": [
+                            sorted(s) for s in self.fault_analyzer.disjoint
+                        ],
+                        "overlapping": [
+                            sorted(s) for s in self.fault_analyzer.overlapping
+                        ],
+                    },
+                    evicted=sorted(
+                        node_id
+                        for node_id, node in self.cluster.nodes.items()
+                        if node.excluded
+                    ),
+                    quarantined=sorted(self.scheduler.quarantined),
+                )
             if not verifiable:
                 # Nothing to verify (outputs not instrumented): run once,
                 # publish best-effort, report unassured.
@@ -543,6 +690,19 @@ class ClusterBFTController:
             prepared, script_id, verified_paths, assured, last_attempt
         )
         metrics.latency = self.loop.now - start
+        exhausted = bool(verifiable) and not assured
+        unsettled = [
+            f"{script_id}.j{job_index}"
+            for job_index in sorted(verifiable - verified_ok)
+        ]
+        if exhausted:
+            self.audit.record(
+                self.loop.now,
+                EXHAUSTED,
+                script_id,
+                attempts=attempts_used,
+                unsettled=tuple(unsettled),
+            )
         run_span.end(
             end=self.loop.now,
             latency=metrics.latency,
@@ -573,7 +733,26 @@ class ClusterBFTController:
             metrics.absorb_job(run.metrics)
         if self.telemetry.enabled:
             publish_run(self.telemetry.metrics, metrics, mode="assured")
-        return ScriptResult(
+        if journal is not None:
+            # Terminal record (fsync'd): a journal ending in run_end is
+            # complete — resuming it replays the recorded result instead
+            # of re-executing anything.  Closing here also enforces the
+            # one-WAL-one-run contract.
+            journal.append(
+                wal.RUN_END,
+                script_id=script_id,
+                assured=assured,
+                exhausted=exhausted,
+                attempts=attempts_used,
+                reused=reused,
+                latency=metrics.latency,
+                outputs={
+                    logical: wal.records_to_json(records)
+                    for logical, records in sorted(outputs.items())
+                },
+            )
+            journal.close()
+        result = ScriptResult(
             script_id=script_id,
             assured=assured,
             outputs=outputs,
@@ -583,7 +762,13 @@ class ClusterBFTController:
             outcomes=all_outcomes,
             marked_vertices=list(prepared.marked_vertices),
             reused_jobs=reused,
+            exhausted=exhausted,
         )
+        if exhausted and strict:
+            error = VerificationExhausted(script_id, attempts_used, unsettled)
+            error.result = result
+            raise error
+        return result
 
     # ------------------------------------------------------------------
     # attempt plumbing
@@ -659,6 +844,15 @@ class ClusterBFTController:
                     chain |= attempt.chain_nodes.get((dep, replica), set())
             attempt.chain_nodes[(job_index, replica)] = chain
             if verifier is not None and job_has_verification(run.spec):
+                if self.journal is not None:
+                    # Write-ahead: the digest receipt is journaled before
+                    # the verifier acts on it.
+                    self.journal.append(
+                        wal.DIGEST,
+                        sid=run.sid,
+                        replica=replica,
+                        nodes=sorted(chain),
+                    )
                 verifier.replica_completed(run.sid, replica, chain)
             submit_ready()
 
@@ -704,9 +898,17 @@ class ClusterBFTController:
     def _on_verdict(self, attempt: _Attempt, outcome: VerificationOutcome) -> None:
         attempt.outcomes[outcome.sid] = outcome
 
-    def _on_late_fault(self, fault) -> None:
+    def _on_late_fault(self, sid: str, fault) -> None:
         """A replica that finished after its sid's verdict disagreed with
         the winning digest vector."""
+        if self.journal is not None:
+            self.journal.append(
+                wal.LATE_FAULT,
+                sid=sid,
+                replica=fault.replica,
+                fault_kind=fault.kind,
+                nodes=sorted(fault.nodes),
+            )
         self.suspicion.record_fault(set(fault.nodes))
         if fault.kind == COMMISSION:
             self.fault_analyzer.observe(set(fault.nodes))
@@ -728,6 +930,14 @@ class ClusterBFTController:
                 # Losers are *known* faulty clusters: quorum proved the
                 # correct digests, these replicas disagreed.
                 for fault in outcome.faults:
+                    if self.journal is not None:
+                        self.journal.append(
+                            wal.FAULT,
+                            sid=outcome.sid,
+                            replica=fault.replica,
+                            fault_kind=fault.kind,
+                            nodes=sorted(fault.nodes),
+                        )
                     self.audit.record(
                         self.loop.now,
                         FAULT,
@@ -752,6 +962,14 @@ class ClusterBFTController:
         # live inside its suspect set — exonerate the rest (paper §4.3).
         if self.fault_analyzer.saturated:
             cleared = self.suspicion.suspects() - self.fault_analyzer.suspects()
+            if self.journal is not None:
+                # The analyzer's conclusion, journaled before it acts
+                # (exoneration mutates suspicion levels).
+                self.journal.append(
+                    wal.ANALYZER,
+                    suspects=sorted(self.fault_analyzer.suspects()),
+                    cleared=sorted(cleared),
+                )
             if cleared:
                 self.suspicion.clear_faults(cleared)
         self._evict_suspects()
@@ -817,6 +1035,14 @@ class ClusterBFTController:
         )
         for replica in divergent:
             nodes = attempt.chain_nodes.get((job_index, replica), set())
+            if self.journal is not None:
+                self.journal.append(
+                    wal.FAULT,
+                    sid=outcome.sid,
+                    replica=replica,
+                    fault_kind="equivocation",
+                    nodes=sorted(nodes),
+                )
             self.audit.record(
                 self.loop.now,
                 FAULT,
@@ -848,6 +1074,13 @@ class ClusterBFTController:
             if state.jobs_executed < cfg.suspicion_min_jobs:
                 continue
             if not self.cluster.node(node_id).excluded:
+                if self.journal is not None:
+                    self.journal.append(
+                        wal.EVICTION,
+                        node=node_id,
+                        suspicion=round(state.level, 3),
+                        jobs=state.jobs_executed,
+                    )
                 self.cluster.exclude(node_id)
                 self.audit.record(
                     self.loop.now,
@@ -866,6 +1099,13 @@ class ClusterBFTController:
                 continue  # eviction supersedes quarantine
             if self.scheduler.is_quarantined(node_id):
                 continue
+            if self.journal is not None:
+                self.journal.append(
+                    wal.QUARANTINE,
+                    node=node_id,
+                    suspicion=round(state.level, 3),
+                    jobs=state.jobs_executed,
+                )
             self.scheduler.quarantine(node_id)
             self.audit.record(
                 self.loop.now,

@@ -1,0 +1,244 @@
+"""Crash recovery: replay a control-plane journal and resume the run.
+
+The counterpart to :mod:`repro.core.journal`.  Given a WAL left behind
+by a crashed control tier, :func:`resume_run`
+
+1. validates the header (schema version, script hash) and rebuilds the
+   exact :class:`~repro.common.config.SystemConfig` the run used;
+2. builds a *fresh* controller/request-handler/verifier stack and
+   re-stages the journal's input data-sets into its trusted DFS;
+3. restores the control-tier state captured by the last fsync'd
+   ``attempt_end`` snapshot — suspicion levels, fault-analyzer sets,
+   evictions, quarantine — the last *settled attempt boundary*;
+4. replays every fsync'd ``commit`` record (including ones from the
+   crashed, unfinished attempt) into the DFS: committed VERIFIED jobs
+   are reused, never re-executed;
+5. re-prepares the script with the *recorded* verification points and
+   hands a :class:`~repro.core.journal.ResumeState` to
+   :meth:`~repro.core.controller.ClusterBFTController.resume_assured`,
+   which re-enters the rerun-escalation loop for the unsettled sids.
+
+A journal that already ends in ``run_end`` is *complete*: the recorded
+result is returned without executing anything.
+
+What resumption guarantees — and what it does not
+-------------------------------------------------
+An assured run's published outputs are the verified (digest-quorum +
+content-cross-checked) computation results, which are a pure function
+of the script and its inputs.  A resumed run therefore publishes
+**byte-identical outputs** to the uninterrupted run with the same seed
+(the chaos harness' ``DUR1`` invariant).  Latency, attempt counts and
+scheduling detail of re-executed attempts may differ: the resumed
+controller starts fresh RNG streams, so the crashed attempt's partial
+work is re-simulated, not replayed event-for-event.
+
+One WAL describes one assured run.  The caller must supply the same
+fault plan the original run used (fault plans are an experiment input,
+not journaled state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.records import Record
+from repro.core import journal as wal
+from repro.core.controller import ClusterBFTController, ScriptResult
+from repro.core.fault_analyzer import FaultAnalyzer
+from repro.core.request_handler import RequestHandler
+from repro.core.suspicion import NodeSuspicion
+from repro.faults.injection import FaultPlan
+from repro.mapreduce.metrics import RunMetrics
+from repro.mapreduce.scheduler import TaskScheduler
+from repro.telemetry import Telemetry
+
+
+@dataclass
+class RecoveredRun:
+    """What :func:`resume_run` hands back."""
+
+    result: ScriptResult
+    #: The controller that finished the run — ``None`` when the journal
+    #: was already complete (nothing was executed).
+    controller: ClusterBFTController | None
+    warnings: list[str] = field(default_factory=list)
+    #: Fsync'd commit records replayed into the fresh DFS (jobs reused,
+    #: never re-executed).
+    commits_replayed: int = 0
+    #: Attempt index the rerun-escalation loop re-entered at.
+    start_attempt: int = 0
+    #: True when the journal ended in ``run_end`` (recorded result
+    #: returned verbatim, no execution).
+    completed: bool = False
+
+
+def _completed_result(run_end: dict) -> ScriptResult:
+    """Reconstruct the recorded result of a finished journal."""
+    return ScriptResult(
+        script_id=run_end["script_id"],
+        assured=run_end["assured"],
+        outputs={
+            logical: wal.records_from_json(rows)
+            for logical, rows in run_end["outputs"].items()
+        },
+        latency=run_end["latency"],
+        attempts=run_end["attempts"],
+        metrics=RunMetrics(),
+        reused_jobs=run_end["reused"],
+        exhausted=run_end["exhausted"],
+    )
+
+
+def load_inputs(path: str) -> dict[str, list[Record]]:
+    """The input data-sets a journal's header staged (decoded)."""
+    records, _ = wal.read_journal(path)
+    return {
+        dfs_path: wal.records_from_json(rows)
+        for dfs_path, rows in records[0]["inputs"].items()
+    }
+
+
+def resume_run(
+    path: str,
+    fault_plan: FaultPlan | None = None,
+    scheduler: TaskScheduler | None = None,
+    telemetry: Telemetry | None = None,
+    crash_hook=None,
+    strict: bool = False,
+) -> RecoveredRun:
+    """Resume (or report) the run described by the journal at ``path``.
+
+    ``crash_hook`` is re-armed on the reopened journal — the chaos
+    harness uses it to crash the control tier *again* mid-recovery.
+    With ``strict`` the resumed controller raises
+    :class:`~repro.common.errors.VerificationExhausted` when the
+    escalation budget runs out.
+    """
+    records, warnings = wal.read_journal(path)
+    header = records[0]
+    config = wal.config_from_json(header["config"])
+
+    run_start: dict | None = None
+    snapshot: dict | None = None
+    commits: list[dict] = []
+    run_end: dict | None = None
+    for record in records[1:]:
+        kind = record["kind"]
+        if kind == wal.RUN_START:
+            run_start = record
+        elif kind == wal.ATTEMPT_END:
+            snapshot = record  # the latest settled boundary wins
+        elif kind == wal.COMMIT:
+            commits.append(record)
+        elif kind == wal.RUN_END:
+            run_end = record
+
+    if run_end is not None:
+        return RecoveredRun(
+            result=_completed_result(run_end),
+            controller=None,
+            warnings=warnings,
+            commits_replayed=0,
+            completed=True,
+        )
+
+    journal = wal.Journal.reopen(
+        path, next_seq=records[-1]["seq"] + 1, crash_hook=crash_hook
+    )
+    controller = ClusterBFTController(
+        config=config,
+        fault_plan=fault_plan,
+        scheduler=scheduler,
+        block_bytes=header["block_bytes"],
+        telemetry=telemetry,
+        journal=journal,
+    )
+    for dfs_path, rows in header["inputs"].items():
+        controller.load_input(dfs_path, wal.records_from_json(rows))
+
+    script = header["script"]
+
+    if run_start is None:
+        # Crashed before the run even started: nothing to restore —
+        # run from scratch on the reopened journal.
+        journal.append(wal.RESUME, start_attempt=0, commits_replayed=0)
+        result = controller.run_assured(script, strict=strict)
+        return RecoveredRun(
+            result=result,
+            controller=controller,
+            warnings=warnings,
+        )
+
+    # -- restore the last settled attempt boundary ----------------------
+    cfg = config.bft
+    resume = wal.ResumeState(
+        script_id=run_start["script_id"],
+        start_attempt=0,
+        attempts_used=0,
+        replication=cfg.replication,
+        timeout=cfg.verifier_timeout,
+    )
+    if snapshot is not None:
+        resume.start_attempt = snapshot["attempt"] + 1
+        resume.attempts_used = snapshot["attempts_used"]
+        resume.replication = snapshot["next_replication"]
+        resume.timeout = snapshot["next_timeout"]
+        resume.verified_jobs = set(snapshot["verified_jobs"])
+        resume.verified_ok = set(snapshot["verified_ok"])
+        resume.verified_paths = dict(snapshot["verified_paths"])
+        resume.reused = snapshot["reused"]
+        for node_id, (jobs, faults) in snapshot["suspicion"].items():
+            controller.suspicion.nodes[node_id] = NodeSuspicion(
+                jobs_executed=jobs, faults_associated=faults
+            )
+        analyzer = snapshot["analyzer"]
+        controller.fault_analyzer = FaultAnalyzer(
+            f=cfg.f,
+            disjoint=[frozenset(s) for s in analyzer["disjoint"]],
+            overlapping=[frozenset(s) for s in analyzer["overlapping"]],
+            observations=analyzer["observations"],
+            saturated_at=analyzer["saturated_at"],
+        )
+        for node_id in snapshot["evicted"]:
+            if not controller.cluster.node(node_id).excluded:
+                controller.cluster.exclude(node_id)
+        for node_id in snapshot["quarantined"]:
+            if not controller.scheduler.is_quarantined(node_id):
+                controller.scheduler.quarantine(node_id)
+
+    # -- replay fsync'd commits (even from the crashed attempt) ---------
+    for commit in commits:
+        content = wal.records_from_json(commit["content"])
+        target = commit["target"]
+        if controller.dfs.exists(target):
+            controller.dfs.delete(target)
+        controller.dfs.write_file(target, content)
+        resume.verified_jobs.add(commit["job_index"])
+        resume.verified_ok.add(commit["job_index"])
+        resume.verified_paths[commit["path"]] = target
+
+    journal.append(
+        wal.RESUME,
+        script_id=resume.script_id,
+        start_attempt=resume.start_attempt,
+        commits_replayed=len(commits),
+    )
+    journal.run_started = True
+
+    # -- re-prepare with the *recorded* instrumentation -----------------
+    handler = RequestHandler(cfg)
+    prepared = handler.prepare(
+        script,
+        controller._input_sizes(controller._to_plan(script)),
+        explicit_points=list(run_start["marked"]),
+        include_output_points=run_start["include_output_points"],
+        compile_options=controller._compile_options(),
+    )
+    result = controller.resume_assured(prepared, resume, strict=strict)
+    return RecoveredRun(
+        result=result,
+        controller=controller,
+        warnings=warnings,
+        commits_replayed=len(commits),
+        start_attempt=resume.start_attempt,
+    )

@@ -30,6 +30,9 @@ class PreparedScript:
     marked_vertices: list[VertexId]
     config: ClusterBFTConfig
     marker_scores: list[float] = field(default_factory=list)
+    #: Whether output streams were auto-instrumented — recorded so a
+    #: journal replay can re-prepare the exact same instrumented plan.
+    include_output_points: bool = True
 
     def jobs_with_digests(self) -> list[int]:
         """Indices of jobs that emit digests (verifiable jobs)."""
@@ -134,6 +137,7 @@ class RequestHandler:
             marked_vertices=marked,
             config=self.config,
             marker_scores=scores,
+            include_output_points=include_output_points,
         )
 
     def candidate_vertices(self, plan: LogicalPlan) -> list[VertexId]:

@@ -163,11 +163,15 @@ class Telemetry:
 
     def finalize(self) -> int | None:
         """Append the trailing metrics snapshot to the stream sink and
-        close it; returns total records written (None when not
-        streaming).  The resulting file matches what :meth:`write_jsonl`
-        would have produced from an in-memory run."""
+        close it (flush + fsync); returns total records written (None
+        when not streaming).  Idempotent: a second call closes nothing
+        and appends no duplicate snapshot.  The resulting file matches
+        what :meth:`write_jsonl` would have produced from an in-memory
+        run."""
         if self.stream_sink is None:
             return None
+        if self.stream_sink.closed:
+            return self.stream_sink.records_written
         now = self.tracer.clock()
         for row in self.metrics.snapshot():
             record = {"type": "metric", "metric_kind": row.pop("kind"), "ts": now}

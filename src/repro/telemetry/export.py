@@ -16,6 +16,7 @@ stream is.
 from __future__ import annotations
 
 import json
+import os
 from typing import IO, Iterable
 
 #: Span/event attributes that select a Chrome track, in priority order.
@@ -66,9 +67,21 @@ class JsonlStreamSink:
         if self._handle is not None:
             self._handle.flush()
 
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
     def close(self) -> int:
-        """Flush and close; returns the total records written."""
+        """Flush, fsync and close; returns the total records written.
+
+        Idempotent: a second close is a no-op returning the same count.
+        The fsync makes the trace tail durable before the caller treats
+        the run as finished — the same discipline the control-plane
+        journal applies to its commit records.
+        """
         if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
         return self.records_written

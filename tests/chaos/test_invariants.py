@@ -29,6 +29,7 @@ from repro.core.verifier import VERIFIED
 class FakeResult:
     assured: bool = True
     attempts: int = 1
+    exhausted: bool = False
     outputs: dict = field(default_factory=dict)
     outcomes: list = field(default_factory=list)
 

@@ -1,0 +1,78 @@
+"""Tests for atomic artifact writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.atomic_io import write_json, write_text
+
+
+class TestWriteText:
+    def test_creates_file_with_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        write_text(str(path), "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        write_text(str(path), "new")
+        assert path.read_text() == "new"
+
+    def test_creates_missing_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "out.txt"
+        write_text(str(path), "x")
+        assert path.read_text() == "x"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        write_text(str(path), "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_write_leaves_destination_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+
+        class Explosive:
+            def __str__(self):
+                raise RuntimeError("boom")
+
+        with pytest.raises(TypeError):
+            write_json(str(path), {"k": Explosive()})
+        assert path.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_replace_cleans_up_temp_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+
+        def explode(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            write_text(str(path), "new")
+        monkeypatch.undo()
+        assert path.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestWriteJson:
+    def test_deterministic_serialization(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(str(path), {"b": 2, "a": 1})
+        text = path.read_text()
+        assert text == json.dumps({"a": 1, "b": 2}, indent=2, sort_keys=True) + "\n"
+
+    def test_matches_legacy_dump_format(self, tmp_path):
+        """Byte-compat with the open()+json.dump writers it replaced —
+        committed baselines must not churn."""
+        payload = {"metrics": [{"name": "x", "value": 1.5}], "seed": 7}
+        atomic = tmp_path / "atomic.json"
+        legacy = tmp_path / "legacy.json"
+        write_json(str(atomic), payload)
+        with open(legacy, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        assert atomic.read_bytes() == legacy.read_bytes()

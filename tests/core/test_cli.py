@@ -90,3 +90,98 @@ class TestExplainCommand:
         assert "Verification points:" in out
         assert "Job graph:" in out
         assert "group" in out
+
+
+class TestJournalAndResume:
+    def run_args(self, workspace, *extra):
+        script, csv = workspace
+        return ["run", str(script), "--input", f"in={csv}", "--nodes", "8",
+                "--timeout", "30", *extra]
+
+    def test_journaled_run_then_resume_completed(self, workspace, tmp_path, capsys):
+        journal = tmp_path / "run.wal"
+        code = main(self.run_args(workspace, "--journal", str(journal)))
+        assert code == 0
+        assert journal.exists()
+        assert "journal   : " in capsys.readouterr().out
+
+        code = main(["resume", str(journal)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "journal   : complete" in out
+        assert "assured   : True" in out
+
+    def test_resume_after_sigkill_byte_identical(self, workspace, tmp_path):
+        """Real crash: the run SIGKILLs itself at a journaled decision
+        point (REPRO_JOURNAL_KILL_AT seam), then `repro resume` must
+        republish exactly the uninterrupted run's outputs."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        script, csv = workspace
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ, PYTHONPATH=src)
+        base = [sys.executable, "-m", "repro", "run", str(script),
+                "--input", f"in={csv}", "--nodes", "8", "--timeout", "30"]
+
+        ref_json = tmp_path / "ref.json"
+        proc = subprocess.run(
+            base + ["--journal", str(tmp_path / "ref.wal"),
+                    "--outputs-json", str(ref_json)],
+            env=env, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        crash_wal = tmp_path / "crash.wal"
+        proc = subprocess.run(
+            base + ["--journal", str(crash_wal)],
+            env=dict(env, REPRO_JOURNAL_KILL_AT="5"),
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == -9  # SIGKILL, not a clean exit
+
+        resumed_json = tmp_path / "resumed.json"
+        assert main(
+            ["resume", str(crash_wal), "--outputs-json", str(resumed_json)]
+        ) == 0
+        assert resumed_json.read_bytes() == ref_json.read_bytes()
+
+    def test_journal_requires_assured_mode(self, workspace, tmp_path):
+        with pytest.raises(SystemExit, match="assured"):
+            main(self.run_args(
+                workspace, "--mode", "plain",
+                "--journal", str(tmp_path / "x.wal"),
+            ))
+
+    def test_resume_rejects_garbage_with_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.wal"
+        bad.write_text("this is not a journal\n")
+        assert main(["resume", str(bad)]) == 2
+        assert "repro resume:" in capsys.readouterr().err
+
+    def test_exhaustion_exits_3_with_diagnostic(self, workspace, tmp_path, capsys):
+        script, csv = workspace
+        journal = tmp_path / "exhausted.wal"
+        code = main(
+            ["run", str(script), "--input", f"in={csv}", "--nodes", "8",
+             "--timeout", "0.05", "--journal", str(journal)]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "rerun escalation exhausted" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+        # Resuming the (complete) exhausted journal reports the same
+        # explicit verdict and exit code.
+        assert main(["resume", str(journal)]) == 3
+        assert "rerun escalation exhausted" in capsys.readouterr().err
+
+    def test_outputs_json_is_deterministic(self, workspace, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.run_args(workspace, "--outputs-json", str(a))) == 0
+        assert main(self.run_args(workspace, "--outputs-json", str(b))) == 0
+        assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,185 @@
+"""Crash-resume tests: journal replay must reproduce the run."""
+
+import pytest
+
+from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.common.errors import VerificationExhausted
+from repro.common.records import encode_record, records_from_rows
+from repro.core import journal as wal
+from repro.core.audit import EXHAUSTED
+from repro.core.controller import ClusterBFTController
+from repro.core.recovery import load_inputs, resume_run
+from repro.faults.injection import single_commission
+
+SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+B = FILTER A BY v IS NOT NULL;
+G = GROUP B BY k;
+C = FOREACH G GENERATE group AS k, COUNT(B) AS n;
+STORE C INTO 'out';
+"""
+
+ROWS = [(i % 5, (i * 13) % 50 or None) for i in range(200)]
+
+
+def make_config(timeout=60.0, max_reruns=3, seed=31):
+    return SystemConfig(
+        cluster=ClusterConfig(
+            num_nodes=10, slots_per_node=3, heartbeat_period=0.5
+        ),
+        bft=ClusterBFTConfig(
+            f=1,
+            replication=4,
+            verification_points=1,
+            verifier_timeout=timeout,
+            max_reruns=max_reruns,
+        ),
+        seed=seed,
+    )
+
+
+def inputs():
+    return {"in": records_from_rows(ROWS)}
+
+
+def journaled_run(path, fault_plan=None, crash_hook=None, **config_kwargs):
+    config = make_config(**config_kwargs)
+    journal = wal.Journal.create(
+        path, config, SCRIPT, inputs(), block_bytes=2048, crash_hook=crash_hook
+    )
+    controller = ClusterBFTController(
+        config, fault_plan=fault_plan, block_bytes=2048, journal=journal
+    )
+    controller.load_input("in", inputs()["in"])
+    return controller.run_assured(SCRIPT)
+
+
+def canonical(outputs):
+    return {
+        path: [encode_record(r) for r in records]
+        for path, records in outputs.items()
+    }
+
+
+def fault_plan():
+    return single_commission("node_0002", probability=0.8)
+
+
+class TestJournaledEqualsUnjournaled:
+    def test_journal_is_pure_observation(self, tmp_path):
+        config = make_config()
+        plain = ClusterBFTController(config, block_bytes=2048)
+        plain.load_input("in", inputs()["in"])
+        baseline = plain.run_assured(SCRIPT)
+
+        journaled = journaled_run(str(tmp_path / "run.wal"))
+        assert journaled.outputs == baseline.outputs
+        assert journaled.latency == baseline.latency
+        assert journaled.attempts == baseline.attempts
+
+
+class TestResume:
+    def test_completed_journal_reports_without_executing(self, tmp_path):
+        path = str(tmp_path / "run.wal")
+        reference = journaled_run(path)
+        recovered = resume_run(path)
+        assert recovered.completed
+        assert recovered.controller is None
+        assert recovered.result.assured == reference.assured
+        assert recovered.result.outputs == reference.outputs
+        assert recovered.result.latency == reference.latency
+
+    def test_load_inputs_round_trips(self, tmp_path):
+        path = str(tmp_path / "run.wal")
+        journaled_run(path)
+        assert load_inputs(path) == inputs()
+
+    def test_crash_before_run_start_resumes_from_scratch(self, tmp_path):
+        path = str(tmp_path / "run.wal")
+        ref_path = str(tmp_path / "ref.wal")
+        reference = journaled_run(ref_path)
+        # seq 0 is the header: the crash lands before run_start exists.
+        with pytest.raises(wal.ControlTierCrash):
+            journaled_run(path, crash_hook=wal.crash_at(0))
+        recovered = resume_run(path)
+        assert not recovered.completed
+        assert canonical(recovered.result.outputs) == canonical(
+            reference.outputs
+        )
+        assert recovered.result.assured
+
+    def test_crash_sweep_resumes_byte_identical(self, tmp_path):
+        """Kill the control tier at *every* journaled decision point of
+        a faulty run; every resume must republish the reference bytes."""
+        ref_path = str(tmp_path / "ref.wal")
+        reference = journaled_run(ref_path, fault_plan=fault_plan())
+        records, _ = wal.read_journal(ref_path)
+        expected = canonical(reference.outputs)
+        kinds_crashed = set()
+        for crash_seq in range(1, records[-1]["seq"] + 1):
+            path = str(tmp_path / f"crash-{crash_seq}.wal")
+            try:
+                journaled_run(
+                    path,
+                    fault_plan=fault_plan(),
+                    crash_hook=wal.crash_at(crash_seq),
+                )
+                continue  # run finished before the hook's seq
+            except wal.ControlTierCrash:
+                pass
+            recovered = resume_run(path, fault_plan=fault_plan())
+            assert recovered.result.assured == reference.assured, crash_seq
+            assert canonical(recovered.result.outputs) == expected, crash_seq
+            kinds_crashed.add(records[crash_seq]["kind"])
+        # The sweep exercised the interesting decision points, not just
+        # one lucky spot.
+        assert {wal.RUN_START, wal.ATTEMPT_START, wal.VERDICT} <= kinds_crashed
+
+    def test_resumed_journal_records_resume_marker(self, tmp_path):
+        path = str(tmp_path / "run.wal")
+        with pytest.raises(wal.ControlTierCrash):
+            journaled_run(path, crash_hook=wal.crash_at(3))
+        resume_run(path)
+        records, _ = wal.read_journal(path)
+        kinds = [r["kind"] for r in records]
+        assert wal.RESUME in kinds
+        assert kinds[-1] == wal.RUN_END
+
+
+class TestExhaustion:
+    def run_exhausted(self, tmp_path, strict=False):
+        path = str(tmp_path / "exhausted.wal")
+        config = make_config(timeout=0.05, max_reruns=1)
+        journal = wal.Journal.create(
+            path, config, SCRIPT, inputs(), block_bytes=2048
+        )
+        controller = ClusterBFTController(
+            config, block_bytes=2048, journal=journal
+        )
+        controller.load_input("in", inputs()["in"])
+        return path, controller, controller.run_assured(SCRIPT, strict=strict)
+
+    def test_exhaustion_is_an_explicit_outcome(self, tmp_path):
+        _, controller, result = self.run_exhausted(tmp_path)
+        assert not result.assured
+        assert result.exhausted
+        assert result.attempts == 2  # max_reruns=1 -> initial + one rerun
+        events = controller.audit.events(kind=EXHAUSTED)
+        assert len(events) == 1
+
+    def test_strict_raises_with_result_attached(self, tmp_path):
+        config = make_config(timeout=0.05, max_reruns=1)
+        controller = ClusterBFTController(config, block_bytes=2048)
+        controller.load_input("in", inputs()["in"])
+        with pytest.raises(VerificationExhausted) as excinfo:
+            controller.run_assured(SCRIPT, strict=True)
+        assert excinfo.value.result is not None
+        assert excinfo.value.result.exhausted
+        assert excinfo.value.attempts == 2
+
+    def test_exhausted_journal_resumes_to_same_verdict(self, tmp_path):
+        path, _, result = self.run_exhausted(tmp_path)
+        recovered = resume_run(path)
+        assert recovered.completed
+        assert recovered.result.exhausted
+        assert recovered.result.assured == result.assured

@@ -71,3 +71,15 @@ class TestStreamingTelemetry:
 
     def test_finalize_without_stream_is_noop(self):
         assert Telemetry.recording().finalize() is None
+
+    def test_double_finalize_appends_no_duplicate_snapshot(self, tmp_path):
+        """finalize() is idempotent: the second call closes nothing,
+        appends no second metrics snapshot, and reports the same count."""
+        path = str(tmp_path / "trace.jsonl")
+        telemetry = Telemetry.streaming(path)
+        telemetry.metrics.counter("widgets").inc()
+        first = telemetry.finalize()
+        second = telemetry.finalize()
+        assert first == second
+        metrics = [r for r in read_jsonl(path) if r["type"] == "metric"]
+        assert len(metrics) == 1
