@@ -252,6 +252,16 @@ def _scenario_list() -> list[Scenario]:
             control_crashes=True,
         ),
         Scenario(
+            name="ctl-crash-final",
+            description="control-tier crash sweep with a zero rerun "
+            "budget: assurance lands on the last allowed attempt, so the "
+            "crash between its attempt_end and run_end resumes with "
+            "start_attempt past max_reruns — the fully-settled snapshot "
+            "must still be judged assured (DUR1), not read as exhaustion",
+            max_reruns=0,
+            control_crashes=True,
+        ),
+        Scenario(
             name="weakened-safe1",
             description="DELIBERATELY WEAKENED: f=0, r=1 — the single "
             "(corrupt) replica is its own quorum, so a tampered record "
@@ -297,6 +307,7 @@ SMOKE_CAMPAIGN = (
 DURABILITY_CAMPAIGN = (
     "ctl-crash",
     "ctl-crash-omission",
+    "ctl-crash-final",
     "exhaustion",
 )
 

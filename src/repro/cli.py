@@ -380,7 +380,7 @@ def cmd_run(args) -> int:
                 inputs_from_args(args),
                 crash_hook=_env_kill_hook(),
             )
-        except OSError as exc:
+        except (OSError, wal.JournalError) as exc:
             raise SystemExit(f"cannot open journal: {exc}")
     controller = make_controller(args, telemetry=telemetry, journal=journal)
     if args.mode == "plain":

@@ -452,7 +452,26 @@ class ClusterBFTController:
         assured = False
         last_attempt: _Attempt | None = None
 
-        for attempt_index in range(start_attempt, cfg.max_reruns + 1):
+        # A restored snapshot may already cover the full commit set —
+        # e.g. a crash landed between the final attempt's ``attempt_end``
+        # and ``run_end``, leaving start_attempt past max_reruns and the
+        # rerun range below empty.  Assurance of a fully-settled snapshot
+        # is decided by the restored state alone, so evaluate it *before*
+        # the loop: an empty range must never read as exhaustion.
+        settled_on_resume = resume is not None and not rerun_closure()
+        if settled_on_resume:
+            reused += len(order)
+            if verifiable:
+                assured = (
+                    all(i in verified_jobs for i in final_jobs)
+                    and verifiable <= verified_ok
+                )
+        rerun_range = (
+            range(0)
+            if settled_on_resume
+            else range(start_attempt, cfg.max_reruns + 1)
+        )
+        for attempt_index in rerun_range:
             attempts_used += 1
             if attempt_index == start_attempt and resume is None:
                 pending = list(order)

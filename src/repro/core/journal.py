@@ -114,16 +114,18 @@ def crash_at(seq: int) -> Callable[[dict], None]:
 #
 # Record fields are scalars plus nested tuples and bags; JSON has no
 # tuple/bag distinction, so containers are tagged: {"t": [...]} is a
-# tuple, {"b": [...]} a bag (canonically ordered by encoded bytes, the
-# same canonicalization the digest layer applies — bag order never
-# carries meaning).
+# tuple, {"r": [...]} a nested Record (digest-equivalent to a tuple,
+# but Record.__eq__ is type-strict, so the distinction must survive
+# the round-trip), {"b": [...]} a bag (canonically ordered by encoded
+# bytes, the same canonicalization the digest layer applies — bag
+# order never carries meaning).
 
 
 def value_to_json(value):
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, Record):
-        return {"t": [value_to_json(v) for v in value.fields]}
+        return {"r": [value_to_json(v) for v in value.fields]}
     if isinstance(value, tuple):
         return {"t": [value_to_json(v) for v in value]}
     if isinstance(value, (list, frozenset)):
@@ -136,6 +138,8 @@ def value_from_json(value):
     if isinstance(value, dict):
         if "t" in value:
             return tuple(value_from_json(v) for v in value["t"])
+        if "r" in value:
+            return Record(tuple(value_from_json(v) for v in value["r"]))
         if "b" in value:
             return [value_from_json(v) for v in value["b"]]
         raise JournalError(f"unknown value tag: {sorted(value)}")
@@ -188,6 +192,19 @@ def config_from_json(data: dict) -> SystemConfig:
 # ---------------------------------------------------------------------------
 
 
+def _fsync_directory(path: str) -> None:
+    """Force a directory entry to stable storage (no-op where the
+    platform cannot fsync directories, e.g. Windows)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class Journal:
     """Append-only write-ahead journal for one assured run.
 
@@ -224,8 +241,20 @@ class Journal:
         block_bytes: int = 1 << 20,
         crash_hook: Callable[[dict], None] | None = None,
     ) -> "Journal":
-        """Start a fresh journal: writes (and fsyncs) the header."""
-        handle = open(path, "w")
+        """Start a fresh journal: writes (and fsyncs) the header.
+
+        Refuses an existing path — one WAL describes one run, and
+        silently truncating a prior run's journal would destroy its
+        recovery state.  The parent directory is fsync'd so the new
+        file's directory entry survives a host crash too.
+        """
+        try:
+            handle = open(path, "x")
+        except FileExistsError:
+            raise JournalError(
+                f"journal {path} already exists — one WAL describes one "
+                "run; resume it with `repro resume` or pass a fresh path"
+            )
         journal = cls(path, handle, next_seq=0, crash_hook=crash_hook)
         journal.append(
             HEADER,
@@ -240,6 +269,7 @@ class Journal:
                 for dfs_path, records in sorted(inputs.items())
             },
         )
+        _fsync_directory(os.path.dirname(os.path.abspath(path)))
         return journal
 
     @classmethod
@@ -249,7 +279,22 @@ class Journal:
         next_seq: int,
         crash_hook: Callable[[dict], None] | None = None,
     ) -> "Journal":
-        """Reopen an existing journal for appending (recovery path)."""
+        """Reopen an existing journal for appending (recovery path).
+
+        A crash mid-append can tear the final line (``read_journal``
+        tolerates and drops it); truncate that partial line *before*
+        appending, or the resume record would be concatenated onto it,
+        turning expected crash damage into mid-file corruption that
+        poisons every later read.  Records are newline-terminated, so
+        everything after the last newline is the torn tail.
+        """
+        with open(path, "rb+") as raw:
+            data = raw.read()
+            keep = data.rfind(b"\n") + 1
+            if keep < len(data):
+                raw.truncate(keep)
+                raw.flush()
+                os.fsync(raw.fileno())
         handle = open(path, "a")
         return cls(path, handle, next_seq=next_seq, crash_hook=crash_hook)
 

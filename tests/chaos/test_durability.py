@@ -31,6 +31,27 @@ class TestCtlCrashSweep:
             kinds = {cell.kind for cell in probe.cells}
             assert {wal.RUN_START, wal.ATTEMPT_START, wal.VERDICT} <= kinds
 
+    def test_final_attempt_boundary_is_swept(self):
+        """ctl-crash-final has a zero rerun budget: the crash after the
+        last allowed attempt's ``attempt_end`` resumes with start_attempt
+        past max_reruns, and the settled snapshot must still read as
+        assured — the verdict-flip regression the sweep previously
+        missed because every scenario assured on an earlier attempt."""
+        scenario = SCENARIOS["ctl-crash-final"]
+        for seed in (1, 2):
+            ctx, violations = run_one(scenario, seed)
+            assert violations == [], f"seed {seed}: {violations}"
+            probe = ctx.durability
+            assert probe.reference_assured
+            past_budget = [
+                c
+                for c in probe.cells
+                if c.kind == wal.ATTEMPT_END
+                and c.start_attempt > scenario.max_reruns
+            ]
+            assert past_budget, "no crash landed on the final boundary"
+            assert all(c.assured and not c.exhausted for c in past_budget)
+
     def test_mid_escalation_boundaries_are_swept(self):
         """ctl-crash-omission is tuned so the journal spans several
         attempts: crashes must land on attempt_end boundaries with
@@ -95,6 +116,7 @@ class TestCampaignWiring:
         assert set(DURABILITY_CAMPAIGN) == {
             "ctl-crash",
             "ctl-crash-omission",
+            "ctl-crash-final",
             "exhaustion",
         }
         for name in DURABILITY_CAMPAIGN:

@@ -43,6 +43,17 @@ class TestValueCodec:
         restored = wal.record_from_json(wal.record_to_json(record))
         assert restored == record
 
+    def test_nested_record_round_trips_as_record(self):
+        # Record.__eq__ is type-strict: a nested Record must come back
+        # as a Record, not be coerced to a plain tuple (distinct tags).
+        inner = Record((1, "x"))
+        restored = wal.value_from_json(wal.value_to_json(inner))
+        assert isinstance(restored, Record)
+        assert restored == inner
+        assert wal.value_to_json(inner) != wal.value_to_json((1, "x"))
+        outer = Record((0, inner, (2, 3)))
+        assert wal.record_from_json(wal.record_to_json(outer)) == outer
+
     def test_records_round_trip(self):
         records = records_from_rows([(1, 2), (3, None)])
         assert wal.records_from_json(wal.records_to_json(records)) == records
@@ -118,6 +129,36 @@ class TestWriter:
         assert journal.last_seq == 0  # the header
         journal.append(wal.RUN_START)
         assert journal.last_seq == 1
+
+    def test_create_refuses_existing_path(self, tmp_path):
+        path = str(tmp_path / "run.wal")
+        wal.Journal.create(path, small_config(), SCRIPT, INPUTS).close()
+        with pytest.raises(wal.JournalError, match="already exists"):
+            wal.Journal.create(path, small_config(), SCRIPT, INPUTS)
+        # The existing journal is untouched (no silent truncation).
+        records, _ = wal.read_journal(path)
+        assert records[0]["kind"] == wal.HEADER
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "run.wal")
+        journal = wal.Journal.create(path, small_config(), SCRIPT, INPUTS)
+        journal.append(wal.RUN_START, script_id="script0001")
+        journal.close()
+        with open(path, "a") as handle:
+            handle.write('{"kind": "attempt_sta')  # crash mid-append
+        reopened = wal.Journal.reopen(path, next_seq=2)
+        reopened.append(wal.RESUME, start_attempt=0)
+        reopened.close()
+        # The resume record must not merge into the partial line: the
+        # journal stays readable, with the torn record simply gone.
+        records, warnings = wal.read_journal(path)
+        assert warnings == []
+        assert [r["kind"] for r in records] == [
+            wal.HEADER,
+            wal.RUN_START,
+            wal.RESUME,
+        ]
+        assert [r["seq"] for r in records] == [0, 1, 2]
 
 
 class TestReader:

@@ -135,6 +135,54 @@ class TestResume:
         # one lucky spot.
         assert {wal.RUN_START, wal.ATTEMPT_START, wal.VERDICT} <= kinds_crashed
 
+    def test_crash_after_final_attempt_end_still_assured(self, tmp_path):
+        """Crash between the last allowed attempt's ``attempt_end`` and
+        ``run_end``: the restored start_attempt is past max_reruns, so
+        the rerun range is empty — the fully-settled snapshot must still
+        be judged assured, not misread as escalation exhaustion."""
+        ref_path = str(tmp_path / "ref.wal")
+        reference = journaled_run(ref_path, max_reruns=0)
+        assert reference.assured
+        records, _ = wal.read_journal(ref_path)
+        final_boundary = max(
+            r["seq"] for r in records if r["kind"] == wal.ATTEMPT_END
+        )
+        path = str(tmp_path / "crash.wal")
+        with pytest.raises(wal.ControlTierCrash):
+            journaled_run(
+                path, max_reruns=0, crash_hook=wal.crash_at(final_boundary)
+            )
+        recovered = resume_run(path)
+        assert not recovered.completed
+        assert recovered.result.assured
+        assert not recovered.result.exhausted
+        assert canonical(recovered.result.outputs) == canonical(
+            reference.outputs
+        )
+        # Nothing was re-executed: the journal's commits covered it all.
+        assert recovered.result.reused_jobs > 0
+
+    def test_resume_after_torn_tail_leaves_readable_journal(self, tmp_path):
+        """A real crash can tear the WAL's final line.  The resume must
+        succeed AND leave a journal that later reads (post-mortem or a
+        second resume) still parse — the reopened writer truncates the
+        torn tail instead of appending onto it."""
+        ref_path = str(tmp_path / "ref.wal")
+        reference = journaled_run(ref_path)
+        path = str(tmp_path / "crash.wal")
+        with pytest.raises(wal.ControlTierCrash):
+            journaled_run(path, crash_hook=wal.crash_at(4))
+        with open(path, "rb+") as handle:
+            handle.truncate(handle.seek(0, 2) - 7)  # tear the last line
+        recovered = resume_run(path)
+        assert canonical(recovered.result.outputs) == canonical(
+            reference.outputs
+        )
+        records, warnings = wal.read_journal(path)
+        assert warnings == []  # no torn tail left behind
+        assert records[-1]["kind"] == wal.RUN_END
+        assert [r["seq"] for r in records] == list(range(len(records)))
+
     def test_resumed_journal_records_resume_marker(self, tmp_path):
         path = str(tmp_path / "run.wal")
         with pytest.raises(wal.ControlTierCrash):
