@@ -199,6 +199,17 @@ def _exec(smoke: bool) -> list[Metric]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# service_traffic — multi-tenant open-loop traffic over the service tier
+# ---------------------------------------------------------------------------
+
+
+def _service_traffic(smoke: bool) -> list[Metric]:
+    from repro.service.bench import run_traffic_bench
+
+    return run_traffic_bench(smoke)
+
+
 SUITES: tuple[BenchSpec, ...] = (
     BenchSpec(
         name="fig12",
@@ -217,6 +228,13 @@ SUITES: tuple[BenchSpec, ...] = (
         description="assured execution latency/verification split from a trace",
         seed=20131209,
         run=_exec,
+    ),
+    BenchSpec(
+        name="service_traffic",
+        description="multi-tenant open-loop traffic: jobs/sec, p50/p99 "
+        "admission-to-verdict latency, cross-tenant quarantine",
+        seed=20131209,
+        run=_service_traffic,
     ),
 )
 

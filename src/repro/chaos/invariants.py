@@ -30,6 +30,17 @@ Invariant ids (stable — referenced by reports, tests and DESIGN.md):
     point and resumed from its WAL publishes byte-identical outputs
     (and the same assured verdict) as the uninterrupted journaled run
     with the same seed.
+``TEN1``
+    Tenant isolation under flood: honest tenants' runs all end assured
+    with truth-equal outputs, suffer no rejections, and their p99
+    admission-to-verdict latency stays under the scenario's bound —
+    regardless of what a flooding/faulty tenant does.
+``TEN2``
+    Cross-tenant quarantine amortization: a node implicated by one
+    tenant's traffic is quarantined (attributed to that tenant in the
+    audit log) and never runs another task afterwards, including for
+    tenants whose runs were admitted later (paper Fig. 7, across
+    tenants).
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.records import Record, encode_record
-from repro.core.audit import COMMIT, FAULT, QUARANTINE
+from repro.core.audit import COMMIT, EVICTION, FAULT, QUARANTINE
 from repro.core.verifier import VERIFIED
 
 SAFE1 = "SAFE1"
@@ -46,8 +57,10 @@ LIVE1 = "LIVE1"
 LIVE2 = "LIVE2"
 DEGR1 = "DEGR1"
 DUR1 = "DUR1"
+TEN1 = "TEN1"
+TEN2 = "TEN2"
 
-INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1)
+INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1, TEN1, TEN2)
 
 
 @dataclass(frozen=True)
@@ -362,5 +375,178 @@ def check_all(ctx: RunContext) -> list[Violation]:
     """Run every invariant checker, in declaration order."""
     violations: list[Violation] = []
     for _invariant, checker in _CHECKERS:
+        violations.extend(checker(ctx))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# service-tier invariants (multi-tenant cells)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServiceRunContext:
+    """Everything the tenant-isolation checkers may look at for one
+    (service scenario, seed) cell."""
+
+    scenario: object  # ServiceScenario
+    service: object  # ClusterBFTService
+    result: object  # ServiceResult
+    #: Honest tenants (trace tenants not flagged faulty).
+    honest: frozenset
+    #: Fault-free ground truth per run id (canonical encoded outputs).
+    truths: dict = field(default_factory=dict)
+    records: list[dict] = field(default_factory=list)
+    trace_name: str | None = None
+
+    def ref(self, locator: str) -> str | None:
+        if self.trace_name is None:
+            return locator
+        return f"{self.trace_name}#{locator}"
+
+
+def check_ten1(ctx: ServiceRunContext) -> list[Violation]:
+    """Honest tenants are isolated from the flood: assured, truth-equal
+    outputs, no rejections, bounded p99 latency."""
+    from repro.telemetry.analysis import percentile
+
+    violations = []
+    honest_runs = [
+        run for run in ctx.result.runs if run.tenant in ctx.honest
+    ]
+    for run in honest_runs:
+        if not run.assured:
+            violations.append(
+                Violation(
+                    TEN1,
+                    f"honest tenant {run.tenant} run {run.run_id} ended "
+                    f"unassured (exhausted={run.exhausted})",
+                    ctx.ref(f"run={run.run_id}"),
+                )
+            )
+            continue
+        truth = ctx.truths.get(run.run_id)
+        if truth is None:
+            continue
+        got = canonical_outputs(ctx.result.outputs.get(run.run_id, {}))
+        for path, expected in truth.items():
+            if sorted(got.get(path, ())) != sorted(expected):
+                violations.append(
+                    Violation(
+                        TEN1,
+                        f"honest tenant {run.tenant} run {run.run_id} "
+                        f"published output {path!r} diverging from the "
+                        "fault-free truth",
+                        ctx.ref(f"run={run.run_id},sink={path}"),
+                    )
+                )
+    for reject in ctx.result.rejects:
+        if reject.tenant in ctx.honest:
+            violations.append(
+                Violation(
+                    TEN1,
+                    f"honest tenant {reject.tenant} job {reject.index} was "
+                    f"rejected ({reject.reason}) — the flood consumed "
+                    "another tenant's admission capacity",
+                    ctx.ref(f"tenant={reject.tenant},index={reject.index}"),
+                )
+            )
+    bound = getattr(ctx.scenario, "honest_p99_bound", None)
+    latencies = [run.latency for run in honest_runs if run.assured]
+    if bound is not None and latencies:
+        p99 = percentile(latencies, 99)
+        if p99 > bound + 1e-9:
+            violations.append(
+                Violation(
+                    TEN1,
+                    f"honest-tenant p99 latency {p99:.3f}s exceeds the "
+                    f"scenario bound {bound:.3f}s",
+                    ctx.ref(f"p99={p99:.3f}"),
+                )
+            )
+    if getattr(ctx.scenario, "expect_rejections", False):
+        if not ctx.result.rejects:
+            violations.append(
+                Violation(
+                    TEN1,
+                    "flood scenario produced no rejections — admission "
+                    "control never engaged",
+                    ctx.ref("rejects=0"),
+                )
+            )
+    return violations
+
+
+def check_ten2(ctx: ServiceRunContext) -> list[Violation]:
+    """A faulty tenant's traffic must get its node quarantined before
+    later honest runs, and the node must stay task-free afterwards."""
+    if not getattr(ctx.scenario, "expect_cross_tenant_quarantine", False):
+        return []
+    audit = ctx.service.controller.audit
+    faulty_tenants = {
+        run.tenant for run in ctx.result.runs
+    } - set(ctx.honest)
+    cutoff = None
+    node = None
+    for event in audit.events():
+        if event.kind not in (QUARANTINE, EVICTION):
+            continue
+        if event.details.get("tenant") in faulty_tenants:
+            cutoff, node = event.time, event.subject
+            break
+    if cutoff is None:
+        return [
+            Violation(
+                TEN2,
+                "no quarantine/eviction attributed to a faulty tenant — "
+                "shared suspicion never crossed tenants",
+                ctx.ref("quarantine=none"),
+            )
+        ]
+    violations = []
+    later_honest = [
+        run
+        for run in ctx.result.runs
+        if run.tenant in ctx.honest and run.started_at > cutoff
+    ]
+    if not later_honest:
+        violations.append(
+            Violation(
+                TEN2,
+                f"no honest run was admitted after the quarantine of "
+                f"{node} at t={cutoff:.3f} — the cell cannot demonstrate "
+                "cross-tenant protection (rescale the trace)",
+                ctx.ref(f"node={node},t={cutoff:.3f}"),
+            )
+        )
+    for record in ctx.records:
+        if record.get("type") != "span" or record.get("name") != "task":
+            continue
+        attrs = record.get("attrs") or {}
+        started = record.get("start")
+        if attrs.get("node") != node or started is None:
+            continue
+        if started > cutoff + 1e-9:
+            violations.append(
+                Violation(
+                    TEN2,
+                    f"node {node} started a task at t={started:.3f} after "
+                    f"its cross-tenant quarantine at t={cutoff:.3f}",
+                    ctx.ref(f"node={node},t={started:.3f}"),
+                )
+            )
+    return violations
+
+
+_SERVICE_CHECKERS = (
+    (TEN1, check_ten1),
+    (TEN2, check_ten2),
+)
+
+
+def check_service_all(ctx: ServiceRunContext) -> list[Violation]:
+    """Run every service-tier invariant checker, in declaration order."""
+    violations: list[Violation] = []
+    for _invariant, checker in _SERVICE_CHECKERS:
         violations.extend(checker(ctx))
     return violations

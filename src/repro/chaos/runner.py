@@ -19,11 +19,13 @@ from repro.chaos.invariants import (
     DurabilityCell,
     DurabilityProbe,
     RunContext,
+    ServiceRunContext,
     Violation,
     canonical_outputs,
     check_all,
+    check_service_all,
 )
-from repro.chaos.scenarios import Scenario, build_fault_plan
+from repro.chaos.scenarios import Scenario, ServiceScenario, build_fault_plan
 from repro.common.errors import ReproError
 from repro.common.records import Record, records_from_rows
 from repro.core import journal as wal
@@ -266,6 +268,111 @@ def _cell_report(
     }
 
 
+def run_service_one(
+    scenario: ServiceScenario, seed: int, trace_dir: str | None = None
+) -> tuple[ServiceRunContext, list[Violation]]:
+    """Execute one multi-tenant service cell; returns context +
+    TEN1/TEN2 violations."""
+    from repro.service.loop import ClusterBFTService
+    from repro.service.tenants import (
+        WORKLOADS,
+        parse_trace,
+        workload_records,
+    )
+
+    trace_name = None
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_name = f"{scenario.name}-s{seed}.jsonl"
+        telemetry = Telemetry.streaming(os.path.join(trace_dir, trace_name))
+    else:
+        telemetry = Telemetry.recording()
+
+    trace = parse_trace(scenario.trace_text(seed), name=scenario.name)
+    service = ClusterBFTService(trace, telemetry=telemetry)
+    result = service.run()
+
+    if trace_dir is not None:
+        telemetry.finalize()
+        from repro.telemetry.export import read_jsonl
+
+        records = read_jsonl(os.path.join(trace_dir, trace_name))
+    else:
+        records = telemetry.export_records()
+
+    honest = frozenset(
+        spec.name for spec in trace.tenants if not spec.faulty
+    )
+    # Fault-free ground truth per honest run: the same workload records
+    # through a plain twin deployment (same config, no fault plan).
+    truths = {}
+    specs = {spec.name: spec for spec in trace.tenants}
+    for run in result.runs:
+        if run.tenant not in honest or not run.assured:
+            continue
+        request = specs[run.tenant].jobs[run.index]
+        input_path = f"__svc/{run.run_id}/in"
+        output_path = f"__svc/{run.run_id}/out"
+        script = WORKLOADS[run.workload].template.format(
+            input=input_path, output=output_path
+        )
+        twin = ClusterBFTController(
+            trace.system_config(), block_bytes=_BLOCK_BYTES
+        )
+        twin.load_input(
+            input_path,
+            workload_records(trace.seed, run.tenant, run.index, request.rows),
+        )
+        truths[run.run_id] = canonical_outputs(
+            twin.run_plain(script).outputs
+        )
+    ctx = ServiceRunContext(
+        scenario=scenario,
+        service=service,
+        result=result,
+        honest=honest,
+        truths=truths,
+        records=records,
+        trace_name=trace_name,
+    )
+    return ctx, check_service_all(ctx)
+
+
+def _service_cell_report(
+    ctx: ServiceRunContext, violations: list[Violation], seed: int
+) -> dict:
+    result = ctx.result
+    audit = ctx.service.controller.audit
+    honest_runs = [run for run in result.runs if run.tenant in ctx.honest]
+    return {
+        "scenario": ctx.scenario.name,
+        "seed": seed,
+        "passed": not violations,
+        "expected_violations": [],
+        "violations": [v.as_dict() for v in violations],
+        "assured": [bool(run.assured) for run in result.runs],
+        "exhausted": [bool(run.exhausted) for run in result.runs],
+        "attempts": [run.attempts for run in result.runs],
+        "latency": [round(run.latency, 6) for run in result.runs],
+        "durability": None,
+        "reruns": len(audit.events(kind=RERUN)),
+        "quarantined": sorted(
+            {e.subject for e in audit.events(kind=QUARANTINE)}
+        ),
+        "evicted": sorted({e.subject for e in audit.events(kind=EVICTION)}),
+        "crashes_detected": sorted(ctx.service.controller.engine._dead_nodes),
+        "trace": ctx.trace_name,
+        "service": {
+            "tenants": sorted({run.tenant for run in result.runs}),
+            "admitted": len(result.runs),
+            "rejected": len(result.rejects),
+            "honest_assured": sum(1 for run in honest_runs if run.assured),
+            "honest_runs": len(honest_runs),
+            "makespan": round(result.makespan, 6),
+        },
+    }
+
+
 def run_campaign(
     scenarios: list[Scenario],
     seeds: list[int],
@@ -281,8 +388,14 @@ def run_campaign(
     cells = []
     for scenario in scenarios:
         for seed in seeds:
-            ctx, violations = run_one(scenario, seed, trace_dir=trace_dir)
-            cells.append(_cell_report(ctx, violations, seed))
+            if isinstance(scenario, ServiceScenario):
+                sctx, violations = run_service_one(
+                    scenario, seed, trace_dir=trace_dir
+                )
+                cells.append(_service_cell_report(sctx, violations, seed))
+            else:
+                ctx, violations = run_one(scenario, seed, trace_dir=trace_dir)
+                cells.append(_cell_report(ctx, violations, seed))
     failed = [c for c in cells if not c["passed"]]
     report = {
         "campaign": {

@@ -120,6 +120,43 @@ class Scenario:
         ).validate()
 
 
+@dataclass(frozen=True)
+class ServiceScenario:
+    """One multi-tenant *service-tier* cell: a synthetic tenant trace
+    (from :func:`repro.service.bench.synth_trace`) run through the
+    whole admission → fair-share → shared-suspicion pipeline, checked
+    by the tenant-isolation invariants (``TEN1``/``TEN2``) instead of
+    the single-run ones.
+
+    ``trace_kwargs`` parameterize the generator; the sweep seed is
+    folded into the trace seed exactly like :meth:`Scenario.system_config`
+    does, so cells stay reproducible from the report alone.
+    """
+
+    name: str
+    description: str
+    trace_kwargs: dict = field(default_factory=dict)
+    #: TEN1: p99 admission-to-verdict latency bound (simulated seconds)
+    #: for *honest* tenants — a flooding tenant must not push the
+    #: others past it.  ``None`` disables the latency clause.
+    honest_p99_bound: float | None = None
+    #: TEN1: the flood must actually trip admission control (at least
+    #: one rejection, all of them charged to faulty tenants).
+    expect_rejections: bool = False
+    #: TEN2: a node driven faulty by one tenant's traffic must be
+    #: quarantined/evicted (with that tenant attributed in the audit
+    #: log) before another tenant's later run can schedule onto it.
+    expect_cross_tenant_quarantine: bool = False
+
+    def trace_text(self, seed: int) -> str:
+        from repro.service.bench import synth_trace
+
+        kwargs = dict(self.trace_kwargs)
+        kwargs["seed"] = 20131209 + seed
+        kwargs.setdefault("name", self.name)
+        return synth_trace(**kwargs)
+
+
 def build_fault_plan(scenario: Scenario, node_ids: list[NodeId]) -> FaultPlan:
     """Resolve a scenario's node faults against concrete node ids."""
     plan = FaultPlan()
@@ -276,7 +313,61 @@ def _scenario_list() -> list[Scenario]:
     ]
 
 
+def _service_scenario_list() -> list[ServiceScenario]:
+    return [
+        ServiceScenario(
+            name="tenant-flood",
+            description="one tenant floods 4x over quota; admission "
+            "rejects the excess, fair-share keeps the other tenants' "
+            "p99 latency bounded, and every honest run stays assured",
+            trace_kwargs={
+                "tenants": 4,
+                "jobs_per_tenant": 3,
+                "quota": 1,
+                "queue_limit": 2,
+                "faulty_tenants": 1,
+                "nodes": 10,
+                "rows": 24,
+                "arrival_period": 3.0,
+            },
+            honest_p99_bound=60.0,
+            expect_rejections=True,
+        ),
+        ServiceScenario(
+            name="cross-tenant-quarantine",
+            description="a flaky replica driven by the flooding tenant's "
+            "early traffic crosses the (lowered) quarantine threshold "
+            "before the honest tenants' later runs schedule — shared "
+            "suspicion amortized across tenants (Fig. 7, service tier)",
+            trace_kwargs={
+                "tenants": 3,
+                "jobs_per_tenant": 3,
+                "quota": 2,
+                "queue_limit": 2,
+                "faulty_tenants": 1,
+                "nodes": 10,
+                "rows": 24,
+                "arrival_period": 4.0,
+                "bft": {
+                    "quarantine_threshold": 0.2,
+                    "suspicion_threshold": 1.0,
+                    "suspicion_min_jobs": 2,
+                },
+                "faults": [
+                    {
+                        "kind": "flaky-commission",
+                        "node": 2,
+                        "params": {"probability": 0.9},
+                    }
+                ],
+            },
+            expect_cross_tenant_quarantine=True,
+        ),
+    ]
+
+
 SCENARIOS: dict[str, Scenario] = {s.name: s for s in _scenario_list()}
+SCENARIOS.update({s.name: s for s in _service_scenario_list()})
 
 DEFAULT_CAMPAIGN = (
     "baseline",
@@ -311,10 +402,17 @@ DURABILITY_CAMPAIGN = (
     "exhaustion",
 )
 
+#: Multi-tenant service-tier campaign (TEN1/TEN2 invariants).
+SERVICE_CAMPAIGN = (
+    "tenant-flood",
+    "cross-tenant-quarantine",
+)
+
 CAMPAIGNS: dict[str, tuple[str, ...]] = {
     "default": DEFAULT_CAMPAIGN,
     "smoke": SMOKE_CAMPAIGN,
     "durability": DURABILITY_CAMPAIGN,
+    "service": SERVICE_CAMPAIGN,
 }
 
 

@@ -65,6 +65,7 @@ from repro.core.graph_analyzer import input_ratios
 from repro.core.request_handler import RequestHandler
 from repro.bench.cli import add_bench_parser, cmd_bench
 from repro.lint.cli import add_lint_parser, cmd_lint
+from repro.service.cli import add_serve_parser, cmd_serve
 from repro.telemetry import Telemetry
 from repro.telemetry.analysis import diff_traces, summarize
 from repro.telemetry.export import (
@@ -249,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--top-nodes", type=int, default=16,
                         help="rows in the node timeline section")
 
+    add_serve_parser(sub)
     add_bench_parser(sub)
     add_lint_parser(sub)
     add_chaos_parser(sub)
@@ -552,6 +554,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_lint(args)
         if args.command == "chaos":
             return cmd_chaos(args)
+        if args.command == "serve":
+            return cmd_serve(args)
         return cmd_explain(args)
     except BrokenPipeError:
         # stdout piped to a pager/head that exited; not an error.

@@ -33,6 +33,16 @@ PROBE = "probe"
 RERUN = "rerun"
 COMMIT = "commit"
 EXHAUSTED = "exhausted"
+#: Crash damage observed while reopening a journal/ledger: the byte
+#: count of the torn tail the reopen truncated.  Dropped data is
+#: evidence of *when* the control tier died — it must land in the
+#: audit record, not vanish silently.
+TORN_TAIL = "torn_tail"
+#: Service-tier admission decisions (multi-tenant control plane).
+ADMIT = "admit"
+REJECT = "reject"
+ENQUEUE = "enqueue"
+DEQUEUE = "dequeue"
 
 _AUDIT_PREFIX = "audit."
 

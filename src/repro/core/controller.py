@@ -129,6 +129,40 @@ class _Attempt:
         return not self.plain_jobs_pending
 
 
+class _WaitWhile:
+    """Wait condition yielded by ``_assured_steps``: the run cannot make
+    control-tier progress while ``predicate()`` holds.  The single-run
+    wrapper blocks the event loop on it; the service tier polls it while
+    other tenants' runs keep the loop busy."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate) -> None:
+        self.predicate = predicate
+
+    def block(self, loop: EventLoop) -> None:
+        loop.run_while(self.predicate)
+
+    def pending(self, loop: EventLoop) -> bool:
+        return self.predicate()
+
+
+class _WaitUntil:
+    """Wait condition: the run resumes once the sim clock reaches
+    ``deadline`` (the digest-flush window after the drain)."""
+
+    __slots__ = ("deadline",)
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+
+    def block(self, loop: EventLoop) -> None:
+        loop.run_until(self.deadline)
+
+    def pending(self, loop: EventLoop) -> bool:
+        return loop.now < self.deadline
+
+
 class ClusterBFTController:
     """Owns the simulated deployment and runs scripts on it."""
 
@@ -176,6 +210,12 @@ class ClusterBFTController:
         self.journal = journal
         if journal is not None:
             journal.bind_tracer(self.telemetry.tracer)
+        #: Extra key/values merged into audit (and journal) records that
+        #: attribute shared-state changes — the service tier sets this to
+        #: ``{"tenant": ...}`` around each run step so evictions and
+        #: quarantines name the tenant whose traffic triggered them.
+        #: Empty outside the service tier (records are byte-identical).
+        self.audit_context: dict[str, object] = {}
         self._script_counter = 0
         # §6.4: drop the implicit-trust assumption for the control tier —
         # request handling is ordered through 3f+1 PBFT replicas, adding
@@ -360,11 +400,47 @@ class ClusterBFTController:
         resume: wal.ResumeState | None = None,
         strict: bool = False,
     ) -> ScriptResult:
+        """Single-run driver: block the event loop through every wait
+        condition the assured state machine yields.  Event-for-event
+        identical to the pre-generator controller — the service tier
+        (:mod:`repro.service`) drives the same generator cooperatively
+        to multiplex runs instead."""
+        steps = self._assured_steps(prepared, resume=resume, strict=strict)
+        try:
+            while True:
+                next(steps).block(self.loop)
+        except StopIteration as stop:
+            return stop.value
+
+    def _assured_steps(
+        self,
+        prepared: PreparedScript,
+        resume: wal.ResumeState | None = None,
+        strict: bool = False,
+        journal: wal.Journal | None = None,
+        script_id: str | None = None,
+        span_attrs: dict | None = None,
+    ):
+        """Generator form of assured execution.
+
+        Yields a wait condition (:class:`_WaitWhile` / :class:`_WaitUntil`)
+        whenever the control tier must let simulated time pass; the
+        caller decides how — ``run_while`` for an exclusive run,
+        condition polling from the service tick for multiplexed runs.
+        Returns the :class:`ScriptResult` via ``StopIteration.value``.
+
+        ``journal`` overrides ``self.journal`` so each multiplexed run
+        can write its own stream of a shared ledger; ``script_id`` lets
+        the service allocate ids at admission time; ``span_attrs`` adds
+        attribution (e.g. tenant) to the run span.
+        """
         cfg = prepared.config
-        journal = self.journal
-        script_id = (
-            resume.script_id if resume is not None else self._next_script_id()
-        )
+        if journal is None:
+            journal = self.journal
+        if script_id is None:
+            script_id = (
+                resume.script_id if resume is not None else self._next_script_id()
+            )
         start = self.loop.now
         tracer = self.telemetry.tracer
         run_span = tracer.begin(
@@ -375,6 +451,7 @@ class ClusterBFTController:
             replication=cfg.replication,
             jobs=len(prepared.job_graph.jobs),
             points=len(prepared.marked_vertices),
+            **(span_attrs or {}),
         )
         if journal is not None and resume is None:
             # Write-ahead: the run exists in the journal before any job
@@ -397,6 +474,7 @@ class ClusterBFTController:
             jobs=len(prepared.job_graph.jobs),
             replication=cfg.replication,
             points=len(prepared.marked_vertices),
+            **self.audit_context,
         )
         if self.frontend is not None:
             # The submission is ordered by the replicated request handler
@@ -491,6 +569,7 @@ class ClusterBFTController:
                         replication=replication,
                         jobs_rerun=len(pending),
                         jobs_reused=len(order) - len(pending),
+                        **self.audit_context,
                     )
             if not pending:
                 # Nothing left to run — e.g. a resume whose journal
@@ -529,7 +608,9 @@ class ClusterBFTController:
                 self.config.cost,
                 timeout,
                 on_verdict=lambda outcome, a=attempt: self._on_verdict(a, outcome),
-                on_late_fault=lambda sid, fault: self._on_late_fault(sid, fault),
+                on_late_fault=lambda sid, fault, j=journal: self._on_late_fault(
+                    sid, fault, journal=j
+                ),
                 telemetry=self.telemetry,
             )
             self._submit_attempt(
@@ -541,6 +622,7 @@ class ClusterBFTController:
                 verified_paths=verified_paths,
                 verifier=verifier,
                 attempt=attempt,
+                journal=journal,
             )
             # Global fail-safe: if stalled unverified jobs never finish,
             # end the attempt once every verification deadline has passed.
@@ -549,7 +631,7 @@ class ClusterBFTController:
                 lambda a=attempt: setattr(a, "force_end", True),
                 label=f"attempt-deadline:{script_id}:{attempt_index}",
             )
-            self.loop.run_while(lambda: not attempt.done())
+            yield _WaitWhile(lambda a=attempt: not a.done())
             # The force-end deadline can beat a verdict's delivery event;
             # pull any internally-decided outcomes so reruns see them.
             for sid in sorted(attempt.expected_verdicts - set(attempt.outcomes)):
@@ -571,7 +653,7 @@ class ClusterBFTController:
 
             outcomes = list(attempt.outcomes.values())
             all_outcomes.extend(outcomes)
-            self._apply_outcomes(prepared, attempt, outcomes)
+            self._apply_outcomes(prepared, attempt, outcomes, journal=journal)
 
             # Commit verified, output-covered jobs; record every VERIFIED
             # sid (committable or not) as settled.
@@ -597,6 +679,7 @@ class ClusterBFTController:
                         faulty_replicas=tuple(
                             fault.replica for fault in outcome.faults
                         ),
+                        **self.audit_context,
                     )
                 if outcome is None or outcome.status != VERIFIED:
                     continue
@@ -610,7 +693,13 @@ class ClusterBFTController:
                 # trusting any of them; no majority means the sid stays
                 # unsettled and the rerun escalation takes over.
                 winner = self._cross_checked_winner(
-                    attempt, outcome, script_id, attempt_index, job_index, spec
+                    attempt,
+                    outcome,
+                    script_id,
+                    attempt_index,
+                    job_index,
+                    spec,
+                    journal=journal,
                 )
                 if winner is None:
                     continue
@@ -641,6 +730,7 @@ class ClusterBFTController:
                     sid,
                     path=spec.output_path,
                     winner=winner,
+                    **self.audit_context,
                 )
 
             attempt_span.end(
@@ -721,6 +811,7 @@ class ClusterBFTController:
                 script_id,
                 attempts=attempts_used,
                 unsettled=tuple(unsettled),
+                **self.audit_context,
             )
         run_span.end(
             end=self.loop.now,
@@ -734,20 +825,20 @@ class ClusterBFTController:
         # the critical path.  The drain is bounded: replicas that cannot
         # make progress (e.g. their partition was evicted) are cancelled.
         drain_deadline = self.loop.now + cfg.verifier_timeout
-        self.loop.run_while(
+        yield _WaitWhile(
             lambda: self.loop.now < drain_deadline
             and any(run.is_active and not run.all_finished() for run in all_runs)
         )
         # Digest messages and verifier finalization trail task completion
         # by a few network hops — flush them, or late-replica faults
         # would never be attributed.
-        self.loop.run_until(
+        yield _WaitUntil(
             self.loop.now + 10 * self.config.cost.digest_network_seconds + 0.5
         )
         for run in all_runs:
             if run.state != "done":
                 self.engine.cancel(run)
-        self._evict_suspects()
+        self._evict_suspects(journal=journal)
         for run in all_runs:
             metrics.absorb_job(run.metrics)
         if self.telemetry.enabled:
@@ -812,6 +903,7 @@ class ClusterBFTController:
         verified_paths: dict[str, str],
         verifier: Verifier | None,
         attempt: _Attempt,
+        journal: wal.Journal | None = None,
     ) -> None:
         graph = prepared.job_graph
         internal = graph.internal_paths()
@@ -863,10 +955,10 @@ class ClusterBFTController:
                     chain |= attempt.chain_nodes.get((dep, replica), set())
             attempt.chain_nodes[(job_index, replica)] = chain
             if verifier is not None and job_has_verification(run.spec):
-                if self.journal is not None:
+                if journal is not None:
                     # Write-ahead: the digest receipt is journaled before
                     # the verifier acts on it.
-                    self.journal.append(
+                    journal.append(
                         wal.DIGEST,
                         sid=run.sid,
                         replica=replica,
@@ -917,11 +1009,15 @@ class ClusterBFTController:
     def _on_verdict(self, attempt: _Attempt, outcome: VerificationOutcome) -> None:
         attempt.outcomes[outcome.sid] = outcome
 
-    def _on_late_fault(self, sid: str, fault) -> None:
+    def _on_late_fault(
+        self, sid: str, fault, journal: wal.Journal | None = None
+    ) -> None:
         """A replica that finished after its sid's verdict disagreed with
         the winning digest vector."""
-        if self.journal is not None:
-            self.journal.append(
+        if journal is None:
+            journal = self.journal
+        if journal is not None:
+            journal.append(
                 wal.LATE_FAULT,
                 sid=sid,
                 replica=fault.replica,
@@ -943,14 +1039,17 @@ class ClusterBFTController:
         prepared: PreparedScript,
         attempt: _Attempt,
         outcomes: list[VerificationOutcome],
+        journal: wal.Journal | None = None,
     ) -> None:
+        if journal is None:
+            journal = self.journal
         for outcome in outcomes:
             if outcome.status == VERIFIED:
                 # Losers are *known* faulty clusters: quorum proved the
                 # correct digests, these replicas disagreed.
                 for fault in outcome.faults:
-                    if self.journal is not None:
-                        self.journal.append(
+                    if journal is not None:
+                        journal.append(
                             wal.FAULT,
                             sid=outcome.sid,
                             replica=fault.replica,
@@ -964,6 +1063,7 @@ class ClusterBFTController:
                         replica=fault.replica,
                         fault_kind=fault.kind,
                         nodes=tuple(sorted(fault.nodes)),
+                        **self.audit_context,
                     )
                     self.suspicion.record_fault(set(fault.nodes))
                     if fault.kind == COMMISSION:
@@ -981,17 +1081,17 @@ class ClusterBFTController:
         # live inside its suspect set — exonerate the rest (paper §4.3).
         if self.fault_analyzer.saturated:
             cleared = self.suspicion.suspects() - self.fault_analyzer.suspects()
-            if self.journal is not None:
+            if journal is not None:
                 # The analyzer's conclusion, journaled before it acts
                 # (exoneration mutates suspicion levels).
-                self.journal.append(
+                journal.append(
                     wal.ANALYZER,
                     suspects=sorted(self.fault_analyzer.suspects()),
                     cleared=sorted(cleared),
                 )
             if cleared:
                 self.suspicion.clear_faults(cleared)
-        self._evict_suspects()
+        self._evict_suspects(journal=journal)
         if self.telemetry.enabled:
             self._publish_suspicion_gauges()
 
@@ -1017,6 +1117,7 @@ class ClusterBFTController:
         attempt_index: int,
         job_index: int,
         spec,
+        journal: wal.Journal | None = None,
     ) -> int | None:
         """Content cross-check over the digest quorum's winner replicas.
 
@@ -1052,10 +1153,12 @@ class ClusterBFTController:
             if replicas is not majority
             for replica in replicas
         )
+        if journal is None:
+            journal = self.journal
         for replica in divergent:
             nodes = attempt.chain_nodes.get((job_index, replica), set())
-            if self.journal is not None:
-                self.journal.append(
+            if journal is not None:
+                journal.append(
                     wal.FAULT,
                     sid=outcome.sid,
                     replica=replica,
@@ -1069,6 +1172,7 @@ class ClusterBFTController:
                 replica=replica,
                 fault_kind="equivocation",
                 nodes=tuple(sorted(nodes)),
+                **self.audit_context,
             )
             if nodes:
                 self.suspicion.record_fault(set(nodes))
@@ -1083,8 +1187,10 @@ class ClusterBFTController:
             return None
         return min(majority)
 
-    def _evict_suspects(self) -> None:
+    def _evict_suspects(self, journal: wal.Journal | None = None) -> None:
         cfg = self.config.bft
+        if journal is None:
+            journal = self.journal
         # Sorted: audit-entry order must not depend on set iteration
         # (string hashing is salted per process — byte-identical trace
         # replays need a canonical order).
@@ -1093,12 +1199,13 @@ class ClusterBFTController:
             if state.jobs_executed < cfg.suspicion_min_jobs:
                 continue
             if not self.cluster.node(node_id).excluded:
-                if self.journal is not None:
-                    self.journal.append(
+                if journal is not None:
+                    journal.append(
                         wal.EVICTION,
                         node=node_id,
                         suspicion=round(state.level, 3),
                         jobs=state.jobs_executed,
+                        **self.audit_context,
                     )
                 self.cluster.exclude(node_id)
                 self.audit.record(
@@ -1107,6 +1214,7 @@ class ClusterBFTController:
                     node_id,
                     suspicion=round(state.level, 3),
                     jobs=state.jobs_executed,
+                    **self.audit_context,
                 )
         if cfg.quarantine_threshold is None:
             return
@@ -1118,12 +1226,13 @@ class ClusterBFTController:
                 continue  # eviction supersedes quarantine
             if self.scheduler.is_quarantined(node_id):
                 continue
-            if self.journal is not None:
-                self.journal.append(
+            if journal is not None:
+                journal.append(
                     wal.QUARANTINE,
                     node=node_id,
                     suspicion=round(state.level, 3),
                     jobs=state.jobs_executed,
+                    **self.audit_context,
                 )
             self.scheduler.quarantine(node_id)
             self.audit.record(
@@ -1132,6 +1241,7 @@ class ClusterBFTController:
                 node_id,
                 suspicion=round(state.level, 3),
                 jobs=state.jobs_executed,
+                **self.audit_context,
             )
 
     def _publish_suspicion_gauges(self) -> None:

@@ -228,6 +228,10 @@ class Journal:
         self.crash_hook = crash_hook
         self._tracer = None
         self.run_started = False
+        #: Bytes of torn tail :meth:`reopen` truncated before appending
+        #: (0 for a fresh or clean journal).  Callers surface this in the
+        #: audit log — dropped crash damage is evidence, not noise.
+        self.torn_bytes_truncated = 0
 
     # -- construction ---------------------------------------------------
 
@@ -288,15 +292,19 @@ class Journal:
         poisons every later read.  Records are newline-terminated, so
         everything after the last newline is the torn tail.
         """
+        torn_bytes = 0
         with open(path, "rb+") as raw:
             data = raw.read()
             keep = data.rfind(b"\n") + 1
             if keep < len(data):
+                torn_bytes = len(data) - keep
                 raw.truncate(keep)
                 raw.flush()
                 os.fsync(raw.fileno())
         handle = open(path, "a")
-        return cls(path, handle, next_seq=next_seq, crash_hook=crash_hook)
+        journal = cls(path, handle, next_seq=next_seq, crash_hook=crash_hook)
+        journal.torn_bytes_truncated = torn_bytes
+        return journal
 
     # -- plumbing -------------------------------------------------------
 

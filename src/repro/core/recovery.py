@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from repro.common.records import Record
 from repro.core import journal as wal
+from repro.core.audit import TORN_TAIL
 from repro.core.controller import ClusterBFTController, ScriptResult
 from repro.core.fault_analyzer import FaultAnalyzer
 from repro.core.request_handler import RequestHandler
@@ -153,6 +154,19 @@ def resume_run(
         telemetry=telemetry,
         journal=journal,
     )
+    if journal.torn_bytes_truncated:
+        # Crash damage is evidence: the reopen dropped a torn final
+        # line — surface how much, in the warnings *and* the audit log.
+        warnings.append(
+            f"journal tail truncated: dropped {journal.torn_bytes_truncated} "
+            "byte(s) of torn final record"
+        )
+        controller.audit.record(
+            controller.loop.now,
+            TORN_TAIL,
+            path,
+            bytes_truncated=journal.torn_bytes_truncated,
+        )
     for dfs_path, rows in header["inputs"].items():
         controller.load_input(dfs_path, wal.records_from_json(rows))
 

@@ -39,6 +39,13 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:
         help="check a Pig-subset script's plan instead (Layer 2)",
     )
     lint.add_argument(
+        "--service-trace",
+        metavar="TRACE.json",
+        default=None,
+        help="check a service tenant-trace's admission config instead "
+        "(PLAN008: zero quotas, unknown workloads, malformed arrivals)",
+    )
+    lint.add_argument(
         "-f",
         type=int,
         default=1,
@@ -144,13 +151,31 @@ def _plan_report(args) -> LintReport:
     return report
 
 
+def _service_trace_report(args) -> LintReport:
+    from repro.lint.plan_rules import check_service_trace
+
+    report = LintReport(files_checked=1)
+    try:
+        with open(args.service_trace) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"repro lint: cannot read trace: {exc}")
+    report.extend(check_service_trace(text, args.service_trace))
+    return report
+
+
 def cmd_lint(args) -> int:
     if args.list_rules:
         return _list_rules()
     if args.plan is not None:
         return _emit(_plan_report(args), args)
+    if args.service_trace is not None:
+        return _emit(_service_trace_report(args), args)
     if not args.paths:
-        raise SystemExit("repro lint: give PATH arguments or --plan SCRIPT")
+        raise SystemExit(
+            "repro lint: give PATH arguments, --plan SCRIPT, or "
+            "--service-trace TRACE.json"
+        )
     rules = None
     if args.select:
         rules = rules_by_id([s.strip() for s in args.select.split(",") if s.strip()])

@@ -18,6 +18,8 @@ Rule catalogue::
     PLAN005  unused alias (vertex never reaches a STORE)
     PLAN006  sink not covered by a verification point
     PLAN007  replication degree outside {f+1, 2f+1, 3f+1}
+    PLAN008  service tenant-trace admission config problem
+             (zero quota, unknown workload, malformed arrivals)
 """
 
 from __future__ import annotations
@@ -141,6 +143,36 @@ def check_config(config, path: str = "<config>") -> list[Diagnostic]:
                 "(f+1 optimistic, 2f+1 no-omission, 3f+1 full BFT)"
             ),
         )
+    ]
+
+
+def check_service_trace(text: str, path: str = "<trace>") -> list[Diagnostic]:
+    """PLAN008: static admission-config check over a tenant trace.
+
+    The same fail-closed validation the service applies at load time
+    (:func:`repro.service.tenants.trace_problems`) — a trace declaring
+    a zero quota, referencing an unknown workload, or carrying
+    malformed arrivals would be refused by ``repro serve``, so the
+    linter flags it before anything runs.
+    """
+    import json as _json
+
+    from repro.service.tenants import trace_problems
+
+    try:
+        data = _json.loads(text)
+    except ValueError as exc:
+        return [
+            Diagnostic(
+                rule="PLAN008",
+                path=path,
+                line=getattr(exc, "lineno", 0) or 0,
+                message=f"tenant trace is not valid JSON: {exc}",
+            )
+        ]
+    return [
+        Diagnostic(rule="PLAN008", path=path, line=0, message=problem)
+        for problem in trace_problems(data)
     ]
 
 

@@ -212,6 +212,156 @@ class ClusterBFTScheduler(TaskScheduler):
         return assignments
 
 
+class FairShareScheduler(TaskScheduler):
+    """Deficit-round-robin fairness across tenants over an inner scheduler.
+
+    The service tier (:mod:`repro.service`) multiplexes many tenants'
+    runs on one engine; without fairness a tenant submitting wide jobs
+    first would monopolize every heartbeat's free slots.  This wrapper
+    reorders the runnable runs each heartbeat by per-tenant *deficit
+    counter* — each tenant with runnable work earns ``quantum`` credit
+    per assignment round, each task assigned spends one credit, and the
+    most-credited tenant goes first — then delegates the actual task
+    choice (anti-collocation pins, overlap preference, locality) to the
+    wrapped scheduler unchanged.  Credit is capped so a long-idle tenant
+    cannot bank unbounded priority and starve everyone on return.
+
+    Optional per-tenant *slot budgets* bound concurrent task slots: a
+    tenant at/over budget is skipped for the round (re-eligible next
+    heartbeat, so the overshoot is at most one node's free slots).
+
+    Quarantine state lives in the wrapped scheduler — there is exactly
+    one quarantine set per deployment, shared by every tenant (the
+    cross-run payoff of paper Fig. 7).
+    """
+
+    def __init__(
+        self,
+        inner: TaskScheduler | None = None,
+        quantum: float = 1.0,
+        max_credit: float = 16.0,
+    ) -> None:
+        self.inner = inner if inner is not None else ClusterBFTScheduler()
+        self.quantum = quantum
+        self.max_credit = max_credit
+        #: script_id -> tenant name (runs with no owner share tenant "").
+        self._owner: dict[str, str] = {}
+        self._deficit: dict[str, float] = {}
+        self._budget: dict[str, int] = {}
+        self._engine = None
+
+    # -- shared-state delegation (one quarantine set, one cluster) ------
+
+    def bind_telemetry(self, telemetry) -> None:
+        super().bind_telemetry(telemetry)
+        self.inner.bind_telemetry(telemetry)
+
+    def set_cluster(self, cluster) -> None:
+        if hasattr(self.inner, "set_cluster"):
+            self.inner.set_cluster(cluster)
+
+    @property
+    def quarantined(self):  # type: ignore[override]
+        return self.inner.quarantined
+
+    def quarantine(self, node_id: NodeId) -> None:
+        self.inner.quarantine(node_id)
+
+    def release(self, node_id: NodeId) -> None:
+        self.inner.release(node_id)
+
+    def is_quarantined(self, node_id: NodeId) -> bool:
+        return self.inner.is_quarantined(node_id)
+
+    def eligible(self, node: WorkerNode, run: "JobRun") -> bool:
+        return self.inner.eligible(node, run)
+
+    def note_assignment(self, node: WorkerNode, ref: TaskRef) -> None:
+        self.inner.note_assignment(node, ref)
+
+    # -- tenancy registration ------------------------------------------
+
+    def register_owner(self, script_id: str, tenant: str) -> None:
+        """Attribute runs whose sid starts with ``script_id`` to ``tenant``."""
+        self._owner[script_id] = tenant
+        self._deficit.setdefault(tenant, 0.0)
+
+    def set_slot_budget(self, tenant: str, slots: int | None) -> None:
+        """Cap ``tenant`` at ``slots`` concurrent task slots (None lifts)."""
+        if slots is None:
+            self._budget.pop(tenant, None)
+        else:
+            self._budget[tenant] = slots
+
+    def observe_engine(self, engine) -> None:
+        """Bind the engine whose run list backs slot-budget accounting."""
+        self._engine = engine
+
+    def tenant_of(self, run: "JobRun") -> str:
+        return self._owner.get(run.sid.split(".", 1)[0], "")
+
+    def _slots_in_use(self) -> dict[str, int]:
+        """Concurrent task slots per tenant, counted from engine state.
+
+        Derived on demand rather than tracked incrementally: crashes,
+        cancellations and omissions all mutate task states outside any
+        scheduler callback, and a drifting counter here would silently
+        unbalance tenants.  OMITTED tasks count — they occupy a node
+        slot forever, which is exactly the omission failure mode.
+        """
+        in_use: dict[str, int] = {}
+        if self._engine is None:
+            return in_use
+        for run in self._engine.runs:
+            if not run.is_active:
+                continue
+            busy = sum(
+                1
+                for state in list(run.map_states) + list(run.reduce_states)
+                if state.status in ("running", "omitted")
+            )
+            if busy:
+                tenant = self.tenant_of(run)
+                in_use[tenant] = in_use.get(tenant, 0) + busy
+        return in_use
+
+    # -- the fair-share round ------------------------------------------
+
+    def assign(self, node: WorkerNode, runs: list["JobRun"]) -> list[TaskRef]:
+        order: list[str] = []
+        by_tenant: dict[str, list["JobRun"]] = {}
+        for run in runs:
+            tenant = self.tenant_of(run)
+            if tenant not in by_tenant:
+                by_tenant[tenant] = []
+                order.append(tenant)
+            by_tenant[tenant].append(run)
+        if len(order) <= 1:
+            # Single tenant (or the single-run controller): plain
+            # delegation, no credit bookkeeping to perturb.
+            return self.inner.assign(node, runs)
+
+        in_use = self._slots_in_use()
+        contenders: list[str] = []
+        for tenant in order:
+            budget = self._budget.get(tenant)
+            if budget is not None and in_use.get(tenant, 0) >= budget:
+                continue  # at budget: sit this round out
+            self._deficit[tenant] = min(
+                self._deficit.get(tenant, 0.0) + self.quantum, self.max_credit
+            )
+            contenders.append(tenant)
+        # Most-credited first; ties break by tenant name so the round
+        # order never depends on dict iteration history.
+        contenders.sort(key=lambda t: (-self._deficit.get(t, 0.0), t))
+        ordered_runs = [run for tenant in contenders for run in by_tenant[tenant]]
+        refs = self.inner.assign(node, ordered_runs)
+        for ref in refs:
+            tenant = self.tenant_of(ref.run)
+            self._deficit[tenant] = self._deficit.get(tenant, 0.0) - 1.0
+        return refs
+
+
 def _first_task(node: WorkerNode, runs: list["JobRun"], run_filter) -> TaskRef | None:
     """First ready task over runs in submission order; map tasks prefer
     blocks with a replica on this node (data locality)."""

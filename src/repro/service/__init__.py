@@ -1,0 +1,59 @@
+"""Multi-tenant control-plane service: ClusterBFT-as-a-service.
+
+The single-run controller (:mod:`repro.core.controller`) assures one
+script per process.  This package is the tier above it — a long-lived,
+deterministic sim-time service loop that admits *streams* of jobs from
+many tenants and multiplexes their assured runs over one shared
+deployment:
+
+* :mod:`repro.service.tenants` — tenant-trace schema, quota types and
+  the named workload catalog (fail-closed validation shared with
+  ``repro lint`` PLAN008);
+* :mod:`repro.service.admission` — per-tenant quotas with fail-closed
+  rejection and bounded FIFO queues;
+* :mod:`repro.service.ledger` — one durable append-only ledger file
+  multiplexing every run's journal stream (run-id-tagged records);
+* :mod:`repro.service.loop` — the service orchestrator: arrival events,
+  run drivers over the controller's assured-step generator, fair-share
+  dispatch, shared suspicion/quarantine, crash-resume by deterministic
+  replay;
+* :mod:`repro.service.bench` — the open-loop traffic benchmark behind
+  ``repro serve --bench`` / ``BENCH_service_traffic.json``;
+* :mod:`repro.service.cli` — the ``repro serve`` subcommand.
+
+The whole tier shares the single-run determinism contract: one event
+loop, seeded randomness, no wall clock — the ledger of a trace is
+byte-identical across re-executions, and resuming a crashed service
+replays the trace against the durable prefix (verifying every record)
+to reproduce the uninterrupted ledger exactly.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.ledger import LedgerError, MultiplexedLedger, read_ledger
+from repro.service.loop import ClusterBFTService, ServiceResult, run_trace
+from repro.service.tenants import (
+    WORKLOADS,
+    JobRequest,
+    ServiceTrace,
+    TenantQuota,
+    TenantSpec,
+    parse_trace,
+    trace_problems,
+)
+
+__all__ = [
+    "AdmissionController",
+    "ClusterBFTService",
+    "JobRequest",
+    "LedgerError",
+    "MultiplexedLedger",
+    "ServiceResult",
+    "ServiceTrace",
+    "TenantQuota",
+    "TenantSpec",
+    "WORKLOADS",
+    "parse_trace",
+    "read_ledger",
+    "run_trace",
+    "trace_problems",
+]

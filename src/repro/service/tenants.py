@@ -1,0 +1,433 @@
+"""Tenant traces: who submits what, when, under which quota.
+
+A *tenant trace* is the service's whole input — a JSON document naming
+the deployment shape, the cluster fault mix, and per-tenant job
+streams.  Traces are pure data (absolute sim-time arrivals, named
+workloads, literal quotas) so a service run is reproducible from its
+trace and seed alone, and so ``repro lint`` can check admission
+configuration statically (PLAN008) with the same validation the
+service applies fail-closed at load time.
+
+Trace document shape::
+
+    {
+      "name": "three-tenants",
+      "seed": 7,
+      "cluster": {"nodes": 12, "slots": 3, "heartbeat": 0.4},
+      "bft": {"f": 1, "replication": 4, "quarantine_threshold": 0.45},
+      "faults": [{"kind": "flaky-commission", "node": 3,
+                  "params": {"probability": 0.8}}],
+      "tenants": [
+        {"tenant": "alice", "faulty": false,
+         "quota": {"max_concurrent": 2, "queue_limit": 4,
+                   "slot_budget": 18},
+         "jobs": [{"at": 0.0, "workload": "groupcount", "rows": 160}]}
+      ]
+    }
+
+Workloads are named templates from :data:`WORKLOADS`; per-run input and
+output paths are substituted at admission so tenants never share DFS
+paths.  A ``faulty`` tenant models adversarial traffic — its
+submissions are the ones that first exercise the cluster's faulty
+replicas (and, in flood traces, violate quota); the service's *shared*
+suspicion state quarantines the nodes its runs implicate, so honest
+tenants arriving later never schedule onto them (paper Fig. 7,
+amortized across tenants).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.common.config import (
+    ClusterBFTConfig,
+    ClusterConfig,
+    SystemConfig,
+)
+from repro.common.errors import ConfigError
+from repro.common.records import Record, records_from_rows
+from repro.common.rng import RngRegistry
+from repro.faults.behaviors import (
+    CommissionBehavior,
+    CrashBehavior,
+    EquivocateBehavior,
+    FlakyCommissionBehavior,
+    OmissionBehavior,
+    SlowBehavior,
+    StorageCorruptionBehavior,
+)
+from repro.faults.injection import FaultPlan
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named script template; ``{input}``/``{output}`` are
+    substituted with per-run DFS paths at admission."""
+
+    name: str
+    description: str
+    template: str
+    #: Number of MapReduce jobs the compiled template produces (what a
+    #: slot budget should be sized against).
+    jobs: int
+
+
+WORKLOADS: dict[str, Workload] = {
+    "groupcount": Workload(
+        name="groupcount",
+        description="filter + group-by + count (2 jobs, verifiable sink)",
+        template="""
+A = LOAD '{input}' AS (k:int, v:int);
+B = FILTER A BY v IS NOT NULL;
+G = GROUP B BY k;
+C = FOREACH G GENERATE group AS k, COUNT(B) AS n;
+STORE C INTO '{output}';
+""",
+        jobs=2,
+    ),
+    "select": Workload(
+        name="select",
+        description="filter projection (1 map-only job)",
+        template="""
+A = LOAD '{input}' AS (k:int, v:int);
+B = FILTER A BY v > 100;
+STORE B INTO '{output}';
+""",
+        jobs=1,
+    ),
+    "distinctcount": Workload(
+        name="distinctcount",
+        description="distinct + group-by + count (heavier two-phase job)",
+        template="""
+A = LOAD '{input}' AS (k:int, v:int);
+D = DISTINCT A;
+G = GROUP D BY k;
+C = FOREACH G GENERATE group AS k, COUNT(D) AS n;
+STORE C INTO '{output}';
+""",
+        jobs=2,
+    ),
+}
+
+#: Fault kinds a trace may assign to worker nodes (mirrors the chaos
+#: scenario vocabulary; network faults are a chaos-only concern).
+FAULT_BEHAVIORS = {
+    "commission": CommissionBehavior,
+    "flaky-commission": FlakyCommissionBehavior,
+    "omission": OmissionBehavior,
+    "slow": SlowBehavior,
+    "crash": CrashBehavior,
+    "equivocate": EquivocateBehavior,
+    "storage-rot": StorageCorruptionBehavior,
+}
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant (fail-closed: a zero
+    ``max_concurrent`` admits nothing, ever)."""
+
+    max_concurrent: int = 1
+    #: Jobs that may wait in the tenant's FIFO queue; arrivals beyond
+    #: it are rejected (bounded queue — open-loop traffic cannot grow
+    #: service state without bound).
+    queue_limit: int = 0
+    #: Concurrent task-slot cap enforced by the fair-share scheduler
+    #: (``None`` = unbounded).
+    slot_budget: int | None = None
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job arrival in the trace."""
+
+    tenant: str
+    index: int  # per-tenant submission ordinal
+    at: float  # absolute sim-time arrival
+    workload: str
+    rows: int
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    name: str
+    quota: TenantQuota
+    jobs: tuple[JobRequest, ...] = ()
+    #: Adversarial-traffic marker (see module docstring).
+    faulty: bool = False
+
+
+@dataclass(frozen=True)
+class ServiceTrace:
+    """A parsed, validated tenant trace."""
+
+    name: str
+    seed: int
+    tenants: tuple[TenantSpec, ...]
+    num_nodes: int = 12
+    slots_per_node: int = 3
+    heartbeat_period: float = 0.4
+    f: int = 1
+    replication: int = 4
+    verifier_timeout: float = 60.0
+    suspicion_threshold: float = 0.95
+    quarantine_threshold: float | None = 0.45
+    suspicion_min_jobs: int = 3
+    max_reruns: int = 3
+    #: (kind, node index, params) worker faults.
+    faults: tuple[tuple[str, int, tuple[tuple[str, object], ...]], ...] = ()
+    #: The raw JSON text the trace was parsed from — embedded verbatim
+    #: in the ledger header so a ledger is self-describing and resume
+    #: needs no side files.
+    text: str = field(default="", compare=False)
+
+    def system_config(self) -> SystemConfig:
+        return SystemConfig(
+            cluster=ClusterConfig(
+                num_nodes=self.num_nodes,
+                slots_per_node=self.slots_per_node,
+                heartbeat_period=self.heartbeat_period,
+            ),
+            bft=ClusterBFTConfig(
+                f=self.f,
+                replication=self.replication,
+                verifier_timeout=self.verifier_timeout,
+                suspicion_threshold=self.suspicion_threshold,
+                quarantine_threshold=self.quarantine_threshold,
+                suspicion_min_jobs=self.suspicion_min_jobs,
+                max_reruns=self.max_reruns,
+            ),
+            seed=self.seed,
+        ).validate()
+
+    def fault_plan(self) -> FaultPlan:
+        plan = FaultPlan()
+        for kind, node_index, params in self.faults:
+            node_id = f"node_{node_index:04d}"
+            plan.assign(node_id, FAULT_BEHAVIORS[kind](**dict(params)))
+        return plan
+
+    def requests(self) -> list[JobRequest]:
+        """Every arrival, in deterministic service order: by time, then
+        tenant name, then per-tenant ordinal."""
+        out = [req for tenant in self.tenants for req in tenant.jobs]
+        out.sort(key=lambda r: (r.at, r.tenant, r.index))
+        return out
+
+    def quotas(self) -> dict[str, TenantQuota]:
+        return {tenant.name: tenant.quota for tenant in self.tenants}
+
+
+def workload_records(seed: int, tenant: str, index: int, rows: int) -> list[Record]:
+    """Deterministic input rows for one job, keyed by (seed, tenant,
+    ordinal) so no two jobs — and no two seeds — share a stream."""
+    rng = RngRegistry(seed).stream(f"service/workload/{tenant}/{index}")
+    return records_from_rows(
+        [(rng.randrange(8), rng.randrange(1000)) for _ in range(rows)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# validation (shared by parse_trace and `repro lint` PLAN008)
+# ---------------------------------------------------------------------------
+
+
+def trace_problems(data: object) -> list[str]:
+    """Structural/admission-config problems of a trace document.
+
+    Returns human-readable problem strings (empty = valid).  This is
+    the single source of truth: :func:`parse_trace` refuses any trace
+    with problems (fail-closed), and ``repro lint`` PLAN008 reports the
+    same list statically.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["trace document must be a JSON object"]
+    tenants = data.get("tenants")
+    if not isinstance(tenants, list) or not tenants:
+        return ["trace must declare a non-empty 'tenants' list"]
+    seen: set[str] = set()
+    for position, entry in enumerate(tenants):
+        if not isinstance(entry, dict):
+            problems.append(f"tenants[{position}] must be an object")
+            continue
+        name = entry.get("tenant")
+        label = name if isinstance(name, str) and name else f"tenants[{position}]"
+        if not isinstance(name, str) or not name:
+            problems.append(f"tenants[{position}] missing 'tenant' name")
+        elif name in seen:
+            problems.append(f"duplicate tenant {name!r}")
+        else:
+            seen.add(name)
+        quota = entry.get("quota", {})
+        if not isinstance(quota, dict):
+            problems.append(f"tenant {label}: 'quota' must be an object")
+            quota = {}
+        max_concurrent = quota.get("max_concurrent", 1)
+        if not isinstance(max_concurrent, int) or max_concurrent <= 0:
+            problems.append(
+                f"tenant {label}: quota max_concurrent={max_concurrent!r} "
+                "admits nothing (fail-closed admission rejects every job)"
+            )
+        queue_limit = quota.get("queue_limit", 0)
+        if not isinstance(queue_limit, int) or queue_limit < 0:
+            problems.append(
+                f"tenant {label}: queue_limit={queue_limit!r} must be an "
+                "integer >= 0"
+            )
+        slot_budget = quota.get("slot_budget")
+        if slot_budget is not None and (
+            not isinstance(slot_budget, int) or slot_budget <= 0
+        ):
+            problems.append(
+                f"tenant {label}: slot_budget={slot_budget!r} must be a "
+                "positive integer or omitted"
+            )
+        jobs = entry.get("jobs", [])
+        if not isinstance(jobs, list):
+            problems.append(f"tenant {label}: 'jobs' must be a list")
+            jobs = []
+        last_at = None
+        for job_position, job in enumerate(jobs):
+            if not isinstance(job, dict):
+                problems.append(
+                    f"tenant {label}: jobs[{job_position}] must be an object"
+                )
+                continue
+            workload = job.get("workload")
+            if workload not in WORKLOADS:
+                known = ", ".join(sorted(WORKLOADS))
+                problems.append(
+                    f"tenant {label}: jobs[{job_position}] references "
+                    f"unknown workload {workload!r} (known: {known})"
+                )
+            at = job.get("at", 0.0)
+            if not isinstance(at, (int, float)) or at < 0:
+                problems.append(
+                    f"tenant {label}: jobs[{job_position}] arrival "
+                    f"at={at!r} must be a number >= 0"
+                )
+            elif last_at is not None and at < last_at:
+                problems.append(
+                    f"tenant {label}: jobs[{job_position}] arrives at "
+                    f"{at} before its predecessor at {last_at} (per-tenant "
+                    "arrivals must be non-decreasing — FIFO queues assume it)"
+                )
+            else:
+                last_at = at
+            rows = job.get("rows", 160)
+            if not isinstance(rows, int) or rows <= 0:
+                problems.append(
+                    f"tenant {label}: jobs[{job_position}] rows={rows!r} "
+                    "must be a positive integer"
+                )
+    faults = data.get("faults", [])
+    if not isinstance(faults, list):
+        problems.append("'faults' must be a list")
+        faults = []
+    for position, spec in enumerate(faults):
+        if not isinstance(spec, dict):
+            problems.append(f"faults[{position}] must be an object")
+            continue
+        kind = spec.get("kind")
+        if kind not in FAULT_BEHAVIORS:
+            known = ", ".join(sorted(FAULT_BEHAVIORS))
+            problems.append(
+                f"faults[{position}] unknown kind {kind!r} (known: {known})"
+            )
+        node = spec.get("node")
+        if not isinstance(node, int) or node < 0:
+            problems.append(
+                f"faults[{position}] node={node!r} must be an integer >= 0"
+            )
+    return problems
+
+
+def parse_trace(text: str, name: str = "trace") -> ServiceTrace:
+    """Parse and validate a trace document (fail-closed).
+
+    Raises :class:`~repro.common.errors.ConfigError` on the first sign
+    of a malformed or unsafe admission configuration — a service must
+    never start admitting under a quota it cannot enforce.
+    """
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ConfigError(f"trace {name}: not valid JSON: {exc}")
+    problems = trace_problems(data)
+    if problems:
+        raise ConfigError(
+            f"trace {name}: invalid ({'; '.join(problems[:4])}"
+            + (f"; +{len(problems) - 4} more)" if len(problems) > 4 else ")")
+        )
+    cluster = data.get("cluster", {})
+    bft = data.get("bft", {})
+    tenants = []
+    for entry in data["tenants"]:
+        quota_data = entry.get("quota", {})
+        quota = TenantQuota(
+            max_concurrent=quota_data.get("max_concurrent", 1),
+            queue_limit=quota_data.get("queue_limit", 0),
+            slot_budget=quota_data.get("slot_budget"),
+        )
+        tenant_name = entry["tenant"]
+        jobs = tuple(
+            JobRequest(
+                tenant=tenant_name,
+                index=index,
+                at=float(job.get("at", 0.0)),
+                workload=job["workload"],
+                rows=job.get("rows", 160),
+            )
+            for index, job in enumerate(entry.get("jobs", []))
+        )
+        tenants.append(
+            TenantSpec(
+                name=tenant_name,
+                quota=quota,
+                jobs=jobs,
+                faulty=bool(entry.get("faulty", False)),
+            )
+        )
+    faults = tuple(
+        (
+            spec["kind"],
+            spec["node"],
+            tuple(sorted((spec.get("params") or {}).items())),
+        )
+        for spec in data.get("faults", [])
+    )
+    defaults = ServiceTrace(name="", seed=0, tenants=())
+    trace = ServiceTrace(
+        name=data.get("name", name),
+        seed=int(data.get("seed", 20131209)),
+        tenants=tuple(tenants),
+        num_nodes=cluster.get("nodes", defaults.num_nodes),
+        slots_per_node=cluster.get("slots", defaults.slots_per_node),
+        heartbeat_period=cluster.get("heartbeat", defaults.heartbeat_period),
+        f=bft.get("f", defaults.f),
+        replication=bft.get("replication", defaults.replication),
+        verifier_timeout=bft.get("verifier_timeout", defaults.verifier_timeout),
+        suspicion_threshold=bft.get(
+            "suspicion_threshold", defaults.suspicion_threshold
+        ),
+        quarantine_threshold=bft.get(
+            "quarantine_threshold", defaults.quarantine_threshold
+        ),
+        suspicion_min_jobs=bft.get(
+            "suspicion_min_jobs", defaults.suspicion_min_jobs
+        ),
+        max_reruns=bft.get("max_reruns", defaults.max_reruns),
+        faults=faults,
+        text=text,
+    )
+    trace.system_config()  # config-level validation (fail-closed too)
+    max_node = trace.num_nodes - 1
+    for kind, node_index, _ in trace.faults:
+        if node_index > max_node:
+            raise ConfigError(
+                f"trace {name}: fault {kind!r} targets node {node_index} "
+                f"but the cluster has {trace.num_nodes} nodes"
+            )
+    return trace

@@ -20,6 +20,7 @@ backing ``repro trace --diff a.jsonl b.jsonl``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -218,6 +219,23 @@ def last_gauge_value(
     """Final value of a gauge series (``default`` when never sampled)."""
     points = gauge_series(records, name, **labels)
     return points[-1][1] if points else default
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
+
+    Deterministic and interpolation-free so benchmark baselines can be
+    gated exactly: the result is always a member of ``values``.
+    """
+    if not values:
+        raise ValueError("percentile of empty series")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
 
 
 def first_event(records: list[dict], name: str) -> dict | None:

@@ -6,9 +6,11 @@ from repro.chaos.scenarios import (
     CAMPAIGNS,
     DEFAULT_CAMPAIGN,
     SCENARIOS,
+    SERVICE_CAMPAIGN,
     SMOKE_CAMPAIGN,
     FaultSpec,
     Scenario,
+    ServiceScenario,
     build_fault_plan,
     resolve_scenarios,
 )
@@ -49,7 +51,15 @@ class TestResolution:
 class TestScenarioConfigs:
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_every_scenario_config_validates(self, name):
-        SCENARIOS[name].system_config(seed=1)
+        scenario = SCENARIOS[name]
+        if isinstance(scenario, ServiceScenario):
+            # Service scenarios validate through the fail-closed trace
+            # parser instead of a SystemConfig.
+            from repro.service.tenants import parse_trace
+
+            parse_trace(scenario.trace_text(seed=1), name=name)
+        else:
+            scenario.system_config(seed=1)
 
     def test_seed_perturbs_config_seed(self):
         scenario = SCENARIOS["baseline"]
@@ -60,6 +70,30 @@ class TestScenarioConfigs:
     def test_network_fault_detection(self):
         assert SCENARIOS["net-drop"].uses_network_faults
         assert not SCENARIOS["commission"].uses_network_faults
+
+
+class TestServiceScenarios:
+    def test_service_campaign_members_are_service_scenarios(self):
+        assert CAMPAIGNS["service"] == SERVICE_CAMPAIGN
+        for name in SERVICE_CAMPAIGN:
+            assert isinstance(SCENARIOS[name], ServiceScenario)
+
+    def test_trace_text_perturbs_seed_and_names_scenario(self):
+        import json
+
+        scenario = SCENARIOS["tenant-flood"]
+        one = json.loads(scenario.trace_text(1))
+        two = json.loads(scenario.trace_text(2))
+        assert one["seed"] != two["seed"]
+        assert one["name"] == "tenant-flood"
+
+    def test_flood_scenario_expects_rejections(self):
+        scenario = SCENARIOS["tenant-flood"]
+        assert scenario.expect_rejections
+        assert scenario.honest_p99_bound is not None
+
+    def test_quarantine_scenario_expects_cross_tenant_handoff(self):
+        assert SCENARIOS["cross-tenant-quarantine"].expect_cross_tenant_quarantine
 
 
 class TestFaultPlans:

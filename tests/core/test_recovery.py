@@ -183,6 +183,37 @@ class TestResume:
         assert records[-1]["kind"] == wal.RUN_END
         assert [r["seq"] for r in records] == list(range(len(records)))
 
+    def test_torn_tail_byte_count_is_surfaced_not_silent(self, tmp_path):
+        """Truncating crash damage is evidence, not housekeeping: the
+        resume must report *how many bytes* were dropped, both in its
+        warnings and as a ``torn_tail`` audit event."""
+        from repro.core.audit import TORN_TAIL
+
+        path = str(tmp_path / "crash.wal")
+        with pytest.raises(wal.ControlTierCrash):
+            journaled_run(path, crash_hook=wal.crash_at(4))
+        damage = '{"kind": "to'  # a write the crash cut short
+        with open(path, "a") as handle:
+            handle.write(damage)
+        recovered = resume_run(path)
+        assert any(
+            f"dropped {len(damage)} byte(s)" in w for w in recovered.warnings
+        )
+        events = recovered.controller.audit.events(kind=TORN_TAIL)
+        assert len(events) == 1
+        assert events[0].subject == path
+        assert events[0].details["bytes_truncated"] == len(damage)
+
+    def test_clean_resume_reports_no_torn_tail(self, tmp_path):
+        from repro.core.audit import TORN_TAIL
+
+        path = str(tmp_path / "crash.wal")
+        with pytest.raises(wal.ControlTierCrash):
+            journaled_run(path, crash_hook=wal.crash_at(4))
+        recovered = resume_run(path)
+        assert not any("truncated" in w for w in recovered.warnings)
+        assert recovered.controller.audit.events(kind=TORN_TAIL) == []
+
     def test_resumed_journal_records_resume_marker(self, tmp_path):
         path = str(tmp_path / "run.wal")
         with pytest.raises(wal.ControlTierCrash):

@@ -1,0 +1,136 @@
+"""Tenant-trace schema: parsing, fail-closed validation, determinism."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.service.tenants import (
+    WORKLOADS,
+    parse_trace,
+    trace_problems,
+    workload_records,
+)
+
+
+def make_doc(**overrides):
+    doc = {
+        "name": "t",
+        "seed": 5,
+        "cluster": {"nodes": 8, "slots": 3, "heartbeat": 0.4},
+        "faults": [{"kind": "commission", "node": 1}],
+        "tenants": [
+            {
+                "tenant": "alice",
+                "quota": {"max_concurrent": 2, "queue_limit": 1},
+                "jobs": [
+                    {"at": 0.0, "workload": "select", "rows": 10},
+                    {"at": 1.0, "workload": "groupcount", "rows": 12},
+                ],
+            },
+            {
+                "tenant": "bob",
+                "faulty": True,
+                "quota": {"max_concurrent": 1},
+                "jobs": [{"at": 0.5, "workload": "select", "rows": 10}],
+            },
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_parse_valid_trace():
+    trace = parse_trace(json.dumps(make_doc()), name="t")
+    assert trace.seed == 5
+    assert trace.num_nodes == 8
+    assert [t.name for t in trace.tenants] == ["alice", "bob"]
+    assert trace.tenants[1].faulty
+    assert trace.quotas()["alice"].max_concurrent == 2
+    assert trace.faults == (("commission", 1, ()),)
+    assert trace.text  # raw JSON embedded for the ledger header
+
+
+def test_requests_ordered_by_time_then_tenant():
+    trace = parse_trace(json.dumps(make_doc()))
+    assert [(r.tenant, r.index) for r in trace.requests()] == [
+        ("alice", 0),
+        ("bob", 0),
+        ("alice", 1),
+    ]
+
+
+def test_fault_plan_targets_named_nodes():
+    trace = parse_trace(json.dumps(make_doc()))
+    plan = trace.fault_plan()
+    assert plan.behavior_for("node_0001") is not None
+
+
+def test_zero_quota_is_fail_closed():
+    doc = make_doc()
+    doc["tenants"][0]["quota"]["max_concurrent"] = 0
+    problems = trace_problems(doc)
+    assert any("admits nothing" in p for p in problems)
+    with pytest.raises(ConfigError):
+        parse_trace(json.dumps(doc))
+
+
+def test_unknown_workload_rejected():
+    doc = make_doc()
+    doc["tenants"][0]["jobs"][0]["workload"] = "nosuch"
+    assert any("unknown workload" in p for p in trace_problems(doc))
+    with pytest.raises(ConfigError):
+        parse_trace(json.dumps(doc))
+
+
+def test_duplicate_tenant_rejected():
+    doc = make_doc()
+    doc["tenants"][1]["tenant"] = "alice"
+    assert any("duplicate tenant" in p for p in trace_problems(doc))
+
+
+def test_decreasing_arrivals_rejected():
+    doc = make_doc()
+    doc["tenants"][0]["jobs"][1]["at"] = -0.5
+    assert trace_problems(doc)
+    doc = make_doc()
+    doc["tenants"][0]["jobs"][1]["at"] = 0.0
+    doc["tenants"][0]["jobs"][0]["at"] = 1.0
+    assert any("non-decreasing" in p for p in trace_problems(doc))
+
+
+def test_unknown_fault_kind_rejected():
+    doc = make_doc(faults=[{"kind": "gremlin", "node": 0}])
+    assert any("unknown kind" in p for p in trace_problems(doc))
+
+
+def test_fault_node_out_of_cluster_rejected():
+    doc = make_doc(faults=[{"kind": "commission", "node": 99}])
+    with pytest.raises(ConfigError, match="targets node 99"):
+        parse_trace(json.dumps(doc))
+
+
+def test_empty_and_non_object_traces_rejected():
+    assert trace_problems([]) == ["trace document must be a JSON object"]
+    assert trace_problems({"tenants": []})
+    with pytest.raises(ConfigError):
+        parse_trace("{not json")
+
+
+def test_workload_records_deterministic_and_disjoint():
+    a1 = workload_records(7, "alice", 0, 50)
+    a2 = workload_records(7, "alice", 0, 50)
+    b = workload_records(7, "bob", 0, 50)
+    other_seed = workload_records(8, "alice", 0, 50)
+    assert a1 == a2
+    assert a1 != b
+    assert a1 != other_seed
+
+
+def test_workload_templates_are_parseable_plans():
+    from repro.dataflow.piglatin import parse_script
+
+    for workload in WORKLOADS.values():
+        script = workload.template.format(input="in", output="out")
+        plan = parse_script(script)
+        assert plan.sinks()
