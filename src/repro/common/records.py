@@ -43,6 +43,7 @@ class Record:
         return isinstance(other, Record) and self.fields == other.fields
 
     def __hash__(self) -> int:
+        # lint: allow FLOW003 process-local dict/set membership only; digests use record_hash (sha256), never this value
         return hash(self.fields)
 
     def __repr__(self) -> str:

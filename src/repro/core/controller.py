@@ -1024,6 +1024,20 @@ class ClusterBFTController:
                 fault_kind=fault.kind,
                 nodes=sorted(fault.nodes),
             )
+        # Late faults mutate cross-run shared state (suspicion, fault
+        # analyzer) inside a tenant's attribution window, so the audit
+        # trail must name that tenant — same contract as the verdict-time
+        # fault path in _apply_outcomes (AUD001).
+        self.audit.record(
+            self.loop.now,
+            FAULT,
+            sid,
+            replica=fault.replica,
+            fault_kind=fault.kind,
+            nodes=tuple(sorted(fault.nodes)),
+            late=True,
+            **self.audit_context,
+        )
         self.suspicion.record_fault(set(fault.nodes))
         if fault.kind == COMMISSION:
             self.fault_analyzer.observe(set(fault.nodes))

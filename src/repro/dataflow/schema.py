@@ -94,6 +94,7 @@ class Schema:
         return isinstance(other, Schema) and self.fields == other.fields
 
     def __hash__(self) -> int:
+        # lint: allow FLOW003 process-local dict/set membership only; schemas are compared structurally, never digested by hash()
         return hash(self.fields)
 
     def __repr__(self) -> str:

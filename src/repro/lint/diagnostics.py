@@ -26,6 +26,10 @@ class Diagnostic:
     severity: str = SEVERITY_ERROR
     waived: bool = False
     waive_reason: str = ""
+    #: Qualname of the function the finding anchors to (layer 3).
+    symbol: str = ""
+    #: Source→sink call chain (qualnames) for interprocedural findings.
+    chain: tuple[str, ...] = ()
 
     def format(self) -> str:
         location = f"{self.path}:{self.line}:{self.column}"
@@ -39,7 +43,7 @@ class Diagnostic:
         return replace(self, waived=True, waive_reason=reason)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -49,6 +53,11 @@ class Diagnostic:
             "waived": self.waived,
             "waive_reason": self.waive_reason,
         }
+        if self.symbol:
+            payload["symbol"] = self.symbol
+        if self.chain:
+            payload["chain"] = list(self.chain)
+        return payload
 
 
 @dataclass

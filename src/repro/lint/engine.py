@@ -13,7 +13,7 @@ import os
 from pathlib import Path
 
 from repro.lint.diagnostics import Diagnostic, LintReport
-from repro.lint.rules import ModuleSource, Rule, all_rules
+from repro.lint.rules import ModuleSource, Rule, all_rules, is_deep_rule
 from repro.lint.waivers import apply_waivers, collect_waivers
 
 
@@ -58,7 +58,14 @@ def lint_source(
             continue
         diagnostics.extend(rule.check(module))
     waivers, malformed = collect_waivers(source)
-    return apply_waivers(diagnostics, waivers, malformed, path)
+    # Waivers aimed solely at the whole-program rules belong to the
+    # --deep run; judging them "unused" here would be a false WAIVE002.
+    own = [
+        waiver
+        for waiver in waivers
+        if any(not is_deep_rule(rule) for rule in waiver.rules)
+    ]
+    return apply_waivers(diagnostics, own, malformed, path)
 
 
 def lint_paths(

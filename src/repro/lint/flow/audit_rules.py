@@ -1,0 +1,130 @@
+"""AUD001: audit attribution inside the cooperative service loop.
+
+The multi-tenant service drives every run's ``_assured_steps`` generator
+cooperatively: ``RunDriver.advance`` sets ``controller.audit_context``
+(the tenant attribution) before each step and clears it after.  Any
+shared-state mutation that happens *between yields* — suspicion updates,
+fault-analyzer observations, quarantine, eviction — therefore executes
+under some tenant's attribution window, and the audit trail is the only
+record of *which* tenant's run triggered it.  Two obligations follow for
+code reachable from ``_assured_steps``:
+
+* an audit record emitted there must forward the attribution
+  (``**self.audit_context``), and
+* a function that mutates cross-run shared state (suspicion, fault
+  analyzer, scheduler quarantine, cluster eviction) must emit at least
+  one attributed audit record alongside the mutation — a silent
+  mutation is unattributable after the fact.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.flow.callgraph import CallSite, ProjectGraph
+from repro.lint.flow.taint import _AUDIT_RECEIVERS, _receiver_components
+
+#: The cooperative generator that runs under tenant attribution.
+GENERATOR_NAME = "_assured_steps"
+#: The attribute that carries the attribution.
+CONTEXT_ATTR = "audit_context"
+
+#: Cross-run shared-state mutators: ``receiver component -> methods``.
+SHARED_MUTATORS = {
+    "suspicion": {"record_fault", "clear_faults"},
+    "fault_analyzer": {"observe"},
+    "scheduler": {"quarantine"},
+    "cluster": {"exclude"},
+}
+
+
+def _is_audit_record(site: CallSite) -> bool:
+    return site.attr == "record" and bool(
+        _receiver_components(site.receiver) & _AUDIT_RECEIVERS
+    )
+
+
+def _is_attributed(site: CallSite) -> bool:
+    """True when the call forwards ``**...audit_context``."""
+    for keyword in site.node.keywords:
+        if keyword.arg is not None:
+            continue
+        value = keyword.value
+        if isinstance(value, ast.Attribute) and value.attr == CONTEXT_ATTR:
+            return True
+        if isinstance(value, ast.Name) and value.id == CONTEXT_ATTR:
+            return True
+    return False
+
+
+def _mutator_of(site: CallSite) -> str | None:
+    if site.attr is None:
+        return None
+    for component in _receiver_components(site.receiver):
+        methods = SHARED_MUTATORS.get(component.lstrip("_"))
+        if methods and site.attr in methods:
+            return f"{site.receiver}.{site.attr}"
+    return None
+
+
+def run_audit_check(graph: ProjectGraph) -> list[Diagnostic]:
+    roots = [
+        info.qualname
+        for info in graph.functions.values()
+        if info.name == GENERATOR_NAME and info.is_generator
+    ]
+    if not roots:
+        return []
+    tree = graph.reachable(roots)
+    diagnostics: list[Diagnostic] = []
+    for qualname in sorted(tree):
+        info = graph.functions[qualname]
+        chain = tuple(graph.chain(tree, qualname))
+        mutations: list[tuple[CallSite, str]] = []
+        has_attributed_record = False
+        for site in info.calls:
+            if _is_audit_record(site):
+                if _is_attributed(site):
+                    has_attributed_record = True
+                else:
+                    diagnostics.append(
+                        Diagnostic(
+                            rule="AUD001",
+                            path=info.path,
+                            line=site.line,
+                            column=site.col,
+                            message=(
+                                f"audit record in {info.name!r} runs inside "
+                                f"the {GENERATOR_NAME} attribution window "
+                                f"but does not forward **{CONTEXT_ATTR} — "
+                                "the emitting tenant is lost"
+                            ),
+                            symbol=qualname,
+                            chain=chain,
+                        )
+                    )
+            mutator = _mutator_of(site)
+            if mutator is not None:
+                mutations.append((site, mutator))
+        if mutations and not has_attributed_record:
+            site, mutator = mutations[0]
+            names = ", ".join(sorted({m for _, m in mutations}))
+            diagnostics.append(
+                Diagnostic(
+                    rule="AUD001",
+                    path=info.path,
+                    line=site.line,
+                    column=site.col,
+                    message=(
+                        f"{info.name!r} mutates cross-run shared state "
+                        f"({names}) inside the {GENERATOR_NAME} attribution "
+                        "window without an attributed audit record "
+                        f"(**{CONTEXT_ATTR}) — the mutation cannot be "
+                        "traced to a tenant"
+                    ),
+                    symbol=qualname,
+                    chain=chain,
+                )
+            )
+    return diagnostics

@@ -1,0 +1,92 @@
+"""Findings-baseline ratchet for ``repro lint --deep``.
+
+Whole-program findings accumulate history: some are real bugs (fixed
+immediately), some are accepted debts (waived inline), and the rest are
+frozen in a committed baseline so CI can gate on *new* findings without
+demanding a green-field tree first.  The gate ratchets both ways:
+
+* a finding **not** in the baseline fails the build (exit 1) — new debt
+  needs a fix or an argued waiver, never a silent baseline bump;
+* a baseline entry with no matching finding **also** fails the build —
+  the debt was paid, so the baseline must shrink (re-run with
+  ``--update-baseline``); a stale entry would let an identical new
+  finding hide under the old one's fingerprint.
+
+Fingerprints deliberately exclude line numbers: moving code must not
+churn the baseline.  A finding is identified by its rule, file, the
+function it anchors to, and the far end of its call chain, plus an
+occurrence index for genuine duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+
+SCHEMA_VERSION = "repro.lint-baseline/v1"
+DEFAULT_PATH = "LINT_BASELINE.json"
+
+
+class BaselineError(Exception):
+    """Unreadable or schema-mismatched baseline file."""
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    chain_end = diagnostic.chain[-1] if diagnostic.chain else ""
+    return "|".join(
+        [diagnostic.rule, diagnostic.path, diagnostic.symbol, chain_end]
+    )
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint multiset of the committed baseline (empty if the
+    file does not exist — a fresh tree has no debt)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return Counter()
+    try:
+        payload = json.loads(file_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {file_path}: {exc}")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {file_path} has schema {payload.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return Counter(payload.get("entries", []))
+
+
+def write_baseline(path: str | Path, findings: list[Diagnostic]) -> None:
+    entries = sorted(fingerprint(d) for d in findings)
+    payload = {"schema": SCHEMA_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: list[Diagnostic], baseline: Counter
+) -> tuple[list[Diagnostic], int, list[str]]:
+    """Split findings against the baseline.
+
+    Returns ``(new_findings, matched_count, stale_entries)``: findings
+    whose fingerprint is not covered by the baseline (the excess beyond
+    the baselined count of that fingerprint counts as new), how many
+    findings the baseline absorbed, and baseline entries no finding
+    matched (the ratchet: these must be removed).
+    """
+    remaining = Counter(baseline)
+    new_findings: list[Diagnostic] = []
+    matched = 0
+    for diagnostic in findings:
+        key = fingerprint(diagnostic)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new_findings.append(diagnostic)
+    stale = sorted(
+        key for key, count in remaining.items() for _ in range(count)
+    )
+    return new_findings, matched, stale

@@ -56,6 +56,17 @@ class Rule:
         )
 
 
+#: Rule-id prefixes owned by the Layer-3 whole-program passes
+#: (:mod:`repro.lint.flow`).  Layer 1 leaves their waivers alone — a
+#: waiver naming only FLOW/WAL/AUD rules is "used"/"unused" from the
+#: deep run's point of view.
+DEEP_RULE_PREFIXES = ("FLOW", "WAL", "AUD")
+
+
+def is_deep_rule(rule_id: str) -> bool:
+    return rule_id.startswith(DEEP_RULE_PREFIXES)
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 

@@ -52,6 +52,16 @@ SERVICE_END = "service_end"
 #: journal's sync kinds plus the service-level terminal record).
 SYNC_KINDS = frozenset(wal.SYNC_KINDS) | {HEADER, SERVICE_END}
 
+#: Service-level record kinds covered by *uniform* replay: ledger
+#: resume is deterministic re-execution with byte-prefix verification
+#: (see module docstring), so no per-kind dispatch exists — every
+#: replayed append, whatever its kind, is byte-compared against the
+#: durable prefix in :meth:`MultiplexedLedger.append`.  The WAL
+#: coverage lint (WAL001) reads this declaration; run-scoped kinds
+#: multiplexed from the journal surface are accounted for on that
+#: surface instead.
+REPLAY_UNIFORM = frozenset({ADMIT, REJECT, ENQUEUE, DEQUEUE, SERVICE_END})
+
 
 class LedgerError(ReproError):
     """Raised for ledger misuse or replay/prefix divergence."""
