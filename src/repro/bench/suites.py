@@ -200,6 +200,73 @@ def _exec(smoke: bool) -> list[Metric]:
 
 
 # ---------------------------------------------------------------------------
+# geo_placement — assured latency vs. region placement (Fig.-style sweep)
+# ---------------------------------------------------------------------------
+
+#: (layout name, region triples) — same node count per row so the only
+#: variable is placement; WAN latency applies to cross-region digests.
+_GEO_LAYOUTS = (
+    ("flat", ()),
+    ("two_regions", (("east", 8, 1.0), ("west", 8, 1.0))),
+    ("three_regions", (("east", 6, 1.0), ("west", 5, 1.0), ("south", 5, 1.0))),
+    ("slow_region", (("east", 6, 1.0), ("west", 5, 1.0), ("south", 5, 0.5))),
+)
+
+
+def _geo(smoke: bool) -> list[Metric]:
+    from repro.chaos.runner import workload
+    from repro.common.config import (
+        ClusterBFTConfig,
+        ClusterConfig,
+        SystemConfig,
+    )
+    from repro.core.controller import ClusterBFTController
+
+    rows = 120 if smoke else 320
+    metrics: list[Metric] = []
+    latencies: dict[str, float] = {}
+    for layout, regions in _GEO_LAYOUTS:
+        config = SystemConfig(
+            cluster=ClusterConfig(
+                num_nodes=16,
+                slots_per_node=3,
+                heartbeat_period=0.2,
+                regions=regions,
+                wan_latency_seconds=0.25,
+            ),
+            bft=ClusterBFTConfig(f=1, replication=4, verification_points=1),
+            seed=20131209,
+        )
+        controller = ClusterBFTController(config, block_bytes=2048)
+        controller.load_input("in", workload(7)[:rows])
+        result = controller.run_assured(_EXEC_SCRIPT)
+        latencies[layout] = result.latency
+        metrics.append(
+            metric(
+                f"latency_{layout}",
+                round(result.latency, 6),
+                "simulated_seconds",
+            )
+        )
+        metrics.append(metric(f"assured_{layout}", int(result.assured), "bool"))
+    metrics.append(
+        metric(
+            "wan_overhead_two_regions",
+            round(latencies["two_regions"] - latencies["flat"], 6),
+            "simulated_seconds",
+        )
+    )
+    metrics.append(
+        metric(
+            "slow_region_overhead",
+            round(latencies["slow_region"] - latencies["three_regions"], 6),
+            "simulated_seconds",
+        )
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
 # service_traffic — multi-tenant open-loop traffic over the service tier
 # ---------------------------------------------------------------------------
 
@@ -228,6 +295,13 @@ SUITES: tuple[BenchSpec, ...] = (
         description="assured execution latency/verification split from a trace",
         seed=20131209,
         run=_exec,
+    ),
+    BenchSpec(
+        name="geo_placement",
+        description="assured latency vs. region placement: flat, 2-region, "
+        "3-region and slow-region layouts under one WAN latency",
+        seed=20131209,
+        run=_geo,
     ),
     BenchSpec(
         name="service_traffic",

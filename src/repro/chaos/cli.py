@@ -35,8 +35,11 @@ def add_chaos_parser(sub) -> None:
     run = chaos_sub.add_parser("run", help="run a campaign")
     run.add_argument(
         "--scenarios",
+        "--campaign",
+        dest="scenarios",
         default="default",
-        help="campaign name (default, smoke) or comma-joined scenario names",
+        help="campaign name (default, smoke, durability, service, geo) "
+        "or comma-joined scenario names",
     )
     run.add_argument(
         "--seeds",
@@ -111,6 +114,8 @@ def _cmd_chaos_run(args) -> int:
             extras.append(f"quarantined={','.join(cell['quarantined'])}")
         if cell["evicted"]:
             extras.append(f"evicted={','.join(cell['evicted'])}")
+        if cell.get("migrations"):
+            extras.append(f"migrated={','.join(cell['migrations'])}")
         if cell["crashes_detected"]:
             extras.append(f"crashed={','.join(cell['crashes_detected'])}")
         if any(cell.get("exhausted", ())):

@@ -30,6 +30,12 @@ Invariant ids (stable — referenced by reports, tests and DESIGN.md):
     point and resumed from its WAL publishes byte-identical outputs
     (and the same assured verdict) as the uninterrupted journaled run
     with the same seed.
+``REG1``
+    Regional resilience: runs stay assured and terminate despite
+    losing (or migrating away from) a minority region — every node of
+    an expected region outage ends detected-dead or excluded, and when
+    the scenario expects online reconfiguration, a ``reconfig`` audit
+    record names the degraded region.
 ``TEN1``
     Tenant isolation under flood: honest tenants' runs all end assured
     with truth-equal outputs, suffer no rejections, and their p99
@@ -48,7 +54,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.records import Record, encode_record
-from repro.core.audit import COMMIT, EVICTION, FAULT, QUARANTINE
+from repro.core.audit import COMMIT, EVICTION, FAULT, QUARANTINE, RECONFIG
 from repro.core.verifier import VERIFIED
 
 SAFE1 = "SAFE1"
@@ -57,10 +63,11 @@ LIVE1 = "LIVE1"
 LIVE2 = "LIVE2"
 DEGR1 = "DEGR1"
 DUR1 = "DUR1"
+REG1 = "REG1"
 TEN1 = "TEN1"
 TEN2 = "TEN2"
 
-INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1, TEN1, TEN2)
+INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1, REG1, TEN1, TEN2)
 
 
 @dataclass(frozen=True)
@@ -361,6 +368,55 @@ def check_dur1(ctx: RunContext) -> list[Violation]:
     return violations
 
 
+def check_reg1(ctx: RunContext) -> list[Violation]:
+    """Regional resilience: a region-scale failure (outage or suspicion
+    degradation) must neither stall the run nor leave the region
+    half-alive.  Lost-region nodes all end detected-dead/excluded;
+    expected migrations leave a ``reconfig`` audit record naming the
+    region; and every run still ends assured."""
+    scenario = ctx.scenario
+    lost = getattr(scenario, "expect_region_outage", None)
+    migrated = getattr(scenario, "expect_migration_from", None)
+    if lost is None and migrated is None:
+        return []
+    violations = []
+    controller = ctx.controller
+    if lost is not None:
+        dead = set(controller.engine._dead_nodes)
+        for node_id in controller.cluster.region_node_ids(lost):
+            if node_id in dead or controller.cluster.node(node_id).excluded:
+                continue
+            violations.append(
+                Violation(
+                    REG1,
+                    f"node {node_id} of lost region {lost!r} was never "
+                    f"detected dead or excluded",
+                    ctx.ref(f"node={node_id}"),
+                )
+            )
+    if migrated is not None:
+        if not controller.audit.events(kind=RECONFIG, subject=migrated):
+            violations.append(
+                Violation(
+                    REG1,
+                    f"no reconfig audited for region {migrated!r} — "
+                    f"replica sets never migrated out",
+                    ctx.ref(f"region={migrated}"),
+                )
+            )
+    for run_index, result in enumerate(ctx.results):
+        if not result.assured:
+            violations.append(
+                Violation(
+                    REG1,
+                    f"run {run_index} ended unassured despite losing only "
+                    f"a minority region",
+                    ctx.ref(f"run={run_index}"),
+                )
+            )
+    return violations
+
+
 _CHECKERS = (
     (SAFE1, check_safe1),
     (SAFE2, check_safe2),
@@ -368,6 +424,7 @@ _CHECKERS = (
     (LIVE2, check_live2),
     (DEGR1, check_degr1),
     (DUR1, check_dur1),
+    (REG1, check_reg1),
 )
 
 

@@ -29,7 +29,7 @@ from repro.chaos.scenarios import Scenario, ServiceScenario, build_fault_plan
 from repro.common.errors import ReproError
 from repro.common.records import Record, records_from_rows
 from repro.core import journal as wal
-from repro.core.audit import EVICTION, QUARANTINE, RERUN
+from repro.core.audit import EVICTION, QUARANTINE, RECONFIG, RERUN
 from repro.core.controller import ClusterBFTController
 from repro.core.recovery import resume_run
 from repro.simulation.network import delay_spike, selective_drop
@@ -263,6 +263,9 @@ def _cell_report(
             {e.subject for e in audit.events(kind=QUARANTINE)}
         ),
         "evicted": sorted({e.subject for e in audit.events(kind=EVICTION)}),
+        "migrations": [
+            e.subject for e in audit.events(kind=RECONFIG)
+        ],
         "crashes_detected": sorted(controller.engine._dead_nodes),
         "trace": ctx.trace_name,
     }

@@ -40,6 +40,12 @@ _BEHAVIORS = {
 #: SimNetwork, not to worker behaviours).
 NETWORK_KINDS = ("net-drop", "net-delay")
 
+#: Region-scale fault kind: ``FaultSpec.node`` indexes the scenario's
+#: ``regions`` tuple (not a worker), and the spec expands to a
+#: first-heartbeat crash on every node of that region — a deterministic
+#: whole-region outage.
+REGION_LOSS = "region-loss"
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -71,6 +77,16 @@ class Scenario:
     slots_per_node: int = 3
     heartbeat_period: float = 0.4
     crash_timeout: float = 2.0
+    #: Geo layout: ``(name, node_count, speed)`` triples over
+    #: consecutive node-index ranges; ``()`` keeps the deployment flat
+    #: (byte-identical to the pre-region seed behaviour).
+    regions: tuple = ()
+    wan_latency_seconds: float = 0.08
+    #: Online reconfiguration: aggregate per-region suspicion level
+    #: above which the control tier migrates replica sets out of the
+    #: region mid-run (``None`` disables, the default).
+    region_suspicion_threshold: float | None = None
+    region_min_jobs: int = 6
     f: int = 1
     replication: int = 4
     verifier_timeout: float = 60.0
@@ -91,6 +107,12 @@ class Scenario:
     expect_assured: bool = True
     #: Worker indices that must end up in the suspect superset (LIVE2).
     attributed_nodes: tuple[int, ...] = ()
+    #: REG1: region name expected to be lost wholesale — every node of
+    #: it must end detected-dead/excluded while runs stay assured.
+    expect_region_outage: str | None = None
+    #: REG1: region name the reconfiguration engine must audibly
+    #: migrate replica sets out of (a ``reconfig`` audit record).
+    expect_migration_from: str | None = None
     #: Documentation of deliberately weakened scenarios: invariants the
     #: scenario is *expected* to trip (campaign still reports them as
     #: violations — the flag is for tests and humans, not the checker).
@@ -107,6 +129,8 @@ class Scenario:
                 slots_per_node=self.slots_per_node,
                 heartbeat_period=self.heartbeat_period,
                 crash_timeout=self.crash_timeout,
+                regions=self.regions,
+                wan_latency_seconds=self.wan_latency_seconds,
             ),
             bft=ClusterBFTConfig(
                 f=self.f,
@@ -115,6 +139,8 @@ class Scenario:
                 suspicion_threshold=self.suspicion_threshold,
                 quarantine_threshold=self.quarantine_threshold,
                 max_reruns=self.max_reruns,
+                region_suspicion_threshold=self.region_suspicion_threshold,
+                region_min_jobs=self.region_min_jobs,
             ),
             seed=20131209 + seed,
         ).validate()
@@ -157,12 +183,33 @@ class ServiceScenario:
         return synth_trace(**kwargs)
 
 
+def _region_node_range(scenario: Scenario, region_index: int) -> tuple[int, int]:
+    """(start, count) of node indices for a scenario region."""
+    if not 0 <= region_index < len(scenario.regions):
+        raise ReproError(
+            f"scenario {scenario.name!r}: region index {region_index} out of "
+            f"range for {len(scenario.regions)} regions"
+        )
+    start = 0
+    for _name, count, _speed in scenario.regions[:region_index]:
+        start += count
+    return start, scenario.regions[region_index][1]
+
+
 def build_fault_plan(scenario: Scenario, node_ids: list[NodeId]) -> FaultPlan:
     """Resolve a scenario's node faults against concrete node ids."""
     plan = FaultPlan()
     for spec in scenario.faults:
         if spec.kind in NETWORK_KINDS:
             continue  # applied to the front-end network, not a worker
+        if spec.kind == REGION_LOSS:
+            # ``node`` names a region; every node of it crash-stops at
+            # its first heartbeat (after_tasks=0 unless overridden).
+            start, count = _region_node_range(scenario, spec.node)
+            params = {"after_tasks": 0, **spec.kwargs()}
+            for offset in range(count):
+                plan.assign(node_ids[start + offset], CrashBehavior(**params))
+            continue
         try:
             behavior_cls = _BEHAVIORS[spec.kind]
         except KeyError:
@@ -174,6 +221,11 @@ def build_fault_plan(scenario: Scenario, node_ids: list[NodeId]) -> FaultPlan:
             )
         plan.assign(node_ids[spec.node], behavior_cls(**spec.kwargs()))
     return plan
+
+
+#: Shared geo layouts (12 nodes, consecutive index ranges).
+_GEO_REGIONS = (("east", 4, 1.0), ("west", 4, 1.0), ("south", 4, 1.0))
+_SLOW_REGIONS = (("east", 4, 1.0), ("west", 4, 1.0), ("slow", 4, 0.5))
 
 
 def _scenario_list() -> list[Scenario]:
@@ -299,6 +351,67 @@ def _scenario_list() -> list[Scenario]:
             control_crashes=True,
         ),
         Scenario(
+            name="geo-baseline",
+            description="three regions behind a WAN, no faults: "
+            "placement homes every replica set across at least two "
+            "regions and all invariants hold trivially",
+            regions=_GEO_REGIONS,
+            wan_latency_seconds=0.25,
+        ),
+        Scenario(
+            name="region-loss",
+            description="a minority region crash-stops wholesale at its "
+            "first heartbeat; heartbeat-silence detection excludes it, "
+            "its replicas re-home to the surviving regions, and every "
+            "run still ends assured (REG1)",
+            faults=(FaultSpec(REGION_LOSS, 2),),
+            regions=_GEO_REGIONS,
+            wan_latency_seconds=0.25,
+            crash_timeout=1.0,
+            runs=2,
+            expect_region_outage="south",
+        ),
+        Scenario(
+            name="wan-spike",
+            description="WAN latency an order of magnitude above "
+            "baseline: cross-region digests arrive late but quorums "
+            "still settle inside the verifier timeout",
+            regions=(("east", 6, 1.0), ("west", 6, 1.0)),
+            wan_latency_seconds=3.0,
+        ),
+        Scenario(
+            name="slow-region-equivocate",
+            description="a slow region hosts an equivocator: per-region "
+            "suspicion crosses the threshold and the reconfiguration "
+            "engine conservatively migrates replica sets out of every "
+            "implicated region mid-run — early attribution is coarse, "
+            "so the honest straggler region moves too, while the "
+            "never-drain-last-region guard keeps capacity (REG1 audits "
+            "a reconfig record for the degraded region)",
+            faults=(FaultSpec("equivocate", 8, (("probability", 1.0),)),),
+            regions=_SLOW_REGIONS,
+            wan_latency_seconds=0.25,
+            region_suspicion_threshold=0.2,
+            region_min_jobs=2,
+            runs=2,
+            attributed_nodes=(8,),
+            expect_migration_from="slow",
+        ),
+        Scenario(
+            name="geo-ctl-crash",
+            description="control-tier crash sweep over a geo run whose "
+            "WAL carries a reconfig record: kill after every journaled "
+            "decision point — including mid-migration — resume from the "
+            "WAL, require byte-identical outputs (DUR1)",
+            faults=(FaultSpec("equivocate", 8, (("probability", 1.0),)),),
+            regions=_SLOW_REGIONS,
+            wan_latency_seconds=0.25,
+            region_suspicion_threshold=0.2,
+            region_min_jobs=2,
+            control_crashes=True,
+            attributed_nodes=(8,),
+        ),
+        Scenario(
             name="weakened-safe1",
             description="DELIBERATELY WEAKENED: f=0, r=1 — the single "
             "(corrupt) replica is its own quorum, so a tampered record "
@@ -408,11 +521,22 @@ SERVICE_CAMPAIGN = (
     "cross-tenant-quarantine",
 )
 
+#: Geo-replication campaign: region-aware placement, whole-region
+#: loss, WAN degradation and online reconfiguration (REG1 + DUR1).
+GEO_CAMPAIGN = (
+    "geo-baseline",
+    "region-loss",
+    "wan-spike",
+    "slow-region-equivocate",
+    "geo-ctl-crash",
+)
+
 CAMPAIGNS: dict[str, tuple[str, ...]] = {
     "default": DEFAULT_CAMPAIGN,
     "smoke": SMOKE_CAMPAIGN,
     "durability": DURABILITY_CAMPAIGN,
     "service": SERVICE_CAMPAIGN,
+    "geo": GEO_CAMPAIGN,
 }
 
 

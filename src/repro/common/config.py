@@ -47,8 +47,68 @@ class ClusterConfig:
     #: heartbeat period (a healthy node is silent for one full period
     #: between beats); 0 disables detection.
     crash_timeout: float = 5.0
+    #: Geo layout: ``(name, node_count, speed)`` triples assigning
+    #: consecutive node-index ranges to named regions.  ``speed`` scales
+    #: simulated task throughput (2.0 = twice as fast); counts must sum
+    #: to ``num_nodes``.  Empty = one flat LAN of identical nodes (the
+    #: seed behaviour).  Survives the journal's JSON round-trip as
+    #: lists, so helpers only ever index/iterate.
+    regions: tuple = ()
+    #: One-way WAN latency (simulated seconds) added to digest delivery
+    #: when a worker's region differs from the control tier's region
+    #: (the first region hosts the trusted tier).
+    wan_latency_seconds: float = 0.08
 
     def validate(self) -> "ClusterConfig":
+        if self.regions:
+            names = [str(entry[0]) for entry in self.regions]
+            if len(set(names)) != len(names):
+                raise ConfigError("region names must be unique")
+            if any(not name for name in names):
+                raise ConfigError("region names must be non-empty")
+            if any(int(entry[1]) < 1 for entry in self.regions):
+                raise ConfigError("every region needs >= 1 node")
+            if any(float(entry[2]) <= 0 for entry in self.regions):
+                raise ConfigError("region speeds must be > 0")
+            total = sum(int(entry[1]) for entry in self.regions)
+            if total != self.num_nodes:
+                raise ConfigError(
+                    f"region node counts sum to {total}, expected "
+                    f"num_nodes={self.num_nodes}"
+                )
+        if self.wan_latency_seconds < 0:
+            raise ConfigError("wan_latency_seconds must be >= 0")
+        return self._validate_shape()
+
+    def region_of_index(self, index: int) -> str:
+        """Region name for node ``index`` ('' on a flat cluster)."""
+        for entry in self.regions:
+            count = int(entry[1])
+            if index < count:
+                return str(entry[0])
+            index -= count
+        return ""
+
+    def speed_of_index(self, index: int) -> float:
+        """Speed profile for node ``index`` (1.0 on a flat cluster)."""
+        for entry in self.regions:
+            count = int(entry[1])
+            if index < count:
+                return float(entry[2])
+            index -= count
+        return 1.0
+
+    def control_region(self) -> str:
+        """Region hosting the trusted tier: the first declared region."""
+        return str(self.regions[0][0]) if self.regions else ""
+
+    def wan_seconds(self, region_a: str, region_b: str) -> float:
+        """One-way WAN latency between two regions (0.0 within one)."""
+        if not region_a or not region_b or region_a == region_b:
+            return 0.0
+        return self.wan_latency_seconds
+
+    def _validate_shape(self) -> "ClusterConfig":
         if self.num_nodes < 1:
             raise ConfigError("num_nodes must be >= 1")
         if self.slots_per_node < 1:
@@ -163,6 +223,16 @@ class ClusterBFTConfig:
     max_reruns: int = 3  # rerun attempts with escalated r
     rerun_extra_replicas: int = 1  # r increase per rerun
     collocate_replicas: bool = False  # must stay False for safety (§5.3)
+    #: Online reconfiguration: when a region's aggregate suspicion
+    #: (total faults / total jobs over its nodes) crosses this
+    #: threshold, in-flight replica sets migrate out of the region and
+    #: its nodes are quarantined.  ``None`` disables reconfiguration
+    #: (the seed behaviour); only meaningful on a multi-region cluster.
+    region_suspicion_threshold: float | None = None
+    #: Minimum jobs executed across a region before its aggregate
+    #: suspicion can trigger a migration — mirrors
+    #: ``suspicion_min_jobs`` at region granularity.
+    region_min_jobs: int = 6
 
     def validate(self) -> "ClusterBFTConfig":
         if self.f < 0:
@@ -188,6 +258,14 @@ class ClusterBFTConfig:
             raise ConfigError("quarantine_threshold must be in [0, 1] or None")
         if self.max_reruns < 0:
             raise ConfigError("max_reruns must be >= 0")
+        if self.region_suspicion_threshold is not None and not (
+            0.0 <= self.region_suspicion_threshold <= 1.0
+        ):
+            raise ConfigError(
+                "region_suspicion_threshold must be in [0, 1] or None"
+            )
+        if self.region_min_jobs < 1:
+            raise ConfigError("region_min_jobs must be >= 1")
         return self
 
     @property

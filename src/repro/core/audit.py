@@ -29,6 +29,9 @@ FAULT = "fault"
 EVICTION = "eviction"
 QUARANTINE = "quarantine"
 REINSTATE = "reinstate"
+#: Online reconfiguration: replica sets migrated out of a region whose
+#: aggregate suspicion crossed the threshold.
+RECONFIG = "reconfig"
 PROBE = "probe"
 RERUN = "rerun"
 COMMIT = "commit"

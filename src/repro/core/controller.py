@@ -42,6 +42,7 @@ from repro.core.audit import (
     EXHAUSTED,
     FAULT,
     QUARANTINE,
+    RECONFIG,
     RERUN,
     SUBMIT,
     VERDICT,
@@ -1041,6 +1042,7 @@ class ClusterBFTController:
         self.suspicion.record_fault(set(fault.nodes))
         if fault.kind == COMMISSION:
             self.fault_analyzer.observe(set(fault.nodes))
+        self._maybe_reconfigure(journal=journal)
         if self.telemetry.enabled:
             self._publish_suspicion_gauges()
 
@@ -1106,6 +1108,7 @@ class ClusterBFTController:
             if cleared:
                 self.suspicion.clear_faults(cleared)
         self._evict_suspects(journal=journal)
+        self._maybe_reconfigure(journal=journal)
         if self.telemetry.enabled:
             self._publish_suspicion_gauges()
 
@@ -1195,8 +1198,13 @@ class ClusterBFTController:
                 self.telemetry.metrics.counter(
                     "equivocations_detected"
                 ).inc()
-        if divergent and self.telemetry.enabled:
-            self._publish_suspicion_gauges()
+        if divergent:
+            # Equivocation is often the first region-level signal a
+            # degrading zone gives off — check for migration here too,
+            # not just at attempt boundaries.
+            self._maybe_reconfigure(journal=journal)
+            if self.telemetry.enabled:
+                self._publish_suspicion_gauges()
         if majority is None:
             return None
         return min(majority)
@@ -1257,6 +1265,110 @@ class ClusterBFTController:
                 jobs=state.jobs_executed,
                 **self.audit_context,
             )
+
+    # ------------------------------------------------------------------
+    # online reconfiguration: region-level migration
+    # ------------------------------------------------------------------
+
+    def _region_suspicion(self, region: str) -> tuple[float, int]:
+        """Aggregate suspicion of a region: total faults over total jobs
+        across its nodes (0.0 before any node there executed a job)."""
+        jobs = faults = 0
+        for node_id in self.cluster.region_node_ids(region):
+            state = self.suspicion.nodes.get(node_id)
+            if state is None:
+                continue
+            jobs += state.jobs_executed
+            faults += state.faults_associated
+        return (faults / jobs if jobs else 0.0, jobs)
+
+    def _schedulable_region_nodes(self, region: str) -> list[NodeId]:
+        return [
+            node_id
+            for node_id in self.cluster.region_node_ids(region)
+            if not self.cluster.node(node_id).excluded
+            and not self.scheduler.is_quarantined(node_id)
+        ]
+
+    def _maybe_reconfigure(self, journal: wal.Journal | None = None) -> None:
+        """Migrate replica sets out of any region whose aggregate
+        suspicion crossed the threshold.
+
+        Invoked after every fault application; a no-op (and therefore
+        byte-identical to the seed) unless ``region_suspicion_threshold``
+        is set on a multi-region cluster.  Never drains the last
+        schedulable region — a fully-suspect cluster is the rerun
+        escalation's problem, not the topology's.
+        """
+        cfg = self.config.bft
+        threshold = cfg.region_suspicion_threshold
+        if threshold is None or not self.cluster.config.regions:
+            return
+        if journal is None:
+            journal = self.journal
+        regions = self.cluster.regions()
+        for region in regions:
+            nodes = self._schedulable_region_nodes(region)
+            if not nodes:
+                continue  # already migrated, quarantined or evicted
+            level, jobs = self._region_suspicion(region)
+            if jobs < cfg.region_min_jobs or level <= threshold:
+                continue
+            others_alive = any(
+                self._schedulable_region_nodes(other)
+                for other in regions
+                if other != region
+            )
+            if not others_alive:
+                continue
+            self._migrate_region(region, level, jobs, nodes, journal)
+
+    def _migrate_region(
+        self,
+        region: str,
+        level: float,
+        jobs: int,
+        nodes: list[NodeId],
+        journal: wal.Journal | None,
+    ) -> None:
+        """Quarantine a degrading region wholesale and re-dispatch its
+        in-flight work; journaled write-ahead so a resumed run replays
+        the same placement decision."""
+        sids = sorted({run.sid for run in self.engine.runs if run.is_active})
+        if journal is not None:
+            journal.append(
+                wal.RECONFIG,
+                region=region,
+                suspicion=round(level, 3),
+                jobs=jobs,
+                nodes=sorted(nodes),
+                sids=sids,
+                **self.audit_context,
+            )
+        for node_id in sorted(nodes):
+            self.scheduler.quarantine(node_id)
+        moved = 0
+        for node_id in sorted(nodes):
+            moved += self.engine.evacuate_node(node_id)
+        self.audit.record(
+            self.loop.now,
+            RECONFIG,
+            region,
+            suspicion=round(level, 3),
+            jobs=jobs,
+            nodes=tuple(sorted(nodes)),
+            tasks_moved=moved,
+            **self.audit_context,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.tracer.event(
+                "region.migrated",
+                region=region,
+                suspicion=round(level, 3),
+                nodes=len(nodes),
+                tasks_moved=moved,
+            )
+            self.telemetry.metrics.counter("region_migrations").inc()
 
     def _publish_suspicion_gauges(self) -> None:
         """One gauge-publication path for every execution surface: the

@@ -18,6 +18,7 @@ Record stream layout (one JSON object per line, sorted keys)::
     {"kind": "verdict", ...}          # one per sid verdict
     {"kind": "fault" | "late_fault" | "analyzer", ...}
     {"kind": "eviction" | "quarantine", ...}
+    {"kind": "reconfig", ...}         # fsync'd: region migration decision
     {"kind": "commit",  ...}          # fsync'd: committed output content
     {"kind": "attempt_end", ...}      # fsync'd: settled-boundary snapshot
     {"kind": "resume", ...}           # appended when a recovery reopens
@@ -70,6 +71,12 @@ LATE_FAULT = "late_fault"
 ANALYZER = "analyzer"
 EVICTION = "eviction"
 QUARANTINE = "quarantine"
+#: Online reconfiguration: a region's replica sets migrated out after
+#: its aggregate suspicion crossed the threshold.  Fsync'd — recovery
+#: must re-quarantine the region's nodes before re-entering the run, or
+#: the resumed scheduler would migrate work *back into* the degraded
+#: region.
+RECONFIG = "reconfig"
 COMMIT = "commit"
 ATTEMPT_END = "attempt_end"
 RESUME = "resume"
@@ -77,7 +84,7 @@ RUN_END = "run_end"
 
 #: Record kinds whose loss would corrupt recovery — forced to stable
 #: storage before the append returns.
-SYNC_KINDS = frozenset({HEADER, COMMIT, ATTEMPT_END, RESUME, RUN_END})
+SYNC_KINDS = frozenset({HEADER, RECONFIG, COMMIT, ATTEMPT_END, RESUME, RUN_END})
 
 
 class JournalError(ReproError):

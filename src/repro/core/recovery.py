@@ -145,6 +145,7 @@ def resume_run(
     run_start: dict | None = None
     snapshot: dict | None = None
     commits: list[dict] = []
+    reconfigs: list[dict] = []
     run_end: dict | None = None
     for record in records[1:]:
         kind = record["kind"]
@@ -154,6 +155,8 @@ def resume_run(
             snapshot = record  # the latest settled boundary wins
         elif kind == wal.COMMIT:
             commits.append(record)
+        elif kind == wal.RECONFIG:
+            reconfigs.append(record)
         elif kind == wal.RUN_END:
             run_end = record
 
@@ -240,6 +243,17 @@ def resume_run(
             if not controller.cluster.node(node_id).excluded:
                 controller.cluster.exclude(node_id)
         for node_id in snapshot["quarantined"]:
+            if not controller.scheduler.is_quarantined(node_id):
+                controller.scheduler.quarantine(node_id)
+
+    # -- replay reconfigurations (region migrations) --------------------
+    # Fsync'd before the original controller acted on them, so a crash
+    # mid-migration still re-quarantines the degraded region's nodes —
+    # the resumed scheduler must not move work *back into* it.  Replay
+    # is idempotent with the snapshot's quarantine list (migrations
+    # before the last settled boundary are folded into it already).
+    for reconfig in reconfigs:
+        for node_id in reconfig["nodes"]:
             if not controller.scheduler.is_quarantined(node_id):
                 controller.scheduler.quarantine(node_id)
 

@@ -34,6 +34,13 @@ class WorkerNode:
     #: ``excluded`` (the trusted tier's inclusion list): a crash is a
     #: fact about the node, an exclusion is a decision about it.
     alive: bool = True
+    #: Geo placement: the named region hosting this node ('' on a flat
+    #: single-LAN cluster, the seed behaviour).
+    region: str = ""
+    #: Hardware heterogeneity: simulated task durations divide by this
+    #: (2.0 = twice as fast).  1.0 is exact under IEEE division, so a
+    #: flat cluster stays byte-identical.
+    speed: float = 1.0
 
     @property
     def free_slots(self) -> int:
@@ -80,10 +87,26 @@ class Cluster:
                 node_id=node_id,
                 slots=config.slots_per_node,
                 behavior=fault_plan.behavior_for(node_id),
+                region=config.region_of_index(index),
+                speed=config.speed_of_index(index),
             )
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def region_of(self, node_id: NodeId) -> str:
+        return self.nodes[node_id].region
+
+    def regions(self) -> list[str]:
+        """Declared region names in declaration order ([] when flat)."""
+        return [str(entry[0]) for entry in self.config.regions]
+
+    def region_node_ids(self, region: str) -> list[NodeId]:
+        return sorted(
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.region == region
+        )
 
     def node(self, node_id: NodeId) -> WorkerNode:
         return self.nodes[node_id]

@@ -463,6 +463,31 @@ class MapReduceEngine:
                     "tasks_redispatched", reason="crash"
                 ).inc(redispatched)
 
+    def evacuate_node(self, node_id: NodeId) -> int:
+        """Re-dispatch a live node's in-flight tasks (online migration).
+
+        The crash path minus the death: the node keeps heartbeating,
+        but its RUNNING/OMITTED attempts go back to PENDING so the
+        scheduler places them elsewhere.  An old attempt that still
+        completes first wins the task — same first-completion-wins rule
+        as speculation — and the digest quorum judges its content, so
+        migrating away from a merely *suspect* region never discards
+        verified-correct work.  Returns the number of attempts moved.
+        """
+        redispatched = 0
+        for run in self._active_runs():
+            states = list(run.map_states) + list(run.reduce_states)
+            for state in states:
+                if state.node == node_id and state.status in (RUNNING, OMITTED):
+                    state.status = PENDING
+                    state.node = None
+                    redispatched += 1
+        if redispatched and self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "tasks_redispatched", reason="migration"
+            ).inc(redispatched)
+        return redispatched
+
     # ------------------------------------------------------------------
     # task lifecycle
     # ------------------------------------------------------------------
@@ -645,9 +670,12 @@ class MapReduceEngine:
         else:
             write_time = result.bytes_out / self.cost.shuffle_throughput_bps
             file_write = result.bytes_out
+        # Speed profile divides the whole attempt (heterogeneous
+        # hardware); 1.0 is exact under IEEE division, so flat clusters
+        # stay byte-identical.
         duration = (
             self.cost.task_startup_seconds + read_time + compute + hashing + write_time
-        ) * node.behavior.slowdown()
+        ) * node.behavior.slowdown() / node.speed
         metrics = TaskMetrics(
             task_id=f"{run.job_id}_m_{index:06d}",
             node_id=node.node_id,
@@ -659,9 +687,9 @@ class MapReduceEngine:
             digest_bytes=digest_bytes,
             records_in=result.records_in,
             records_out=result.records_out,
-            cpu_seconds=(compute + hashing) * node.behavior.slowdown(),
+            cpu_seconds=(compute + hashing) * node.behavior.slowdown() / node.speed,
             duration_seconds=duration,
-            digest_seconds=hashing * node.behavior.slowdown(),
+            digest_seconds=hashing * node.behavior.slowdown() / node.speed,
         )
         return result, metrics
 
@@ -696,7 +724,7 @@ class MapReduceEngine:
         write_time = result.bytes_out / self.cost.dfs_write_bps
         duration = (
             self.cost.task_startup_seconds + shuffle_time + compute + hashing + write_time
-        ) * node.behavior.slowdown()
+        ) * node.behavior.slowdown() / node.speed
         metrics = TaskMetrics(
             task_id=f"{run.job_id}_r_{index:06d}",
             node_id=node.node_id,
@@ -706,10 +734,10 @@ class MapReduceEngine:
             digest_bytes=digest_bytes,
             records_in=result.records_in,
             records_out=result.records_out,
-            cpu_seconds=(compute + hashing) * node.behavior.slowdown(),
+            cpu_seconds=(compute + hashing) * node.behavior.slowdown() / node.speed,
             duration_seconds=duration,
-            shuffle_seconds=shuffle_time * node.behavior.slowdown(),
-            digest_seconds=hashing * node.behavior.slowdown(),
+            shuffle_seconds=shuffle_time * node.behavior.slowdown() / node.speed,
+            digest_seconds=hashing * node.behavior.slowdown() / node.speed,
         )
         return result, metrics
 
@@ -738,6 +766,13 @@ class MapReduceEngine:
             label = f"m{split.branch_index}.{split.block_index}"
         else:
             label = f"r{ref.index}"
+        # Cross-region digests pay the WAN on top of the LAN hop (the
+        # trusted tier lives in the control region); +0.0 on a flat
+        # cluster keeps the delay bit-identical.
+        config = self.cluster.config
+        delay = self.cost.digest_network_seconds + config.wan_seconds(
+            node.region, config.control_region()
+        )
         for tap in result.taps:
             report = DigestReport(
                 sid=run.sid,
@@ -751,7 +786,7 @@ class MapReduceEngine:
                 sent_at=self.loop.now,
             )
             self.loop.schedule(
-                self.cost.digest_network_seconds,
+                delay,
                 lambda r=report: run.digest_sink(r),
                 label=f"digest:{run.job_id}:{tap.vp_id}",
             )

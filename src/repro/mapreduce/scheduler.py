@@ -130,6 +130,16 @@ class ClusterBFTScheduler(TaskScheduler):
     statically partition nodes among a sid's replicas by node ordinal
     modulo the replication degree: safe, deterministic, starvation-free
     whenever ``nodes >= r``.
+
+    On a multi-region cluster the partition becomes *region-homed*:
+    replica ``k`` lives in live region ``k % len(live_regions)`` and is
+    partitioned among that region's active nodes together with the
+    other replicas homed there.  With two or more live regions this
+    places the replicas of every verification group in at least two
+    regions (so ``r >= 3`` never concentrates in one region), and a
+    region going dark — excluded or quarantined wholesale — simply
+    shrinks the live list, re-homing its replicas elsewhere.  Flat
+    clusters take the original modulo path unchanged.
     """
 
     def __init__(self) -> None:
@@ -166,6 +176,32 @@ class ClusterBFTScheduler(TaskScheduler):
                 pass
         return self._node_ordinal(node.node_id)
 
+    def _live_regions(self) -> list[str]:
+        """Declared regions with at least one schedulable node, in
+        declaration order ([] on a flat cluster)."""
+        if self._cluster is None:
+            return []
+        live = []
+        for region in self._cluster.regions():
+            for node_id in self._cluster.region_node_ids(region):
+                node = self._cluster.node(node_id)
+                if not node.excluded and node_id not in self.quarantined:
+                    live.append(region)
+                    break
+        return live
+
+    def _region_ordinal(self, node: WorkerNode) -> int:
+        """Index of ``node`` among its region's non-excluded nodes."""
+        active = [
+            node_id
+            for node_id in self._cluster.region_node_ids(node.region)
+            if not self._cluster.node(node_id).excluded
+        ]
+        try:
+            return active.index(node.node_id)
+        except ValueError:
+            return self._node_ordinal(node.node_id)
+
     def eligible(self, node: WorkerNode, run: "JobRun") -> bool:
         if node.node_id in self.quarantined:
             return False
@@ -179,6 +215,16 @@ class ClusterBFTScheduler(TaskScheduler):
             # guards against a node serving two replicas of one sid.
             return True
         total = max(run.total_replicas, 1)
+        live = self._live_regions()
+        if len(live) > 1:
+            home = live[run.replica % len(live)]
+            if node.region != home:
+                return False
+            # Replicas sharing the home region partition its nodes
+            # among themselves, preserving anti-collocation in-region.
+            homed = [k for k in range(total) if live[k % len(live)] == home]
+            slot = homed.index(run.replica % total)
+            return self._region_ordinal(node) % len(homed) == slot
         return self._partition_ordinal(node) % total == run.replica % total
 
     def note_assignment(self, node: WorkerNode, ref: TaskRef) -> None:

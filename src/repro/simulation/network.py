@@ -51,6 +51,71 @@ class NetworkFilter(Protocol):
     def __call__(self, sender: str, receiver: str, message: Any) -> bool: ...
 
 
+class Topology:
+    """Named regions with a WAN latency matrix for cross-region sends.
+
+    Endpoints are assigned to regions with :meth:`assign`; unassigned
+    endpoints (and same-region pairs) keep the network's flat LAN
+    :class:`LatencyModel`.  Cross-region sends use the per-pair model
+    from ``links`` when one exists, else the default ``wan`` model —
+    still one sample per message from the same seeded stream, so adding
+    a topology never reorders latency draws.
+    """
+
+    def __init__(
+        self,
+        regions: tuple[str, ...] | list[str],
+        wan: LatencyModel | None = None,
+        links: dict[tuple[str, str], LatencyModel] | None = None,
+    ) -> None:
+        self.regions = tuple(regions)
+        if len(set(self.regions)) != len(self.regions):
+            raise SimulationError("topology regions must be unique")
+        self.wan = wan or LatencyModel(base=0.08, jitter=0.02)
+        self._links: dict[tuple[str, str], LatencyModel] = {}
+        for (a, b), model in (links or {}).items():
+            for region in (a, b):
+                if region not in self.regions:
+                    raise SimulationError(f"unknown region in link: {region!r}")
+            self._links[(a, b)] = model
+        self._assignments: dict[str, str] = {}
+
+    def assign(self, endpoint: str, region: str) -> None:
+        if region not in self.regions:
+            raise SimulationError(f"unknown region: {region!r}")
+        self._assignments[endpoint] = region
+
+    def region_of(self, endpoint: str) -> str | None:
+        return self._assignments.get(endpoint)
+
+    def members(self, region: str) -> list[str]:
+        return sorted(
+            endpoint
+            for endpoint, assigned in self._assignments.items()
+            if assigned == region
+        )
+
+    def link_model(self, sender: str, receiver: str) -> LatencyModel | None:
+        """WAN model for a cross-region pair, ``None`` for LAN traffic."""
+        source = self._assignments.get(sender)
+        sink = self._assignments.get(receiver)
+        if source is None or sink is None or source == sink:
+            return None
+        return self._links.get((source, sink), self.wan)
+
+
+class _InFlight:
+    """A scheduled-but-undelivered message, re-checkable by new filters."""
+
+    __slots__ = ("sender", "receiver", "message", "dropped")
+
+    def __init__(self, sender: str, receiver: str, message: Any) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.message = message
+        self.dropped = False
+
+
 class SimNetwork:
     """Point-to-point message delivery over the event loop.
 
@@ -70,10 +135,12 @@ class SimNetwork:
         self.loop = loop
         self.rng = rng
         self.latency = latency or LatencyModel()
+        self.topology: Topology | None = None
         self.telemetry = telemetry if telemetry is not None else DISABLED
         self._handlers: dict[str, MessageHandler] = {}
         self._filters: list[NetworkFilter] = []
         self._delay_rules: list[DelayRule] = []
+        self._in_flight: list[_InFlight] = []
         self.messages_sent = 0
         self.messages_delivered = 0
         #: Rejected by an installed filter (partition / selective drop).
@@ -97,9 +164,26 @@ class SimNetwork:
     def is_registered(self, name: str) -> bool:
         return name in self._handlers
 
+    def set_topology(self, topology: Topology | None) -> None:
+        """Attach (or clear) the region topology for WAN latency."""
+        self.topology = topology
+
     def add_filter(self, rule: NetworkFilter) -> None:
-        """Install a delivery filter (all filters must approve delivery)."""
+        """Install a delivery filter (all filters must approve delivery).
+
+        The new filter also re-checks messages already in flight: a
+        message delayed past a partition's installation is dropped, not
+        delivered late once the partition heals — links that go down
+        lose the packets they were carrying.
+        """
         self._filters.append(rule)
+        for entry in self._in_flight:
+            if not entry.dropped and not rule(
+                entry.sender, entry.receiver, entry.message
+            ):
+                entry.dropped = True
+                self.messages_filtered += 1
+                self._count("network_messages_dropped", cause="filtered")
 
     def remove_filter(self, rule: NetworkFilter) -> None:
         self._filters.remove(rule)
@@ -126,11 +210,23 @@ class SimNetwork:
                 self.messages_filtered += 1
                 self._count("network_messages_dropped", cause="filtered")
                 return
-        delay = self.latency.sample(self.rng)
+        model = self.latency
+        if self.topology is not None:
+            wan = self.topology.link_model(sender, receiver)
+            if wan is not None:
+                model = wan
+        delay = model.sample(self.rng)
         for rule in self._delay_rules:
             delay += max(rule(sender, receiver, message), 0.0)
+        entry = _InFlight(sender, receiver, message)
+        self._in_flight.append(entry)
 
         def deliver() -> None:
+            self._in_flight.remove(entry)
+            if entry.dropped:
+                # Caught by a filter installed while in flight; already
+                # counted when the filter swept it.
+                return
             handler = self._handlers.get(receiver)
             if handler is None:
                 # Receiver crashed/unregistered meanwhile: silently drop,
@@ -139,13 +235,19 @@ class SimNetwork:
                 self._count("network_messages_dropped", cause="undeliverable")
                 return
             self.messages_delivered += 1
+            self._count("network_messages_delivered")
             handler(sender, message)
 
         self.loop.schedule(delay, deliver, label=f"net:{sender}->{receiver}")
 
     def broadcast(self, sender: str, receivers: list[str], message: Any, size_bytes: int = 0) -> None:
-        """Send ``message`` to every receiver independently."""
-        for receiver in receivers:
+        """Send ``message`` to every receiver independently.
+
+        Receivers are visited in sorted order so latency-stream
+        consumption — and therefore the whole downstream simulation —
+        does not depend on the caller's list ordering.
+        """
+        for receiver in sorted(receivers):
             self.send(sender, receiver, message, size_bytes)
 
     def send_sync(self, sender: str, receiver: str, message: Any) -> None:
@@ -184,6 +286,32 @@ def selective_drop(
         if sender not in endpoints:
             return True
         return rng.random() >= probability
+
+    return rule
+
+
+def asymmetric_partition(sources: set[str], sinks: set[str]) -> NetworkFilter:
+    """One-way partition: ``sources`` cannot reach ``sinks``, but the
+    reverse direction still flows — the classic asymmetric WAN failure
+    where a region can hear the world but not answer it."""
+
+    def rule(sender: str, receiver: str, message: Any) -> bool:
+        return not (sender in sources and receiver in sinks)
+
+    return rule
+
+
+def region_outage(topology: Topology, region: str) -> NetworkFilter:
+    """Region failure: every message into *or* out of ``region`` is
+    dropped.  Endpoints without a region assignment are unaffected."""
+    if region not in topology.regions:
+        raise SimulationError(f"unknown region: {region!r}")
+
+    def rule(sender: str, receiver: str, message: Any) -> bool:
+        return (
+            topology.region_of(sender) != region
+            and topology.region_of(receiver) != region
+        )
 
     return rule
 

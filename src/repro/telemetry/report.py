@@ -15,7 +15,12 @@ sections:
    from gauge samples (``suspicion_band_nodes`` et al., published by
    the one shared code path in :mod:`repro.core.gauges`);
 5. **event log** — faults, quarantines, evictions, equivocations,
-   saturation and every other instant event, in stream order.
+   saturation and every other instant event, in stream order;
+6. **network** — simulated message-network counters from the trailing
+   metrics snapshot, with dropped messages broken out by cause
+   (``filtered`` — a partition/drop rule rejected the send, including
+   in-flight messages swept by a filter installed mid-flight —
+   vs ``undeliverable`` — the receiving endpoint deregistered).
 
 ``--profile`` adds a host-time section: when the trace was recorded
 with ``wall_clock=True``, the gaps between consecutive records' host
@@ -81,6 +86,8 @@ class RunReport:
     suspicion_rows: list[dict] = field(default_factory=list)
     event_rows: list[tuple[float, str, str]] = field(default_factory=list)
     events_truncated: int = 0
+    #: (counter name, cause label, total) network message counters.
+    network_rows: list[tuple[str, str, int]] = field(default_factory=list)
     #: (name, host_seconds, records) hotspots; None = profiling not requested.
     profile_rows: list[tuple[str, float, int]] | None = None
     profile_total: float = 0.0
@@ -250,6 +257,24 @@ def _compact(value) -> str:
     return str(value)
 
 
+def _network_rows(records: list[dict]) -> list[tuple[str, str, int]]:
+    """Message-network counter totals from the trailing metrics
+    snapshot, sorted by (name, cause) for stable rendering."""
+    rows: list[tuple[str, str, int]] = []
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        if record.get("metric_kind") != "counter":
+            continue
+        name = record.get("name", "")
+        if not name.startswith("network_messages_"):
+            continue
+        labels = record.get("labels") or {}
+        rows.append((name, str(labels.get("cause", "")), int(record["value"])))
+    rows.sort()
+    return rows
+
+
 def _profile_rows(
     records: list[dict],
 ) -> tuple[list[tuple[str, float, int]], float, bool]:
@@ -301,6 +326,7 @@ def build_report(
         nodes=_node_strips(records, window, top_nodes),
         verify_buckets=_verify_histogram(records),
         suspicion_rows=_suspicion_rows(records),
+        network_rows=_network_rows(records),
     )
     report.event_rows, report.events_truncated = _event_rows(records)
     if profile:
@@ -429,6 +455,20 @@ def render_text(report: RunReport) -> str:
             lines.append(f"[{ts:10.3f}] {name:<24} {detail}")
         if report.events_truncated:
             lines.append(f"... {report.events_truncated} more events")
+
+    # 6. network -------------------------------------------------------
+    lines += _section("6. network")
+    if not report.network_rows:
+        lines.append(
+            "no network counters in trace (runs without a replicated "
+            "front-end exchange no simulated messages, and counters "
+            "need the trailing metrics snapshot)"
+        )
+    else:
+        table = Table("message counters", ["counter", "cause", "count"])
+        for name, cause, value in report.network_rows:
+            table.add_row(name, cause or "-", value)
+        lines.append(table.render())
 
     # host-time profile (opt-in) --------------------------------------
     if report.profile_rows is not None:

@@ -11,17 +11,19 @@ from repro.chaos.invariants import (
     DEGR1,
     LIVE1,
     LIVE2,
+    REG1,
     SAFE1,
     RunContext,
     Violation,
     check_degr1,
     check_live1,
     check_live2,
+    check_reg1,
     check_safe1,
 )
 from repro.chaos.scenarios import Scenario
 from repro.common.records import records_from_rows
-from repro.core.audit import QUARANTINE, AuditLog
+from repro.core.audit import QUARANTINE, RECONFIG, AuditLog
 from repro.core.verifier import VERIFIED
 
 
@@ -193,6 +195,91 @@ class TestDegr1:
     def test_no_quarantine_short_circuits(self):
         ctx = make_ctx(records=[{"type": "span", "name": "task", "start": 1.0}])
         assert check_degr1(ctx) == []
+
+
+class TestReg1:
+    def make_controller(self, dead=(), excluded=(), reconfigured=()):
+        nodes = {
+            f"node_{i:04d}": SimpleNamespace(
+                excluded=f"node_{i:04d}" in excluded
+            )
+            for i in range(4)
+        }
+        audit = AuditLog()
+        for region in reconfigured:
+            audit.record(1.0, RECONFIG, region, nodes=[], sids=[])
+        return SimpleNamespace(
+            audit=audit,
+            engine=SimpleNamespace(_dead_nodes=set(dead)),
+            cluster=SimpleNamespace(
+                region_node_ids=lambda region: ["node_0002", "node_0003"],
+                node=lambda node_id: nodes[node_id],
+            ),
+        )
+
+    def test_no_expectation_no_check(self):
+        ctx = make_ctx(controller=self.make_controller())
+        assert check_reg1(ctx) == []
+
+    def test_lost_region_fully_detected_passes(self):
+        scenario = Scenario(
+            name="t", description="", expect_region_outage="south"
+        )
+        ctx = make_ctx(
+            scenario=scenario,
+            controller=self.make_controller(dead={"node_0002", "node_0003"}),
+            results=[FakeResult()],
+        )
+        assert check_reg1(ctx) == []
+
+    def test_excluded_counts_as_detected(self):
+        scenario = Scenario(
+            name="t", description="", expect_region_outage="south"
+        )
+        ctx = make_ctx(
+            scenario=scenario,
+            controller=self.make_controller(
+                dead={"node_0002"}, excluded={"node_0003"}
+            ),
+        )
+        assert check_reg1(ctx) == []
+
+    def test_half_alive_region_violates(self):
+        scenario = Scenario(
+            name="t", description="", expect_region_outage="south"
+        )
+        ctx = make_ctx(
+            scenario=scenario,
+            controller=self.make_controller(dead={"node_0002"}),
+        )
+        violations = check_reg1(ctx)
+        assert [v.invariant for v in violations] == [REG1]
+        assert "node_0003" in violations[0].detail
+
+    def test_expected_migration_needs_reconfig_audit(self):
+        scenario = Scenario(
+            name="t", description="", expect_migration_from="slow"
+        )
+        missing = make_ctx(scenario=scenario, controller=self.make_controller())
+        assert [v.invariant for v in check_reg1(missing)] == [REG1]
+        audited = make_ctx(
+            scenario=scenario,
+            controller=self.make_controller(reconfigured=("slow",)),
+        )
+        assert check_reg1(audited) == []
+
+    def test_unassured_run_violates(self):
+        scenario = Scenario(
+            name="t", description="", expect_migration_from="slow"
+        )
+        ctx = make_ctx(
+            scenario=scenario,
+            controller=self.make_controller(reconfigured=("slow",)),
+            results=[FakeResult(), FakeResult(assured=False)],
+        )
+        violations = check_reg1(ctx)
+        assert [v.invariant for v in violations] == [REG1]
+        assert "run 1" in violations[0].detail
 
 
 class TestViolation:

@@ -5,6 +5,8 @@ import pytest
 from repro.chaos.scenarios import (
     CAMPAIGNS,
     DEFAULT_CAMPAIGN,
+    GEO_CAMPAIGN,
+    REGION_LOSS,
     SCENARIOS,
     SERVICE_CAMPAIGN,
     SMOKE_CAMPAIGN,
@@ -128,3 +130,55 @@ class TestFaultPlans:
         )
         with pytest.raises(ReproError, match="out of range"):
             build_fault_plan(scenario, ["n0"])
+
+
+class TestGeoScenarios:
+    _REGIONS = (("east", 2, 1.0), ("west", 2, 1.0))
+
+    def test_geo_campaign_registered(self):
+        assert CAMPAIGNS["geo"] == GEO_CAMPAIGN
+        assert [s.name for s in resolve_scenarios("geo")] == list(GEO_CAMPAIGN)
+
+    def test_region_loss_expands_to_crash_on_every_member(self):
+        scenario = Scenario(
+            name="t",
+            description="",
+            num_nodes=4,
+            regions=self._REGIONS,
+            faults=(FaultSpec(REGION_LOSS, 1),),
+        )
+        plan = build_fault_plan(scenario, [f"n{i}" for i in range(4)])
+        assert plan.faulty_nodes() == {"n2", "n3"}
+        for node in ("n2", "n3"):
+            behavior = plan.behavior_for(node)
+            assert isinstance(behavior, CrashBehavior)
+            assert behavior.after_tasks == 0  # dead from the first heartbeat
+
+    def test_region_loss_index_out_of_range_rejected(self):
+        scenario = Scenario(
+            name="t",
+            description="",
+            num_nodes=4,
+            regions=self._REGIONS,
+            faults=(FaultSpec(REGION_LOSS, 5),),
+        )
+        with pytest.raises(ReproError, match="out of range"):
+            build_fault_plan(scenario, [f"n{i}" for i in range(4)])
+
+    def test_geo_configs_carry_topology(self):
+        config = SCENARIOS["region-loss"].system_config(seed=1)
+        assert config.cluster.regions
+        assert config.cluster.wan_latency_seconds > 0.0
+        slow = SCENARIOS["slow-region-equivocate"].system_config(seed=1)
+        assert slow.bft.region_suspicion_threshold is not None
+
+    def test_region_loss_never_targets_majority(self):
+        """Chaos scenarios must lose a *minority* region — assurance
+        under majority loss is not a claim the campaign makes."""
+        for name in GEO_CAMPAIGN:
+            scenario = SCENARIOS[name]
+            for spec in scenario.faults:
+                if spec.kind != REGION_LOSS:
+                    continue
+                count = scenario.regions[spec.node][1]
+                assert count * 2 < scenario.num_nodes

@@ -130,6 +130,51 @@ class TestRenderText:
         assert "no host_time fields" in text
 
 
+def counter(name, value, **labels):
+    return {
+        "type": "metric",
+        "metric_kind": "counter",
+        "ts": 10.0,
+        "name": name,
+        "labels": labels,
+        "value": value,
+    }
+
+
+class TestNetworkSection:
+    def network_trace(self):
+        return trace() + [
+            counter("network_messages_sent", 29),
+            counter("network_messages_delivered", 22),
+            counter("network_messages_dropped", 6, cause="filtered"),
+            counter("network_messages_dropped", 1, cause="undeliverable"),
+        ]
+
+    def test_rows_collected_sorted_with_causes(self):
+        report = build_report(self.network_trace())
+        assert report.network_rows == [
+            ("network_messages_delivered", "", 22),
+            ("network_messages_dropped", "filtered", 6),
+            ("network_messages_dropped", "undeliverable", 1),
+            ("network_messages_sent", "", 29),
+        ]
+
+    def test_rendered_section_breaks_down_drop_causes(self):
+        text = render_text(build_report(self.network_trace()))
+        assert "6. network" in text
+        assert "filtered" in text
+        assert "undeliverable" in text
+
+    def test_counterless_trace_says_why(self):
+        text = render_text(build_report(trace()))
+        assert "6. network" in text
+        assert "no network counters in trace" in text
+
+    def test_non_network_counters_excluded(self):
+        records = trace() + [counter("journal_records_total", 5)]
+        assert build_report(records).network_rows == []
+
+
 class TestRenderHtml:
     def test_contains_sections_and_svg(self):
         html = render_html(build_report(trace(), source="t.jsonl"))
