@@ -267,6 +267,102 @@ def _geo(smoke: bool) -> list[Metric]:
 
 
 # ---------------------------------------------------------------------------
+# trace_overhead — causal tracing must not perturb simulated time
+# ---------------------------------------------------------------------------
+
+
+def _trace_overhead(smoke: bool) -> list[Metric]:
+    """Same-seed run untraced, traced, and causal-traced.
+
+    Telemetry (including the causal layer) observes the simulation; it
+    never schedules events or draws randomness.  The proof is in the
+    payload: identical output digests and identical simulated latency
+    across all three modes.  Host-time overhead is deliberately *not* a
+    metric here — the CI bench-smoke job byte-compares double runs, and
+    wall-clock numbers would break that; a loose bound lives in the unit
+    tests instead.
+    """
+    import hashlib
+
+    from repro.chaos.runner import workload
+    from repro.common.config import (
+        ClusterBFTConfig,
+        ClusterConfig,
+        SystemConfig,
+    )
+    from repro.common.records import encode_record
+    from repro.core.controller import ClusterBFTController
+    from repro.telemetry.causal import build_causal
+
+    rows = 120 if smoke else 320
+
+    def one_run(telemetry):
+        config = SystemConfig(
+            cluster=ClusterConfig(
+                num_nodes=16, slots_per_node=3, heartbeat_period=0.2
+            ),
+            bft=ClusterBFTConfig(f=1, replication=4, verification_points=1),
+            seed=20131209,
+        )
+        controller = ClusterBFTController(
+            config, block_bytes=2048, telemetry=telemetry
+        )
+        controller.load_input("in", workload(7)[:rows])
+        result = controller.run_assured(_EXEC_SCRIPT)
+        hasher = hashlib.sha256()
+        for path in sorted(result.outputs):
+            hasher.update(path.encode())
+            for record in result.outputs[path]:
+                hasher.update(encode_record(record))
+        return result, hasher.hexdigest()
+
+    untraced, digest_untraced = one_run(None)
+    traced_telemetry = Telemetry.recording()
+    traced, digest_traced = one_run(traced_telemetry)
+    causal_telemetry = Telemetry.recording(causal=True)
+    causal, digest_causal = one_run(causal_telemetry)
+
+    traced_records = traced_telemetry.export_records()
+    causal_records = causal_telemetry.export_records()
+    graph = build_causal(causal_records)
+    return [
+        metric(
+            "output_digest_match_traced",
+            int(digest_traced == digest_untraced),
+            "bool",
+        ),
+        metric(
+            "output_digest_match_causal",
+            int(digest_causal == digest_untraced),
+            "bool",
+        ),
+        metric(
+            "latency_untraced",
+            round(untraced.latency, 6),
+            "simulated_seconds",
+        ),
+        metric(
+            "latency_delta_traced",
+            round(traced.latency - untraced.latency, 6),
+            "simulated_seconds",
+        ),
+        metric(
+            "latency_delta_causal",
+            round(causal.latency - untraced.latency, 6),
+            "simulated_seconds",
+        ),
+        metric("trace_records", len(traced_records), "records"),
+        metric(
+            "causal_extra_records",
+            len(causal_records) - len(traced_records),
+            "records",
+        ),
+        metric("causal_message_edges", len(graph.message_edge), "edges"),
+        metric("causal_orphans", len(graph.orphans()), "spans"),
+    ]
+
+
+# ---------------------------------------------------------------------------
 # service_traffic — multi-tenant open-loop traffic over the service tier
 # ---------------------------------------------------------------------------
 
@@ -302,6 +398,13 @@ SUITES: tuple[BenchSpec, ...] = (
         "3-region and slow-region layouts under one WAN latency",
         seed=20131209,
         run=_geo,
+    ),
+    BenchSpec(
+        name="trace_overhead",
+        description="causal-tracing overhead: same-seed untraced vs traced "
+        "vs causal-traced output digests and simulated latency (must match)",
+        seed=20131209,
+        run=_trace_overhead,
     ),
     BenchSpec(
         name="service_traffic",

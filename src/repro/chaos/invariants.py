@@ -47,6 +47,12 @@ Invariant ids (stable — referenced by reports, tests and DESIGN.md):
     audit log) and never runs another task afterwards, including for
     tenants whose runs were admitted later (paper Fig. 7, across
     tenants).
+``OBS1``
+    Alert fidelity: every built-in SLO alert rule the scenario expects
+    (``expected_alerts``) fires over the faulty run's trace, and none
+    of those rules fires over the trace of a fault-free twin of the
+    same deployment — alerts detect injected faults without false
+    positives.
 """
 
 from __future__ import annotations
@@ -66,8 +72,9 @@ DUR1 = "DUR1"
 REG1 = "REG1"
 TEN1 = "TEN1"
 TEN2 = "TEN2"
+OBS1 = "OBS1"
 
-INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1, REG1, TEN1, TEN2)
+INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1, REG1, TEN1, TEN2, OBS1)
 
 
 @dataclass(frozen=True)
@@ -135,6 +142,9 @@ class RunContext:
     #: Control-tier crash sweep results (scenarios with
     #: ``control_crashes``); ``None`` when the sweep did not run.
     durability: DurabilityProbe | None = None
+    #: Trace records of the telemetry-enabled fault-free twin (only
+    #: populated when the scenario declares ``expected_alerts``).
+    twin_records: list[dict] = field(default_factory=list)
 
     def ref(self, locator: str) -> str | None:
         if self.trace_name is None:
@@ -417,6 +427,50 @@ def check_reg1(ctx: RunContext) -> list[Violation]:
     return violations
 
 
+def check_obs1(ctx: RunContext) -> list[Violation]:
+    """Expected alerts fire on the faulty trace; the fault-free twin of
+    the same deployment stays silent on those same rules."""
+    from repro.telemetry.slo import DEFAULT_RULES, evaluate
+
+    scenario = ctx.scenario
+    expected = tuple(getattr(scenario, "expected_alerts", ()) or ())
+    if not expected:
+        return []
+    violations = []
+    known = {rule.name for rule in DEFAULT_RULES}
+    for name in expected:
+        if name not in known:
+            violations.append(
+                Violation(
+                    OBS1,
+                    f"scenario expects unknown alert rule {name!r}",
+                    ctx.ref(f"rule={name}"),
+                )
+            )
+    fired = {f.rule for f in evaluate(ctx.records)}
+    for name in expected:
+        if name in known and name not in fired:
+            violations.append(
+                Violation(
+                    OBS1,
+                    f"injected fault never fired expected alert {name!r} "
+                    f"(fired: {', '.join(sorted(fired)) or 'none'})",
+                    ctx.ref(f"rule={name}"),
+                )
+            )
+    twin_fired = {f.rule for f in evaluate(ctx.twin_records)}
+    for name in sorted(twin_fired & set(expected)):
+        violations.append(
+            Violation(
+                OBS1,
+                f"fault-free twin fired alert {name!r} — the rule does "
+                f"not discriminate injected faults",
+                ctx.ref(f"twin,rule={name}"),
+            )
+        )
+    return violations
+
+
 _CHECKERS = (
     (SAFE1, check_safe1),
     (SAFE2, check_safe2),
@@ -425,6 +479,7 @@ _CHECKERS = (
     (DEGR1, check_degr1),
     (DUR1, check_dur1),
     (REG1, check_reg1),
+    (OBS1, check_obs1),
 )
 
 

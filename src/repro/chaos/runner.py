@@ -217,6 +217,22 @@ def run_one(
     durability = (
         run_durability_probe(scenario, seed) if scenario.control_crashes else None
     )
+    # OBS1 needs a *traced* fault-free twin: same deployment and
+    # workload, no fault plan, telemetry on — expected alerts must stay
+    # silent over its records.
+    twin_records: list[dict] = []
+    if scenario.expected_alerts:
+        twin_telemetry = Telemetry.recording()
+        twin = ClusterBFTController(
+            scenario.system_config(seed),
+            block_bytes=_BLOCK_BYTES,
+            replicate_frontend=scenario.uses_network_faults,
+            telemetry=twin_telemetry,
+        )
+        twin.load_input("in", workload(seed))
+        for _ in range(scenario.runs):
+            twin.run_assured(DEFAULT_SCRIPT)
+        twin_records = twin_telemetry.export_records()
     ctx = RunContext(
         scenario=scenario,
         controller=controller,
@@ -225,8 +241,16 @@ def run_one(
         records=records,
         trace_name=trace_name,
         durability=durability,
+        twin_records=twin_records,
     )
     return ctx, check_all(ctx)
+
+
+def _fired_alerts(records: list[dict]) -> list[str]:
+    """Sorted names of built-in SLO rules that fired over a trace."""
+    from repro.telemetry.slo import evaluate
+
+    return sorted({firing.rule for firing in evaluate(records)})
 
 
 def _cell_report(
@@ -239,6 +263,8 @@ def _cell_report(
         "seed": seed,
         "passed": not violations,
         "expected_violations": list(ctx.scenario.expected_violations),
+        "expected_alerts": list(ctx.scenario.expected_alerts),
+        "alerts": _fired_alerts(ctx.records),
         "violations": [v.as_dict() for v in violations],
         "assured": [bool(r.assured) for r in ctx.results],
         "exhausted": [bool(r.exhausted) for r in ctx.results],
@@ -352,6 +378,8 @@ def _service_cell_report(
         "seed": seed,
         "passed": not violations,
         "expected_violations": [],
+        "expected_alerts": [],
+        "alerts": _fired_alerts(ctx.records),
         "violations": [v.as_dict() for v in violations],
         "assured": [bool(run.assured) for run in result.runs],
         "exhausted": [bool(run.exhausted) for run in result.runs],

@@ -117,6 +117,12 @@ class Scenario:
     #: scenario is *expected* to trip (campaign still reports them as
     #: violations — the flag is for tests and humans, not the checker).
     expected_violations: tuple[str, ...] = field(default=())
+    #: OBS1: built-in SLO alert rules (by name, see
+    #: :data:`repro.telemetry.slo.DEFAULT_RULES`) that the injected
+    #: faults must make fire — and that a fault-free twin of the same
+    #: deployment must *not* fire.  Non-empty tuples make the runner
+    #: execute the telemetry-enabled fault-free twin.
+    expected_alerts: tuple[str, ...] = ()
 
     @property
     def uses_network_faults(self) -> bool:
@@ -412,6 +418,49 @@ def _scenario_list() -> list[Scenario]:
             attributed_nodes=(8,),
         ),
         Scenario(
+            name="obs-commission",
+            description="OBS1: a tampering node must fire the "
+            "replica-suspicion alert; the fault-free twin stays silent",
+            faults=(FaultSpec("commission", 2, (("probability", 0.8),)),),
+            runs=2,
+            attributed_nodes=(2,),
+            expected_alerts=("replica-suspicion",),
+        ),
+        Scenario(
+            name="obs-timeout",
+            description="OBS1: with r = f+1, one slow replica blocks the "
+            "digest quorum past the verifier deadline (Table 3 case 2) "
+            "and must fire the verification-timeout alert; the fault-free "
+            "twin — same deadline, no slow node — stays silent",
+            faults=(FaultSpec("slow", 0, (("factor", 20.0),)),),
+            replication=2,
+            verifier_timeout=8.0,
+            expected_alerts=("verification-timeout",),
+        ),
+        Scenario(
+            name="obs-crash",
+            description="OBS1: a crash-stopped node must fire the "
+            "node-crash alert; the fault-free twin stays silent",
+            faults=(FaultSpec("crash", 4, (("after_tasks", 2),)),),
+            crash_timeout=1.0,
+            runs=2,
+            expected_alerts=("node-crash",),
+        ),
+        Scenario(
+            name="obs-quarantine",
+            description="OBS1: a flaky node crossing the quarantine "
+            "threshold must fire the node-quarantine alert; the "
+            "fault-free twin stays silent",
+            faults=(
+                FaultSpec("flaky-commission", 2, (("probability", 0.7),)),
+            ),
+            quarantine_threshold=0.2,
+            suspicion_threshold=1.0,
+            runs=4,
+            attributed_nodes=(2,),
+            expected_alerts=("node-quarantine", "replica-suspicion"),
+        ),
+        Scenario(
             name="weakened-safe1",
             description="DELIBERATELY WEAKENED: f=0, r=1 — the single "
             "(corrupt) replica is its own quorum, so a tampered record "
@@ -531,12 +580,23 @@ GEO_CAMPAIGN = (
     "geo-ctl-crash",
 )
 
+#: Observability campaign: every cell injects a fault class and
+#: requires the matching built-in SLO alert to fire (OBS1), with a
+#: fault-free twin of the same deployment staying silent.
+OBS_CAMPAIGN = (
+    "obs-commission",
+    "obs-timeout",
+    "obs-crash",
+    "obs-quarantine",
+)
+
 CAMPAIGNS: dict[str, tuple[str, ...]] = {
     "default": DEFAULT_CAMPAIGN,
     "smoke": SMOKE_CAMPAIGN,
     "durability": DURABILITY_CAMPAIGN,
     "service": SERVICE_CAMPAIGN,
     "geo": GEO_CAMPAIGN,
+    "obs": OBS_CAMPAIGN,
 }
 
 

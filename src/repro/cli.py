@@ -16,6 +16,15 @@ Examples::
     python -m repro run analysis.pig --trace out.jsonl ...
     python -m repro trace out.jsonl
 
+    # causal protocol tracing: per-commit causal chains + flow arrows
+    python -m repro run analysis.pig --trace out.jsonl --causal ...
+    python -m repro trace out.jsonl --causal
+    python -m repro trace out.jsonl --causal --chrome-flow out.flow.json
+
+    # SLO alert plane: evaluate alert rules over a recorded trace
+    python -m repro alerts out.jsonl
+    python -m repro alerts out.jsonl --rules examples/alerts.json --format json
+
     # compare two traces of the same script (attempt/critical-path deltas)
     python -m repro trace clean.jsonl faulty.jsonl --diff
 
@@ -51,6 +60,7 @@ kept as strings; empty cells become NULL.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import signal
 import sys
@@ -68,12 +78,20 @@ from repro.lint.cli import add_lint_parser, cmd_lint
 from repro.service.cli import add_serve_parser, cmd_serve
 from repro.telemetry import Telemetry
 from repro.telemetry.analysis import diff_traces, summarize
+from repro.telemetry.causal import build_causal, render_causal, to_chrome_flow
 from repro.telemetry.export import (
     read_jsonl,
     read_jsonl_lenient,
     write_chrome_trace,
 )
 from repro.telemetry.report import build_report, render_html, render_text
+from repro.telemetry.slo import (
+    DEFAULT_RULES,
+    evaluate,
+    firing_rows,
+    load_rules,
+    render_alerts,
+)
 
 
 #: ``repro run``/``repro resume`` exit status when rerun escalation
@@ -155,6 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
         "a Chrome trace_event file (OUT.chrome.json) for Perfetto",
     )
     run.add_argument(
+        "--causal",
+        action="store_true",
+        help="thread causal context through the trace (net.send/net.recv/"
+        "digest.send/digest.recv events with message edges) so "
+        "`repro trace --causal` can reconstruct per-commit causal "
+        "chains; needs --trace, never perturbs simulated time",
+    )
+    run.add_argument(
         "--profile-host",
         action="store_true",
         help="stamp each trace record with a host_time wall-clock field "
@@ -218,6 +244,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--top-nodes", type=int, default=10,
                        help="rows in the per-node task-time table")
+    trace.add_argument(
+        "--causal",
+        action="store_true",
+        help="reconstruct the causal DAG (per-commit chains, round "
+        "slack, slowest links) from a trace recorded with "
+        "`repro run --causal`",
+    )
+    trace.add_argument(
+        "--chrome-flow",
+        metavar="OUT.json",
+        default=None,
+        help="with --causal: export a Chrome trace_event file with "
+        "message flow arrows (Perfetto draws send→recv edges)",
+    )
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="evaluate SLO alert rules over a recorded trace",
+    )
+    alerts.add_argument(
+        "trace_file", help="JSONL trace from `repro run --trace`"
+    )
+    alerts.add_argument(
+        "--rules",
+        metavar="RULES.json",
+        default=None,
+        help="alert-rule file (see examples/alerts.json); "
+        "default: the built-in rule set",
+    )
+    alerts.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="plain text (default) or canonical JSON rows",
+    )
+    alerts.add_argument(
+        "--fail-on-fire",
+        action="store_true",
+        help="exit 1 when any alert fired (CI gate)",
+    )
 
     report = sub.add_parser(
         "report",
@@ -362,12 +429,14 @@ def cmd_run(args) -> int:
         # crashed run still leaves its trace prefix on disk.
         try:
             telemetry = Telemetry.streaming(
-                args.trace, wall_clock=args.profile_host
+                args.trace, wall_clock=args.profile_host, causal=args.causal
             )
         except OSError as exc:
             raise SystemExit(f"cannot open trace file: {exc}")
     elif args.profile_host:
         raise SystemExit("--profile-host needs --trace OUT.jsonl")
+    elif args.causal:
+        raise SystemExit("--causal needs --trace OUT.jsonl")
     with open(args.script) as handle:
         script = handle.read()
     journal = None
@@ -500,7 +569,46 @@ def cmd_trace(args) -> int:
     if args.chrome:
         write_chrome_trace(records, args.chrome)
         print(f"chrome trace written to {args.chrome}")
+    if args.chrome_flow and not args.causal:
+        raise SystemExit("--chrome-flow needs --causal")
+    if args.causal:
+        graph = build_causal(records)
+        if args.chrome_flow:
+            document = to_chrome_flow(records)
+            try:
+                write_json(args.chrome_flow, document)
+            except OSError as exc:
+                raise SystemExit(f"cannot write chrome flow trace: {exc}")
+            # Status to stderr: stdout is the causal analysis, which CI
+            # byte-compares across runs with differently named files.
+            print(
+                f"chrome flow trace written to {args.chrome_flow}",
+                file=sys.stderr,
+            )
+        print(render_causal(graph))
+        return 0
     print(summarize(records).render(top_nodes=args.top_nodes))
+    return 0
+
+
+def cmd_alerts(args) -> int:
+    records = _read_trace(args.trace_file)
+    if args.rules:
+        try:
+            rules = load_rules(args.rules)
+        except OSError as exc:
+            raise SystemExit(f"cannot read rules: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"bad rules file {args.rules}: {exc}")
+    else:
+        rules = DEFAULT_RULES
+    firings = evaluate(records, rules)
+    if args.fmt == "json":
+        print(json.dumps(firing_rows(firings), sort_keys=True, indent=2))
+    else:
+        print(render_alerts(firings, rules))
+    if args.fail_on_fire and firings:
+        return 1
     return 0
 
 
@@ -548,6 +656,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_trace(args)
         if args.command == "report":
             return cmd_report(args)
+        if args.command == "alerts":
+            return cmd_alerts(args)
         if args.command == "bench":
             return cmd_bench(args)
         if args.command == "lint":

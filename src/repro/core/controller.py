@@ -481,7 +481,17 @@ class ClusterBFTController:
             # The submission is ordered by the replicated request handler
             # before any job starts; its consensus round is on the
             # critical path (part of the latency Fig. 14 measures).
-            self.frontend.call((script_id, len(prepared.job_graph.jobs)))
+            if self.telemetry.causal and tracer.enabled:
+                # Anchor the ordering round's Request send (and the whole
+                # pre-prepare/prepare/commit cascade behind it) to this
+                # run's root span.
+                tracer.push_context(run_span.span_id)
+                try:
+                    self.frontend.call((script_id, len(prepared.job_graph.jobs)))
+                finally:
+                    tracer.pop_context()
+            else:
+                self.frontend.call((script_id, len(prepared.job_graph.jobs)))
         graph = prepared.job_graph
         order = graph.topological_order()
 
@@ -613,6 +623,7 @@ class ClusterBFTController:
                     sid, fault, journal=j
                 ),
                 telemetry=self.telemetry,
+                span_parent=attempt_span.span_id if tracer.enabled else None,
             )
             self._submit_attempt(
                 prepared,
@@ -624,6 +635,7 @@ class ClusterBFTController:
                 verifier=verifier,
                 attempt=attempt,
                 journal=journal,
+                span_parent=attempt_span.span_id if tracer.enabled else None,
             )
             # Global fail-safe: if stalled unverified jobs never finish,
             # end the attempt once every verification deadline has passed.
@@ -905,6 +917,7 @@ class ClusterBFTController:
         verifier: Verifier | None,
         attempt: _Attempt,
         journal: wal.Journal | None = None,
+        span_parent: int | None = None,
     ) -> None:
         graph = prepared.job_graph
         internal = graph.internal_paths()
@@ -1000,6 +1013,7 @@ class ClusterBFTController:
                             "job_index": job_index,
                             "deps": sorted(job_deps),
                         },
+                        span_parent=span_parent,
                     )
                     attempt.runs.append(run)
                     attempt.runs_by_job.setdefault(job_index, []).append(run)
@@ -1382,6 +1396,11 @@ class ClusterBFTController:
             self.fault_analyzer,
             quarantined=len(self.scheduler.quarantined),
         )
+        # Per-region aggregate suspicion (geo clusters only; flat
+        # clusters declare no regions, so their gauge set is unchanged).
+        for region in self.cluster.regions():
+            level, _jobs = self._region_suspicion(region)
+            self.telemetry.metrics.gauge("region_suspicion", region=region).set(level)
 
     # ------------------------------------------------------------------
     # output publication

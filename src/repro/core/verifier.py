@@ -88,10 +88,14 @@ class Verifier:
         on_verdict: Callable[[VerificationOutcome], None] | None = None,
         on_late_fault: Callable[[SubGraphId, ReplicaFault], None] | None = None,
         telemetry: Telemetry | None = None,
+        span_parent: int | None = None,
     ) -> None:
         self.loop = loop
         self.telemetry = telemetry if telemetry is not None else DISABLED
         self._tracer = self.telemetry.tracer
+        #: Explicit parent for "verify" spans (the owning attempt span)
+        #: so causal chains from commit back to the run root are closed.
+        self.span_parent = span_parent
         self.f = f
         self.quorum = f + 1
         self.cost = cost
@@ -118,6 +122,7 @@ class Verifier:
         if self._tracer.enabled:
             state.span = self._tracer.begin(
                 "verify",
+                parent=self.span_parent,
                 start=self.loop.now,
                 sid=sid,
                 expected=expected_replicas,

@@ -98,6 +98,7 @@ class JobRun:
         total_replicas: int = 1,
         allowed_nodes: set[NodeId] | None = None,
         trace_attrs: dict | None = None,
+        span_parent: int | None = None,
     ) -> None:
         self.job_id = job_id
         self.sid = sid
@@ -127,6 +128,9 @@ class JobRun:
         #: Extra span attributes stamped by the submitter (attempt index,
         #: job_index, deps) — consumed by trace analysis.
         self.trace_attrs = dict(trace_attrs) if trace_attrs else {}
+        #: Explicit parent for the job span (the submitting attempt span)
+        #: so causal chains reach the run root; None = stack default.
+        self.span_parent = span_parent
         #: Open telemetry span for this run (None when tracing is off).
         self.span = None
 
@@ -309,6 +313,7 @@ class MapReduceEngine:
         if self._tracer.enabled:
             run.span = self._tracer.begin(
                 "job",
+                parent=run.span_parent,
                 start=self.loop.now,
                 job_id=run.job_id,
                 sid=run.sid,
@@ -582,12 +587,13 @@ class MapReduceEngine:
                 run.reduce_results[ref.index] = result
             run.metrics.absorb_task(task_metrics)
             run.completed_durations[ref.kind].append(task_metrics.duration_seconds)
+            task_span = None
             if self._tracer.enabled:
-                self._emit_task_span(
+                task_span = self._emit_task_span(
                     run, ref, node, task_metrics, launched_at, backup
                 )
                 publish_task(self.telemetry.metrics, task_metrics)
-            self._emit_digests(run, ref, result, node, node_rng)
+            self._emit_digests(run, ref, result, node, node_rng, task_span)
             if run.all_finished():
                 self._complete_job(run)
 
@@ -601,10 +607,11 @@ class MapReduceEngine:
         task_metrics: TaskMetrics,
         launched_at: float,
         backup: bool,
-    ) -> None:
+    ):
         """Record the completed task attempt as a span (with shuffle and
         digest-hashing sub-spans placed at their approximate offsets:
-        shuffle precedes compute, hashing rides alongside it)."""
+        shuffle precedes compute, hashing rides alongside it).  Returns
+        the task span so the digest path can parent to it."""
         span = self._tracer.begin(
             "task",
             parent=run.span,
@@ -638,6 +645,7 @@ class MapReduceEngine:
                 bytes=task_metrics.digest_bytes,
             )
         span.end(end=self.loop.now)
+        return span
 
     def _execute_map(
         self, node: WorkerNode, run: JobRun, index: int, node_rng: random.Random
@@ -748,6 +756,7 @@ class MapReduceEngine:
         result: MapTaskOutput | ReduceTaskOutput,
         node: WorkerNode,
         node_rng: random.Random,
+        task_span=None,
     ) -> None:
         if run.digest_sink is None or not result.taps:
             return
@@ -773,6 +782,8 @@ class MapReduceEngine:
         delay = self.cost.digest_network_seconds + config.wan_seconds(
             node.region, config.control_region()
         )
+        tracer = self._tracer
+        causal = self.telemetry.causal and tracer.enabled
         for tap in result.taps:
             report = DigestReport(
                 sid=run.sid,
@@ -785,9 +796,46 @@ class MapReduceEngine:
                 record_count=tap.record_count,
                 sent_at=self.loop.now,
             )
+            send_ref = 0
+            if causal:
+                # Digest reports bypass SimNetwork (direct loop hop to
+                # the trusted tier), so the causal send/recv pair is
+                # emitted by hand, parented to the producing task span.
+                if task_span is not None:
+                    tracer.push_context(task_span.span_id)
+                try:
+                    send_ref = tracer.event(
+                        "digest.send",
+                        sid=run.sid,
+                        replica=run.replica,
+                        job_id=run.job_id,
+                        vp_id=tap.vp_id,
+                        node=node.node_id,
+                    )
+                finally:
+                    if task_span is not None:
+                        tracer.pop_context()
+
+            def deliver(r=report, ref_id=send_ref) -> None:
+                if ref_id:
+                    recv_ref = tracer.event(
+                        "digest.recv",
+                        mid=ref_id,
+                        sid=r.sid,
+                        replica=r.replica,
+                        vp_id=r.vp_id,
+                    )
+                    tracer.push_context(recv_ref)
+                    try:
+                        run.digest_sink(r)
+                    finally:
+                        tracer.pop_context()
+                else:
+                    run.digest_sink(r)
+
             self.loop.schedule(
                 delay,
-                lambda r=report: run.digest_sink(r),
+                deliver,
                 label=f"digest:{run.job_id}:{tap.vp_id}",
             )
 

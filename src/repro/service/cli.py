@@ -61,6 +61,12 @@ def add_serve_parser(sub) -> None:
         default=None,
         help="also write the summary JSON to FILE",
     )
+    serve.add_argument(
+        "--slo",
+        action="store_true",
+        help="record telemetry and add per-tenant SLO status (built-in "
+        "alert rules of `repro alerts`) to the summary",
+    )
     synth = serve.add_argument_group("synthetic trace (no trace file)")
     synth.add_argument("--tenants", type=int, default=3)
     synth.add_argument("--jobs", type=int, default=3, dest="jobs_per_tenant")
@@ -79,9 +85,27 @@ def add_serve_parser(sub) -> None:
                        help="input rows per honest job")
 
 
-def _summary(result, stats) -> dict:
+def _tenant_slo(firings) -> dict:
+    """Per-tenant SLO status from alert firings.
+
+    A firing belongs to a tenant when its group carries a ``tenant``
+    key (gauge rules) or a ``subject`` key (audit-event rules); global
+    firings (no group) apply to every tenant and land under ``"*"``.
+    """
+    by_tenant: dict[str, list] = {}
+    for firing in firings:
+        group = dict(firing.group)
+        tenant = group.get("tenant") or group.get("subject") or "*"
+        by_tenant.setdefault(str(tenant), []).append(firing)
+    return by_tenant
+
+
+def _summary(result, stats, slo_firings=None) -> dict:
     tenants = sorted({run.tenant for run in result.runs}
                      | {reject.tenant for reject in result.rejects})
+    slo_by_tenant = (
+        _tenant_slo(slo_firings) if slo_firings is not None else None
+    )
     per_tenant = {}
     for tenant in tenants:
         runs = result.runs_for(tenant)
@@ -99,7 +123,15 @@ def _summary(result, stats) -> dict:
                 round(percentile(latencies, 99), 6) if latencies else None
             ),
         }
-    return {
+        if slo_by_tenant is not None:
+            tenant_firings = slo_by_tenant.get(tenant, []) + slo_by_tenant.get(
+                "*", []
+            )
+            per_tenant[tenant]["slo"] = {
+                "status": "breached" if tenant_firings else "ok",
+                "alerts": sorted({f.rule for f in tenant_firings}),
+            }
+    summary = {
         "trace": result.trace_name,
         "seed": result.seed,
         **stats,
@@ -109,6 +141,11 @@ def _summary(result, stats) -> dict:
         "ledger": result.ledger_path,
         "tenants": per_tenant,
     }
+    if slo_firings is not None:
+        from repro.telemetry.slo import firing_rows
+
+        summary["alerts"] = firing_rows(slo_firings)
+    return summary
 
 
 def cmd_serve(args) -> int:
@@ -118,6 +155,11 @@ def cmd_serve(args) -> int:
     from repro.service.tenants import parse_trace
 
     crash_hook = _env_kill_hook()
+    telemetry = None
+    if args.slo:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.recording()
     try:
         if args.resume:
             if not args.ledger:
@@ -130,6 +172,7 @@ def cmd_serve(args) -> int:
                 trace,
                 ledger_path=args.ledger,
                 resume=True,
+                telemetry=telemetry,
                 crash_hook=crash_hook,
             )
             faulty = frozenset()
@@ -156,7 +199,10 @@ def cmd_serve(args) -> int:
                     name="synthetic",
                 )
             result = run_trace(
-                trace, ledger_path=args.ledger, crash_hook=crash_hook
+                trace,
+                ledger_path=args.ledger,
+                telemetry=telemetry,
+                crash_hook=crash_hook,
             )
             faulty = frozenset(
                 spec.name for spec in trace.tenants if spec.faulty
@@ -166,11 +212,18 @@ def cmd_serve(args) -> int:
         return 2
     result._faulty_tenants = faulty
     stats = traffic_stats(result)
-    summary = _summary(result, stats)
+    slo_firings = None
+    if telemetry is not None:
+        from repro.telemetry.slo import evaluate
+
+        slo_firings = evaluate(telemetry.export_records())
+    summary = _summary(result, stats, slo_firings=slo_firings)
     if args.bench:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         _print_human(result, stats, faulty)
+        if slo_firings is not None:
+            _print_slo(summary["tenants"])
     if args.out:
         from repro.common.atomic_io import write_json
 
@@ -182,6 +235,16 @@ def cmd_serve(args) -> int:
         if run.tenant not in faulty and not run.assured
     ]
     return 1 if honest_failed else 0
+
+
+def _print_slo(per_tenant: dict) -> None:
+    print("slo       :")
+    for tenant in sorted(per_tenant):
+        slo = per_tenant[tenant].get("slo")
+        if slo is None:
+            continue
+        alerts = ", ".join(slo["alerts"]) if slo["alerts"] else "-"
+        print(f"  {tenant}: {slo['status']} (alerts: {alerts})")
 
 
 def _print_human(result, stats, faulty) -> None:

@@ -107,13 +107,20 @@ class Topology:
 class _InFlight:
     """A scheduled-but-undelivered message, re-checkable by new filters."""
 
-    __slots__ = ("sender", "receiver", "message", "dropped")
+    __slots__ = ("sender", "receiver", "message", "dropped", "send_ref")
 
-    def __init__(self, sender: str, receiver: str, message: Any) -> None:
+    def __init__(
+        self, sender: str, receiver: str, message: Any, send_ref: int = 0
+    ) -> None:
         self.sender = sender
         self.receiver = receiver
         self.message = message
         self.dropped = False
+        #: Trace id of the ``net.send`` event when causal tracing is on
+        #: (0 otherwise) — the message id the matching ``net.recv``
+        #: refers back to.  Lives on the in-flight entry, never on the
+        #: message object itself, so payloads/digests are untouched.
+        self.send_ref = send_ref
 
 
 class SimNetwork:
@@ -218,7 +225,29 @@ class SimNetwork:
         delay = model.sample(self.rng)
         for rule in self._delay_rules:
             delay += max(rule(sender, receiver, message), 0.0)
-        entry = _InFlight(sender, receiver, message)
+        tracer = self.telemetry.tracer
+        causal = self.telemetry.causal and tracer.enabled
+        send_ref = 0
+        if causal:
+            # The send event's own trace id doubles as the message id:
+            # the recv event carries it as ``mid``, giving the causal
+            # DAG a send->recv edge without mutating the message.
+            attrs = {
+                "sender": sender,
+                "receiver": receiver,
+                "kind": type(message).__name__,
+                "size": size_bytes,
+            }
+            # Protocol messages expose their round: seq/view make the
+            # causal analysis's per-round grouping message-granular.
+            seq = getattr(message, "seq", None)
+            if seq is not None:
+                attrs["seq"] = seq
+            view = getattr(message, "view", None)
+            if view is not None:
+                attrs["view"] = view
+            send_ref = tracer.event("net.send", **attrs)
+        entry = _InFlight(sender, receiver, message, send_ref=send_ref)
         self._in_flight.append(entry)
 
         def deliver() -> None:
@@ -233,10 +262,31 @@ class SimNetwork:
                 # as a real datagram network would.
                 self.messages_undeliverable += 1
                 self._count("network_messages_dropped", cause="undeliverable")
+                if causal:
+                    tracer.event(
+                        "net.lost", mid=entry.send_ref, cause="undeliverable"
+                    )
                 return
             self.messages_delivered += 1
             self._count("network_messages_delivered")
-            handler(sender, message)
+            if causal:
+                recv_ref = tracer.event(
+                    "net.recv",
+                    mid=entry.send_ref,
+                    sender=sender,
+                    receiver=receiver,
+                    kind=type(message).__name__,
+                )
+                # Everything the handler records — protocol spans,
+                # follow-up sends — parents to this delivery, which is
+                # exactly the causal chain.
+                tracer.push_context(recv_ref)
+                try:
+                    handler(sender, message)
+                finally:
+                    tracer.pop_context()
+            else:
+                handler(sender, message)
 
         self.loop.schedule(delay, deliver, label=f"net:{sender}->{receiver}")
 

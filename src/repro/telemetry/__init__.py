@@ -124,12 +124,20 @@ class Telemetry:
 
     enabled = True
 
+    #: Causal message tracing: when True, `SimNetwork` and the digest
+    #: path emit paired send/recv events and parent in-handler records
+    #: to the delivery — see :mod:`repro.telemetry.causal`.  Purely an
+    #: extra-records switch; it never perturbs the simulation.
+    causal = False
+
     def __init__(
         self,
         clock: Callable[[], float] | None = None,
         wall_clock: bool = False,
         stream_path: str | None = None,
+        causal: bool = False,
     ) -> None:
+        self.causal = bool(causal)
         self.sink = InMemorySink()
         self.stream_sink: JsonlStreamSink | None = None
         sinks: list = [self.sink]
@@ -146,9 +154,14 @@ class Telemetry:
         self.metrics.bind_sampler(self.tracer.sample)
 
     @classmethod
-    def recording(cls, clock: Callable[[], float] | None = None, wall_clock: bool = False) -> "Telemetry":
+    def recording(
+        cls,
+        clock: Callable[[], float] | None = None,
+        wall_clock: bool = False,
+        causal: bool = False,
+    ) -> "Telemetry":
         """An enabled telemetry pipeline backed by an in-memory sink."""
-        return cls(clock=clock, wall_clock=wall_clock)
+        return cls(clock=clock, wall_clock=wall_clock, causal=causal)
 
     @classmethod
     def streaming(
@@ -156,10 +169,11 @@ class Telemetry:
         path: str,
         clock: Callable[[], float] | None = None,
         wall_clock: bool = False,
+        causal: bool = False,
     ) -> "Telemetry":
         """An enabled pipeline that writes records through to ``path``
         (JSONL) as they are emitted; call :meth:`finalize` when done."""
-        return cls(clock=clock, stream_path=path, wall_clock=wall_clock)
+        return cls(clock=clock, stream_path=path, wall_clock=wall_clock, causal=causal)
 
     def finalize(self) -> int | None:
         """Append the trailing metrics snapshot to the stream sink and
@@ -220,6 +234,7 @@ class _DisabledTelemetry(Telemetry):
     """Shared no-op facade; safe to pass everywhere, records nothing."""
 
     enabled = False
+    causal = False
 
     def __init__(self) -> None:
         self.sink = InMemorySink()  # stays empty: NULL_TRACER never writes

@@ -68,6 +68,12 @@ class TraceSummary:
     metric_rows: list[dict] = field(default_factory=list)
     #: Gauge time-series points (``type: sample`` records, in order).
     sample_rows: list[dict] = field(default_factory=list)
+    #: Span id -> span name (every span seen, finished or not).  Used by
+    #: :class:`TraceDiff` to report added/removed spans when two traces
+    #: of "the same" script diverge mid-run (e.g. one seed reruns an
+    #: attempt): past the divergence point the same numeric id names
+    #: different spans, so id-keyed pairing would lie.
+    span_names: dict[int, str] = field(default_factory=dict)
 
     def render(self, top_nodes: int = 10) -> str:
         lines: list[str] = []
@@ -348,7 +354,53 @@ class TraceDiff:
             lines.append("largest per-node busy-time shifts:")
             for node, delta in shifted:
                 lines.append(f"  {node:<12} {delta:+10.3f}s")
+        lines.extend(self._span_divergence())
         return "\n".join(lines)
+
+    def _span_divergence(self) -> list[str]:
+        """Added/removed-span section for traces that diverge mid-run.
+
+        Two traces of the same script share a span-id prefix up to the
+        first behavioural divergence (a rerun attempt, an extra verify
+        round); past it the id sequences drift apart.  Rather than pair
+        spans by id — which silently compares unrelated spans — report
+        the ids present in only one trace and the first id whose name
+        disagrees.
+        """
+        names_a, names_b = self.a.span_names, self.b.span_names
+        only_a = sorted(set(names_a) - set(names_b))
+        only_b = sorted(set(names_b) - set(names_a))
+        renamed = sorted(
+            sid
+            for sid in set(names_a) & set(names_b)
+            if names_a[sid] != names_b[sid]
+        )
+        if not (only_a or only_b or renamed):
+            return []
+        lines = ["", "span divergence (traces not span-for-span aligned):"]
+        if renamed:
+            first = renamed[0]
+            lines.append(
+                f"  first diverging span id: {first} "
+                f"({self.label_a}: {names_a[first]}, "
+                f"{self.label_b}: {names_b[first]})"
+            )
+        for label, only, names in (
+            (self.label_a, only_a, names_a),
+            (self.label_b, only_b, names_b),
+        ):
+            if not only:
+                continue
+            counts: dict[str, int] = {}
+            for sid in only:
+                counts[names[sid]] = counts.get(names[sid], 0) + 1
+            summary = ", ".join(
+                f"{name} x{count}" for name, count in sorted(counts.items())
+            )
+            lines.append(
+                f"  only in {label}: {len(only)} span(s) ({summary})"
+            )
+        return lines
 
 
 def diff_traces(
@@ -385,9 +437,13 @@ def summarize(records: list[dict]) -> TraceSummary:
         if kind == "sample":
             summary.sample_rows.append(record)
             continue
-        if kind != "span" or record.get("end") is None:
+        if kind != "span":
             continue
         name = record["name"]
+        if "id" in record:
+            summary.span_names[record["id"]] = name
+        if record.get("end") is None:
+            continue
         attrs = record.get("attrs") or {}
         duration = record["end"] - record["start"]
         if name == "run":

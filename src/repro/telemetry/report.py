@@ -20,7 +20,10 @@ sections:
    metrics snapshot, with dropped messages broken out by cause
    (``filtered`` — a partition/drop rule rejected the send, including
    in-flight messages swept by a filter installed mid-flight —
-   vs ``undeliverable`` — the receiving endpoint deregistered).
+   vs ``undeliverable`` — the receiving endpoint deregistered);
+7. **slo alerts** — the built-in alert rules of
+   :mod:`repro.telemetry.slo` evaluated over the record stream (the
+   same deterministic firings ``repro alerts`` prints).
 
 ``--profile`` adds a host-time section: when the trace was recorded
 with ``wall_clock=True``, the gaps between consecutive records' host
@@ -39,6 +42,7 @@ from dataclasses import dataclass, field
 
 from repro.reporting.tables import Series, Table, render_figure
 from repro.telemetry.analysis import TraceSummary, gauge_series, summarize
+from repro.telemetry.slo import DEFAULT_RULES, AlertFiring, evaluate
 
 #: Verify-duration buckets (seconds, simulated) for section 3.
 VERIFY_BUCKETS = (0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
@@ -92,6 +96,9 @@ class RunReport:
     profile_rows: list[tuple[str, float, int]] | None = None
     profile_total: float = 0.0
     profile_missing: bool = False
+    #: SLO alert firings (built-in rules) + how many rules were evaluated.
+    alert_firings: list[AlertFiring] = field(default_factory=list)
+    alert_rules_evaluated: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -327,6 +334,8 @@ def build_report(
         verify_buckets=_verify_histogram(records),
         suspicion_rows=_suspicion_rows(records),
         network_rows=_network_rows(records),
+        alert_firings=evaluate(records, DEFAULT_RULES),
+        alert_rules_evaluated=len(DEFAULT_RULES),
     )
     report.event_rows, report.events_truncated = _event_rows(records)
     if profile:
@@ -468,6 +477,34 @@ def render_text(report: RunReport) -> str:
         table = Table("message counters", ["counter", "cause", "count"])
         for name, cause, value in report.network_rows:
             table.add_row(name, cause or "-", value)
+        lines.append(table.render())
+
+    # 7. slo alerts ----------------------------------------------------
+    lines += _section("7. slo alerts")
+    if not report.alert_firings:
+        lines.append(
+            f"no alerts fired ({report.alert_rules_evaluated} built-in "
+            f"rules evaluated)"
+        )
+    else:
+        still = sum(1 for f in report.alert_firings if f.resolved_at is None)
+        lines.append(
+            f"{still} firing, {len(report.alert_firings) - still} resolved "
+            f"({report.alert_rules_evaluated} built-in rules evaluated)"
+        )
+        table = Table(
+            "alert firings",
+            ["severity", "rule", "fired at", "resolved at", "peak"],
+        )
+        for firing in report.alert_firings:
+            table.add_row(
+                firing.severity,
+                firing.rule + firing.group_label,
+                f"{firing.fired_at:.3f}",
+                "-" if firing.resolved_at is None
+                else f"{firing.resolved_at:.3f}",
+                f"{firing.peak:g}",
+            )
         lines.append(table.render())
 
     # host-time profile (opt-in) --------------------------------------

@@ -137,10 +137,16 @@ class NullTracer:
     ) -> None:
         pass
 
-    def event(self, name: str, time: float | None = None, **attrs: Any) -> None:
-        pass
+    def event(self, name: str, time: float | None = None, **attrs: Any) -> int:
+        return 0
 
     def sample(self, name: str, labels: dict, value: float, time: float | None = None) -> None:
+        pass
+
+    def push_context(self, ref: int) -> None:
+        pass
+
+    def pop_context(self) -> None:
         pass
 
 
@@ -240,18 +246,34 @@ class Tracer:
         }
         self._dispatch(record)
 
-    def event(self, name: str, time: float | None = None, **attrs: Any) -> None:
-        """Record an instant event."""
+    def event(self, name: str, time: float | None = None, **attrs: Any) -> int:
+        """Record an instant event; returns the record id.
+
+        Event ids share the span id space, so an event can serve as a
+        causal anchor: :meth:`push_context` makes it the parent of
+        everything recorded until the matching :meth:`pop_context` —
+        how message deliveries stitch the causal chain together.
+        """
         self.events_recorded += 1
+        event_id = self._new_id()
         record = {
             "type": "event",
-            "id": self._new_id(),
+            "id": event_id,
             "parent": self._current_parent(),
             "name": name,
             "ts": self.clock() if time is None else time,
             "attrs": attrs,
         }
         self._dispatch(record)
+        return event_id
+
+    def push_context(self, ref: int) -> None:
+        """Make record ``ref`` the default parent for subsequent records."""
+        self._stack.append(ref)
+
+    def pop_context(self) -> None:
+        if self._stack:
+            self._stack.pop()
 
     def sample(
         self, name: str, labels: dict, value: float, time: float | None = None

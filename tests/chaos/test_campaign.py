@@ -139,3 +139,40 @@ class TestCli:
     def test_bad_seeds_exits(self):
         with pytest.raises(SystemExit):
             main(["chaos", "run", "--scenarios", "baseline", "--seeds", "zero"])
+
+
+class TestObsCells:
+    """OBS1 end to end: the obs campaign's faulty cells fire their
+    expected alerts while the fault-free twins stay silent."""
+
+    def test_obs_commission_cell_passes_and_reports_alerts(self):
+        ctx, violations = run_one(SCENARIOS["obs-commission"], seed=2)
+        assert violations == []
+        from repro.telemetry.slo import evaluate
+
+        fired = {f.rule for f in evaluate(ctx.records)}
+        assert "replica-suspicion" in fired
+        twin_fired = {f.rule for f in evaluate(ctx.twin_records)}
+        assert "replica-suspicion" not in twin_fired
+
+    def test_obs_timeout_cell_recovers_after_alert(self):
+        """Table 3 case 2: one slow node blocks the r=f+1 quorum, the
+        verification deadline fires the alert, the rerun recovers."""
+        ctx, violations = run_one(SCENARIOS["obs-timeout"], seed=2)
+        assert violations == []
+        from repro.telemetry.slo import evaluate
+
+        fired = {f.rule for f in evaluate(ctx.records)}
+        assert "verification-timeout" in fired
+        assert all(result.assured for result in ctx.results)
+        assert any(result.attempts > 1 for result in ctx.results)
+
+    def test_obs_campaign_report_is_deterministic(self):
+        scenarios = resolve_scenarios("obs")
+        first = render_report(run_campaign(scenarios, [2]))
+        second = render_report(run_campaign(scenarios, [2]))
+        assert first == second
+        payload = json.loads(first)
+        for cell in payload["cells"]:
+            assert cell["expected_alerts"], cell["scenario"]
+            assert set(cell["expected_alerts"]) <= set(cell["alerts"])

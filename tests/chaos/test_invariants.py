@@ -297,3 +297,71 @@ class TestViolation:
         assert ctx.ref("sid=1") == "cell.jsonl#sid=1"
         ctx.trace_name = None
         assert ctx.ref("sid=1") == "sid=1"
+
+
+class TestObs1:
+    """OBS1: injected-fault cells fire the expected alerts; fault-free
+    twins stay silent on those same rules."""
+
+    @staticmethod
+    def suspicion_sample(ts=1.0, value=1.0):
+        return {
+            "type": "sample",
+            "name": "suspicion_suspects",
+            "labels": {},
+            "ts": ts,
+            "value": value,
+        }
+
+    def ctx(self, expected, records, twin_records=()):
+        from repro.chaos.invariants import RunContext
+
+        return RunContext(
+            scenario=Scenario(
+                name="t", description="", expected_alerts=tuple(expected)
+            ),
+            controller=SimpleNamespace(audit=AuditLog()),
+            results=[],
+            truth={},
+            records=list(records),
+            twin_records=list(twin_records),
+            trace_name=None,
+        )
+
+    def test_expected_alert_fires_and_twin_silent_passes(self):
+        from repro.chaos.invariants import check_obs1
+
+        ctx = self.ctx(["replica-suspicion"], [self.suspicion_sample()])
+        assert check_obs1(ctx) == []
+
+    def test_missing_firing_violates(self):
+        from repro.chaos.invariants import OBS1, check_obs1
+
+        ctx = self.ctx(["replica-suspicion"], [])
+        [violation] = check_obs1(ctx)
+        assert violation.invariant == OBS1
+        assert "never fired" in violation.detail
+
+    def test_noisy_twin_violates(self):
+        from repro.chaos.invariants import OBS1, check_obs1
+
+        ctx = self.ctx(
+            ["replica-suspicion"],
+            [self.suspicion_sample()],
+            twin_records=[self.suspicion_sample()],
+        )
+        [violation] = check_obs1(ctx)
+        assert violation.invariant == OBS1
+        assert "twin" in violation.detail
+
+    def test_unknown_rule_name_violates(self):
+        from repro.chaos.invariants import check_obs1
+
+        ctx = self.ctx(["no-such-rule"], [])
+        details = [v.detail for v in check_obs1(ctx)]
+        assert any("unknown alert rule" in d for d in details)
+
+    def test_no_expectation_no_check(self):
+        from repro.chaos.invariants import check_obs1
+
+        assert check_obs1(self.ctx([], [self.suspicion_sample()])) == []

@@ -182,3 +182,28 @@ class TestGeoScenarios:
                     continue
                 count = scenario.regions[spec.node][1]
                 assert count * 2 < scenario.num_nodes
+
+
+class TestObsCampaign:
+    def test_obs_campaign_registered(self):
+        from repro.chaos.scenarios import OBS_CAMPAIGN
+
+        assert CAMPAIGNS["obs"] == OBS_CAMPAIGN
+        assert set(OBS_CAMPAIGN) <= set(SCENARIOS)
+
+    def test_obs_scenarios_declare_known_alerts(self):
+        from repro.chaos.scenarios import OBS_CAMPAIGN
+        from repro.telemetry.slo import DEFAULT_RULES
+
+        known = {rule.name for rule in DEFAULT_RULES}
+        for name in OBS_CAMPAIGN:
+            expected = SCENARIOS[name].expected_alerts
+            assert expected, f"{name} declares no expected alerts"
+            assert set(expected) <= known
+
+    def test_non_obs_scenarios_declare_none(self):
+        from repro.chaos.scenarios import OBS_CAMPAIGN
+
+        for name, scenario in SCENARIOS.items():
+            if name not in OBS_CAMPAIGN:
+                assert getattr(scenario, "expected_alerts", ()) == ()

@@ -1,0 +1,117 @@
+"""CLI surface tests for `repro alerts` and `repro trace --causal`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def write_records(tmp_path, records, name="t.jsonl"):
+    path = tmp_path / name
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+def firing_trace():
+    return [
+        {"type": "span", "id": 1, "parent": None, "name": "run",
+         "start": 0.0, "end": 10.0, "attrs": {"script_id": "s1"}},
+        {"type": "sample", "name": "suspicion_suspects", "labels": {},
+         "ts": 4.5, "value": 1.0},
+        {"type": "metric", "name": "tasks_total", "labels": {}, "value": 1.0},
+    ]
+
+
+def quiet_trace():
+    return firing_trace()[:1] + firing_trace()[2:]
+
+
+class TestAlertsCommand:
+    def test_text_output_lists_firing(self, tmp_path, capsys):
+        path = write_records(tmp_path, firing_trace())
+        assert main(["alerts", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "alerts: 1 firing, 0 resolved (8 rules evaluated)" in out
+        assert "replica-suspicion" in out
+
+    def test_quiet_trace_prints_none_fired(self, tmp_path, capsys):
+        path = write_records(tmp_path, quiet_trace())
+        assert main(["alerts", str(path)]) == 0
+        assert "(none fired)" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = write_records(tmp_path, firing_trace())
+        assert main(["alerts", str(path), "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["rule"] == "replica-suspicion"
+        assert rows[0]["fired_at"] == 4.5
+        assert rows[0]["resolved_at"] is None
+
+    def test_fail_on_fire_exit_code(self, tmp_path, capsys):
+        firing = write_records(tmp_path, firing_trace(), "f.jsonl")
+        quiet = write_records(tmp_path, quiet_trace(), "q.jsonl")
+        assert main(["alerts", str(firing), "--fail-on-fire"]) == 1
+        capsys.readouterr()
+        assert main(["alerts", str(quiet), "--fail-on-fire"]) == 0
+
+    def test_custom_rules_file(self, tmp_path, capsys):
+        path = write_records(tmp_path, firing_trace())
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rules": [
+            {"name": "my-rule", "source": "gauge:suspicion_suspects",
+             "threshold": 1, "severity": "critical"},
+        ]}))
+        assert main(["alerts", str(path), "--rules", str(rules)]) == 0
+        out = capsys.readouterr().out
+        assert "(1 rules evaluated)" in out
+        assert "[critical] my-rule" in out
+
+    def test_bad_rules_file_exits_with_message(self, tmp_path):
+        path = write_records(tmp_path, quiet_trace())
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([{"name": "x", "source": "bogus"}]))
+        with pytest.raises(SystemExit, match="bad rules file"):
+            main(["alerts", str(path), "--rules", str(rules)])
+
+    def test_missing_rules_file_exits_with_message(self, tmp_path):
+        path = write_records(tmp_path, quiet_trace())
+        with pytest.raises(SystemExit, match="cannot read rules"):
+            main(["alerts", str(path), "--rules", str(tmp_path / "nope.json")])
+
+    def test_example_rules_file_parses(self, capsys, tmp_path):
+        import os
+
+        import repro
+
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__))))
+        example = os.path.join(repo, "examples", "alerts.json")
+        path = write_records(tmp_path, firing_trace())
+        assert main(["alerts", str(path), "--rules", example]) == 0
+
+
+class TestCausalCliGuards:
+    def test_run_causal_requires_trace(self, tmp_path):
+        script = tmp_path / "j.pig"
+        script.write_text("A = LOAD 'in' AS (k:int);\nSTORE A INTO 'out';\n")
+        csv = tmp_path / "d.csv"
+        csv.write_text("1\n")
+        with pytest.raises(SystemExit, match="--causal needs --trace"):
+            main(["run", str(script), "--input", f"in={csv}", "--causal"])
+
+    def test_chrome_flow_requires_causal(self, tmp_path):
+        path = write_records(tmp_path, firing_trace())
+        with pytest.raises(SystemExit, match="--chrome-flow needs --causal"):
+            main(["trace", str(path), "--chrome-flow", str(tmp_path / "f.json")])
+
+    def test_trace_causal_prints_graph_and_writes_flow(self, tmp_path, capsys):
+        path = write_records(tmp_path, firing_trace())
+        flow = tmp_path / "flow.json"
+        assert main(
+            ["trace", str(path), "--causal", "--chrome-flow", str(flow)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "causal graph: 1 spans" in out
+        document = json.loads(flow.read_text())
+        assert "traceEvents" in document

@@ -1,0 +1,193 @@
+"""Causal DAG reconstruction (`repro trace --causal` backend).
+
+Unit tests over synthetic record streams plus an end-to-end run of the
+controller with causal tracing enabled: every committed digest must
+reconstruct a complete chain back to the run root (no orphan spans),
+message edges must resolve, and the analysis must be byte-deterministic.
+"""
+
+import json
+
+from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.core.controller import ClusterBFTController
+from repro.telemetry import Telemetry
+from repro.telemetry.causal import (
+    build_causal,
+    render_causal,
+    to_chrome_flow,
+)
+from repro.workloads import FOLLOWER_ANALYSIS, follower_edges
+
+SEED = 20131209
+
+
+def causal_run(seed=SEED, edges=800):
+    telemetry = Telemetry.recording(causal=True)
+    config = SystemConfig(
+        cluster=ClusterConfig(num_nodes=8, slots_per_node=2),
+        bft=ClusterBFTConfig(f=1, replication=2, verification_points=1),
+        seed=seed,
+    )
+    controller = ClusterBFTController(config, telemetry=telemetry)
+    controller.load_input("twitter/followers", follower_edges(edges))
+    result = controller.run_assured(FOLLOWER_ANALYSIS)
+    return telemetry.export_records(), result
+
+
+# --- synthetic-stream unit tests -------------------------------------
+
+
+def span(span_id, name, start, end, parent=None, **attrs):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs,
+    }
+
+
+def event(event_id, name, ts, parent=None, **attrs):
+    return {
+        "type": "event",
+        "id": event_id,
+        "parent": parent,
+        "name": name,
+        "ts": ts,
+        "attrs": attrs,
+    }
+
+
+def synthetic_commit_trace():
+    """run -> task -> digest.send ~~> digest.recv x2 -> verify -> commit."""
+    return [
+        span(1, "run", 0.0, 10.0, script_id="s1"),
+        span(2, "task", 0.0, 2.0, parent=1, node="n0"),
+        event(3, "digest.send", 2.0, parent=2, sid="s0", sender="n0"),
+        span(4, "task", 0.0, 3.0, parent=1, node="n1"),
+        event(5, "digest.send", 3.0, parent=4, sid="s0", sender="n1"),
+        event(6, "digest.recv", 2.5, parent=1, sid="s0", mid=3, replica=0),
+        event(7, "digest.recv", 3.5, parent=1, sid="s0", mid=5, replica=1),
+        span(8, "verify", 2.5, 3.5, parent=1, sid="s0", status="verified"),
+        event(9, "audit.commit", 3.5, parent=8, subject="s0"),
+    ]
+
+
+def test_message_edges_resolved():
+    graph = build_causal(synthetic_commit_trace())
+    assert graph.message_edge == {6: 3, 7: 5}
+    assert graph.orphans() == []
+
+
+def test_commit_chain_complete_and_rooted():
+    graph = build_causal(synthetic_commit_trace())
+    chains = graph.commit_chains()
+    assert len(chains) == 1
+    chain = chains[0]
+    assert chain.complete
+    assert chain.missing == []
+    names = [hop.name for hop in chain.hops]
+    # Root-first: run -> slower task -> digest send/hop/recv -> verify -> commit.
+    assert names[0] == "run"
+    assert "digest" in names  # the message hop itself
+    assert names[-1] == "audit.commit"
+
+
+def test_round_slack_marks_last_arrival_critical():
+    graph = build_causal(synthetic_commit_trace())
+    [chain] = graph.commit_chains()
+    assert [s.replica for s in chain.round_slack] == [0, 1]
+    assert chain.round_slack[0].slack == 1.0  # arrived 1s before critical
+    assert chain.round_slack[0].critical is False
+    assert chain.round_slack[1].slack == 0.0
+    assert chain.round_slack[1].critical is True
+
+
+def test_orphans_reported_for_dangling_parent():
+    records = synthetic_commit_trace()
+    records.append(span(99, "task", 5.0, 6.0, parent=42, node="nX"))
+    graph = build_causal(records)
+    assert graph.orphans() == [99]
+    assert "1 orphans" in render_causal(graph)
+    assert "ORPHANS" in render_causal(graph)
+
+
+def test_incomplete_chain_when_send_missing():
+    records = [r for r in synthetic_commit_trace() if r["id"] != 5]
+    graph = build_causal(records)
+    [chain] = graph.commit_chains()
+    assert not chain.complete
+    assert 5 in chain.missing
+    assert "INCOMPLETE" in render_causal(graph)
+
+
+def test_chrome_flow_pairs_sends_with_deliveries():
+    document = to_chrome_flow(synthetic_commit_trace())
+    flows = [e for e in document["traceEvents"] if e.get("cat") == "causal"]
+    starts = [e for e in flows if e["ph"] == "s"]
+    finishes = [e for e in flows if e["ph"] == "f"]
+    assert len(starts) == len(finishes) == 2
+    assert all(e["bp"] == "e" for e in finishes)
+    assert {e["id"] for e in starts} == {3, 5}
+    # Timestamps are microseconds of sim time.
+    assert {e["ts"] for e in starts} == {2.0e6, 3.0e6}
+
+
+# --- end-to-end: controller run with causal tracing -------------------
+
+
+def test_e2e_every_commit_has_complete_chain():
+    records, result = causal_run()
+    assert result.assured
+    graph = build_causal(records)
+    assert graph.orphans() == []
+    chains = graph.commit_chains()
+    assert chains, "expected at least one committed digest"
+    for chain in chains:
+        assert chain.complete, f"incomplete chain for {chain.sid}"
+        assert chain.missing == []
+        assert chain.hops[0].name == "run"
+        assert chain.hops[-1].name == "audit.commit"
+
+
+def test_e2e_message_edges_and_rounds_present():
+    records, _ = causal_run()
+    graph = build_causal(records)
+    assert len(graph.message_edge) > 0
+    assert graph.slowest_links()
+    rendered = render_causal(graph)
+    assert "0 orphans" in rendered
+    assert "commit chains" in rendered
+
+
+def test_e2e_analysis_is_deterministic():
+    records_a, _ = causal_run()
+    records_b, _ = causal_run()
+    assert render_causal(build_causal(records_a)) == render_causal(
+        build_causal(records_b)
+    )
+    assert json.dumps(to_chrome_flow(records_a), sort_keys=True) == json.dumps(
+        to_chrome_flow(records_b), sort_keys=True
+    )
+
+
+def test_causal_off_emits_no_protocol_events():
+    telemetry = Telemetry.recording()  # causal defaults off
+    config = SystemConfig(
+        cluster=ClusterConfig(num_nodes=8, slots_per_node=2),
+        bft=ClusterBFTConfig(f=1, replication=2, verification_points=1),
+        seed=SEED,
+    )
+    controller = ClusterBFTController(config, telemetry=telemetry)
+    controller.load_input("twitter/followers", follower_edges(800))
+    controller.run_assured(FOLLOWER_ANALYSIS)
+    names = {
+        r.get("name")
+        for r in telemetry.export_records()
+        if r.get("type") == "event"
+    }
+    assert "digest.send" not in names
+    assert "digest.recv" not in names
+    assert "net.send" not in names

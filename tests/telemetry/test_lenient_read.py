@@ -106,3 +106,58 @@ class TestCliIntegration:
         b.write_bytes(b.read_bytes()[:-10])
         assert main(["trace", str(a), str(b), "--diff"]) == 0
         assert "truncated" in capsys.readouterr().err
+
+    def test_causal_command_survives_truncation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = write_trace(tmp_path)
+        path.write_bytes(path.read_bytes()[:-10])
+        assert main(["trace", str(path), "--causal"]) == 0
+        captured = capsys.readouterr()
+        assert "causal graph:" in captured.out
+        assert "truncated" in captured.err
+
+    def test_alerts_command_survives_truncation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = write_trace(tmp_path)
+        path.write_bytes(path.read_bytes()[:-10])
+        assert main(["alerts", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "alerts:" in captured.out
+        assert "truncated" in captured.err
+
+
+class TestCausalOverTruncatedTail:
+    def test_recv_whose_send_was_cut_reports_incomplete(self, tmp_path):
+        """A SIGKILL between a recv record and the flush of its send
+        leaves a dangling ``mid``; reconstruction must degrade to an
+        INCOMPLETE chain, not raise."""
+        import json
+
+        from repro.telemetry.causal import build_causal, render_causal
+
+        rows = [
+            {"type": "span", "id": 1, "parent": None, "name": "run",
+             "start": 0.0, "end": None, "attrs": {}},
+            {"type": "event", "id": 2, "parent": 1, "name": "digest.recv",
+             "ts": 1.0, "attrs": {"sid": "s0", "mid": 77, "replica": 0}},
+            {"type": "span", "id": 3, "parent": 1, "name": "verify",
+             "start": 1.0, "end": 1.5, "attrs": {"sid": "s0"}},
+            {"type": "event", "id": 4, "parent": 3, "name": "audit.commit",
+             "ts": 1.5, "attrs": {"subject": "s0"}},
+            # The record the kill lands on; truncated away below.
+            {"type": "event", "id": 5, "parent": 1, "name": "task.start",
+             "ts": 2.0, "attrs": {"node": "n1"}},
+        ]
+        path = tmp_path / "cut.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        # Simulate the kill cutting the final line mid-record too.
+        path.write_bytes(path.read_bytes()[:-5])
+        records, warnings = read_jsonl_lenient(str(path))
+        assert any("truncated" in w for w in warnings)
+        graph = build_causal(records)
+        [chain] = graph.commit_chains()
+        assert not chain.complete
+        assert 77 in chain.missing
+        assert "INCOMPLETE" in render_causal(graph)

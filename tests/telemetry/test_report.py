@@ -203,3 +203,38 @@ class TestRenderHtml:
         html = render_html(build_report(records))
         assert "<script>alert(1)</script>" not in html
         assert "&lt;script&gt;" in html
+
+
+class TestAlertSection:
+    def test_quiet_trace_reports_rules_evaluated(self):
+        text = render_text(build_report(trace()[:6]))  # spans only, no faults
+        assert "7. slo alerts" in text
+        assert "no alerts fired (8 built-in rules evaluated)" in text
+
+    def test_suspicion_gauge_fires_and_resolves_in_table(self):
+        text = render_text(build_report(trace()))
+        assert "7. slo alerts" in text
+        # suspicion_suspects hits 1.0 at 4.5 and drops to 0.0 at 6.0.
+        assert "0 firing, 1 resolved" in text
+        assert "replica-suspicion" in text
+        assert "4.500" in text and "6.000" in text
+
+    def test_report_firings_match_cli_evaluation(self):
+        from repro.telemetry.slo import DEFAULT_RULES, evaluate
+
+        records = trace()
+        report = build_report(records)
+        assert report.alert_firings == evaluate(records, DEFAULT_RULES)
+        assert report.alert_rules_evaluated == len(DEFAULT_RULES)
+
+    def test_html_escapes_markup_in_alert_groups(self):
+        # A tenant named with markup flows into the alert-firings table
+        # via group_by labels; the HTML renderer must escape it.
+        records = trace() + [
+            sample("service_queue_depth", 5.0, 9.0, tenant="<b>&evil")
+        ]
+        text = render_text(build_report(records))
+        assert "tenant-queue-depth{tenant=<b>&evil}" in text
+        html = render_html(build_report(records))
+        assert "<b>&evil" not in html
+        assert "&lt;b&gt;&amp;evil" in html

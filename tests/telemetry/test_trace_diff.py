@@ -133,3 +133,58 @@ def test_critical_path_chain_change_lists_both_chains():
     # Same chain in attempt 0 (j0 -> j1), so chains are only printed
     # when they differ — they don't here.
     assert "A: j0.r0 -> j1.r0" not in text
+
+
+# --- span divergence: traces whose span-id sets drift apart mid-run ---
+
+# Shared prefix (ids 1-3), then trace B reruns: id 4 is a *verify* span
+# in A but a *task* span in B, and B grows ids 5-6 that A never has.
+DIVERGED_A = [
+    span("run", 0.0, 10.0, span_id=1, script_id="s1", mode="assured"),
+    span("task", 0.0, 4.0, span_id=2, node="a", attempt=0),
+    span("task", 4.0, 8.0, span_id=3, node="a", attempt=0),
+    span("verify", 8.0, 10.0, span_id=4, sid="s0", status="verified"),
+]
+
+DIVERGED_B = [
+    span("run", 0.0, 18.0, span_id=1, script_id="s1", mode="assured"),
+    span("task", 0.0, 4.0, span_id=2, node="a", attempt=0),
+    span("task", 4.0, 11.0, span_id=3, node="b", attempt=0),
+    span("task", 12.0, 16.0, span_id=4, node="a", attempt=1),
+    span("verify", 16.0, 18.0, span_id=5, sid="s0", status="verified"),
+    span("verify", 16.0, 18.0, span_id=6, sid="s1", status="verified"),
+]
+
+
+def test_diverged_span_sets_render_instead_of_raising():
+    diff = diff_traces(DIVERGED_A, DIVERGED_B, label_a="A", label_b="B")
+    text = diff.render()  # must not raise despite the id drift
+    assert "span divergence" in text
+    assert "first diverging span id: 4 (A: verify, B: task)" in text
+    assert "only in B: 2 span(s) (verify x2)" in text
+    # Nothing is only in A: every id in A also appears in B.
+    assert "only in A:" not in text
+
+
+def test_aligned_traces_have_no_divergence_section():
+    diff = diff_traces(DIVERGED_A, DIVERGED_A)
+    assert "span divergence" not in diff.render()
+
+
+def test_unfinished_spans_count_toward_divergence():
+    # A SIGKILL-truncated trace ends with an open span (no "end"); the
+    # divergence section still sees it even though duration stats skip it.
+    truncated = DIVERGED_A[:-1] + [
+        {
+            "type": "span",
+            "id": 4,
+            "parent": None,
+            "name": "verify",
+            "start": 8.0,
+            "end": None,
+            "attrs": {"sid": "s0"},
+        }
+    ]
+    diff = diff_traces(truncated, DIVERGED_B, label_a="A", label_b="B")
+    text = diff.render()
+    assert "first diverging span id: 4 (A: verify, B: task)" in text
