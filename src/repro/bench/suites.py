@@ -363,6 +363,117 @@ def _trace_overhead(smoke: bool) -> list[Metric]:
 
 
 # ---------------------------------------------------------------------------
+# rerun_makespan — checkpointed vs full-rerun faulty makespan
+# ---------------------------------------------------------------------------
+
+#: Two chained group-bys: two MapReduce jobs with one internal job
+#: boundary, so a checkpoint can land between them.
+_RERUN_SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+B = FILTER A BY v IS NOT NULL;
+G = GROUP B BY k;
+C = FOREACH G GENERATE group AS k, COUNT(B) AS n;
+H = GROUP C BY n;
+D = FOREACH H GENERATE group AS n, COUNT(C) AS m;
+STORE D INTO 'out';
+"""
+
+
+def _rerun_makespan(smoke: bool) -> list[Metric]:
+    """Faulty makespan with the checkpoint tier vs full rerun.
+
+    One slow node pushes the downstream job past the verifier timeout,
+    forcing a rerun.  With the checkpoint tier on (expected-rerun-cost
+    placement + eager verdict-time commits) the upstream job's verified
+    output commits during the failed attempt and the rerun reuses it;
+    the checkpoint-free baseline has no intermediate verification
+    point, so its rerun recomputes the whole sub-graph.  The gate is
+    ``checkpointed_strictly_lower`` — checkpoints must shorten the
+    faulty makespan — while ``output_digest_match`` proves they never
+    change the published bytes.
+    """
+    import hashlib
+
+    from repro.chaos.runner import workload
+    from repro.common.config import (
+        ClusterBFTConfig,
+        ClusterConfig,
+        SystemConfig,
+    )
+    from repro.common.records import encode_record
+    from repro.core.controller import ClusterBFTController
+    from repro.faults.behaviors import SlowBehavior
+    from repro.faults.injection import FaultPlan
+
+    rows = 120 if smoke else 320
+
+    def one_run(checkpoints: bool, density: float):
+        config = SystemConfig(
+            cluster=ClusterConfig(
+                num_nodes=12, slots_per_node=3, heartbeat_period=0.2
+            ),
+            bft=ClusterBFTConfig(
+                f=1,
+                replication=4,
+                verification_points=0,
+                checkpoints=checkpoints,
+                checkpoint_density=density,
+                verifier_timeout=6.0,
+            ),
+            seed=20131209,
+        )
+        plan = FaultPlan()
+        plan.assign("node_0003", SlowBehavior(factor=8.0))
+        controller = ClusterBFTController(
+            config, fault_plan=plan, block_bytes=2048
+        )
+        controller.load_input("in", workload(7)[:rows])
+        result = controller.run_assured(_RERUN_SCRIPT)
+        hasher = hashlib.sha256()
+        for path in sorted(result.outputs):
+            hasher.update(path.encode())
+            for record in result.outputs[path]:
+                hasher.update(encode_record(record))
+        return result, hasher.hexdigest()
+
+    checkpointed, digest_checkpointed = one_run(True, 1.0)
+    full, digest_full = one_run(False, 0.0)
+    return [
+        metric(
+            "makespan_checkpointed",
+            round(checkpointed.latency, 6),
+            "simulated_seconds",
+        ),
+        metric(
+            "makespan_full_rerun", round(full.latency, 6), "simulated_seconds"
+        ),
+        metric(
+            "makespan_saving",
+            round(full.latency - checkpointed.latency, 6),
+            "simulated_seconds",
+        ),
+        metric(
+            "checkpointed_strictly_lower",
+            int(checkpointed.latency < full.latency),
+            "bool",
+        ),
+        metric(
+            "output_digest_match",
+            int(digest_checkpointed == digest_full),
+            "bool",
+        ),
+        metric("assured_checkpointed", int(checkpointed.assured), "bool"),
+        metric("assured_full_rerun", int(full.assured), "bool"),
+        metric("attempts_checkpointed", checkpointed.attempts, "attempts"),
+        metric("attempts_full_rerun", full.attempts, "attempts"),
+        metric(
+            "checkpoint_commits", checkpointed.checkpoint_commits, "commits"
+        ),
+        metric("reused_jobs", checkpointed.reused_jobs, "jobs"),
+    ]
+
+
+# ---------------------------------------------------------------------------
 # service_traffic — multi-tenant open-loop traffic over the service tier
 # ---------------------------------------------------------------------------
 
@@ -405,6 +516,14 @@ SUITES: tuple[BenchSpec, ...] = (
         "vs causal-traced output digests and simulated latency (must match)",
         seed=20131209,
         run=_trace_overhead,
+    ),
+    BenchSpec(
+        name="rerun_makespan",
+        description="faulty makespan with the checkpoint tier (rerun-cost "
+        "placement + verdict-time commits) vs checkpoint-free full rerun — "
+        "must be strictly lower with byte-identical outputs",
+        seed=20131209,
+        run=_rerun_makespan,
     ),
     BenchSpec(
         name="service_traffic",

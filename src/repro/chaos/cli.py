@@ -38,8 +38,8 @@ def add_chaos_parser(sub) -> None:
         "--campaign",
         dest="scenarios",
         default="default",
-        help="campaign name (default, smoke, durability, service, geo) "
-        "or comma-joined scenario names",
+        help="campaign name (default, smoke, durability, service, geo, "
+        "obs, ckpt) or comma-joined scenario names",
     )
     run.add_argument(
         "--seeds",
@@ -125,6 +125,13 @@ def _cmd_chaos_run(args) -> int:
             extras.append(
                 f"ctl-crashes={durability['crash_points']} "
                 f"resumed={durability['resumed_assured']}"
+            )
+        ckpt = cell.get("ckpt")
+        if ckpt:
+            extras.append(
+                f"ckpts={ckpt['checkpoint_records']} "
+                f"ckpt-crashes={ckpt['crash_points']} "
+                f"ckpt-replayed={ckpt['checkpoints_replayed']}"
             )
         suffix = f"  [{' '.join(extras)}]" if extras else ""
         print(f"  {status} {cell['scenario']:<16} seed={cell['seed']}{suffix}")

@@ -53,6 +53,14 @@ Invariant ids (stable — referenced by reports, tests and DESIGN.md):
     of those rules fires over the trace of a fault-free twin of the
     same deployment — alerts detect injected faults without false
     positives.
+``CKPT1``
+    Checkpointed rerun equivalence: a checkpointed run publishes
+    byte-identical outputs to its checkpoint-free twin (checkpoints
+    change recovery granularity, never results), and a crash-resume
+    at *every checkpoint boundary* — right after each ``checkpoint``
+    WAL record became durable, and right after the record following
+    it — restores from the checkpoint and still publishes the same
+    bytes with the same assured verdict.
 """
 
 from __future__ import annotations
@@ -73,8 +81,11 @@ REG1 = "REG1"
 TEN1 = "TEN1"
 TEN2 = "TEN2"
 OBS1 = "OBS1"
+CKPT1 = "CKPT1"
 
-INVARIANTS = (SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1, REG1, TEN1, TEN2, OBS1)
+INVARIANTS = (
+    SAFE1, SAFE2, LIVE1, LIVE2, DEGR1, DUR1, REG1, TEN1, TEN2, OBS1, CKPT1,
+)
 
 
 @dataclass(frozen=True)
@@ -121,6 +132,39 @@ class DurabilityProbe:
     cells: tuple[DurabilityCell, ...] = ()
 
 
+@dataclass(frozen=True)
+class CkptCell:
+    """One crash point of a checkpoint-boundary sweep: the run was
+    killed right after journal record ``seq`` became durable (``seq``
+    is a ``checkpoint`` record or the record immediately following
+    one), then resumed from the WAL."""
+
+    seq: int
+    kind: str  # journal record kind the crash landed on
+    start_attempt: int
+    commits_replayed: int
+    checkpoints_replayed: int
+    assured: bool
+    exhausted: bool
+    #: Canonical published outputs of the resumed run.
+    outputs: dict[str, tuple[bytes, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CkptProbe:
+    """A checkpoint-boundary crash sweep plus its two uninterrupted
+    reference runs: the checkpointed run itself and a checkpoint-free
+    twin of the same scenario + seed."""
+
+    reference_assured: bool
+    reference_outputs: dict[str, tuple[bytes, ...]]
+    twin_assured: bool
+    twin_outputs: dict[str, tuple[bytes, ...]]
+    #: Number of ``checkpoint`` records the reference run journaled.
+    checkpoint_records: int = 0
+    cells: tuple[CkptCell, ...] = ()
+
+
 def canonical_outputs(outputs: dict[str, list[Record]]) -> dict[str, tuple[bytes, ...]]:
     """Encode published outputs for order-insensitive byte comparison."""
     return {
@@ -142,6 +186,9 @@ class RunContext:
     #: Control-tier crash sweep results (scenarios with
     #: ``control_crashes``); ``None`` when the sweep did not run.
     durability: DurabilityProbe | None = None
+    #: Checkpoint-boundary crash sweep results (scenarios with
+    #: ``ckpt_sweep``); ``None`` when the sweep did not run.
+    ckpt: CkptProbe | None = None
     #: Trace records of the telemetry-enabled fault-free twin (only
     #: populated when the scenario declares ``expected_alerts``).
     twin_records: list[dict] = field(default_factory=list)
@@ -471,6 +518,82 @@ def check_obs1(ctx: RunContext) -> list[Violation]:
     return violations
 
 
+def check_ckpt1(ctx: RunContext) -> list[Violation]:
+    """Checkpointed execution must be invisible in the results: the
+    checkpointed run equals its checkpoint-free twin byte-for-byte,
+    and resuming from a crash at any checkpoint boundary restores the
+    committed prefix and converges to the same outputs and verdict."""
+    probe = ctx.ckpt
+    if probe is None:
+        return []
+    violations = []
+    if probe.checkpoint_records == 0:
+        violations.append(
+            Violation(
+                CKPT1,
+                "checkpoint sweep found no checkpoint WAL records — the "
+                "checkpoint tier never engaged for this scenario",
+                ctx.ref("checkpoints=0"),
+            )
+        )
+    if probe.reference_assured != probe.twin_assured:
+        violations.append(
+            Violation(
+                CKPT1,
+                f"checkpointed run reported assured="
+                f"{probe.reference_assured} but its checkpoint-free twin "
+                f"reported assured={probe.twin_assured}",
+                ctx.ref("twin,assured"),
+            )
+        )
+    for path, expected in probe.twin_outputs.items():
+        got = probe.reference_outputs.get(path, ())
+        if sorted(got) != sorted(expected):
+            violations.append(
+                Violation(
+                    CKPT1,
+                    f"checkpointed output {path!r} diverges from the "
+                    f"checkpoint-free twin ({len(got)} vs {len(expected)} "
+                    f"records) — checkpoints changed the results",
+                    ctx.ref(f"twin,sink={path}"),
+                )
+            )
+    for cell in probe.cells:
+        if cell.kind == "checkpoint" and cell.checkpoints_replayed < 1:
+            violations.append(
+                Violation(
+                    CKPT1,
+                    f"crash at seq {cell.seq} landed on a durable "
+                    f"checkpoint record but the resume replayed none — "
+                    f"the restore path never engaged",
+                    ctx.ref(f"seq={cell.seq}"),
+                )
+            )
+        if cell.assured != probe.reference_assured:
+            violations.append(
+                Violation(
+                    CKPT1,
+                    f"crash at seq {cell.seq} ({cell.kind}): resumed run "
+                    f"reported assured={cell.assured}, uninterrupted run "
+                    f"reported assured={probe.reference_assured}",
+                    ctx.ref(f"seq={cell.seq}"),
+                )
+            )
+        for path, expected in probe.reference_outputs.items():
+            got = cell.outputs.get(path, ())
+            if got != expected:
+                violations.append(
+                    Violation(
+                        CKPT1,
+                        f"crash at seq {cell.seq} ({cell.kind}): resumed "
+                        f"output {path!r} diverges from the uninterrupted "
+                        f"run ({len(got)} vs {len(expected)} records)",
+                        ctx.ref(f"seq={cell.seq},sink={path}"),
+                    )
+                )
+    return violations
+
+
 _CHECKERS = (
     (SAFE1, check_safe1),
     (SAFE2, check_safe2),
@@ -480,6 +603,7 @@ _CHECKERS = (
     (DUR1, check_dur1),
     (REG1, check_reg1),
     (OBS1, check_obs1),
+    (CKPT1, check_ckpt1),
 )
 
 

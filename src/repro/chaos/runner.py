@@ -10,12 +10,15 @@ byte-identical across re-executions, which CI exploits.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import random
 import tempfile
 
 from repro.chaos.invariants import (
+    CkptCell,
+    CkptProbe,
     DurabilityCell,
     DurabilityProbe,
     RunContext,
@@ -179,6 +182,72 @@ def run_durability_probe(scenario: Scenario, seed: int) -> DurabilityProbe:
     )
 
 
+def run_ckpt_probe(scenario: Scenario, seed: int) -> CkptProbe:
+    """Checkpoint-boundary crash sweep: run once journaled and
+    uninterrupted, run a checkpoint-free twin of the same cell, then
+    crash the control tier right after every ``checkpoint`` record
+    (and the record immediately following it — the boundary where the
+    checkpoint is durable but the next decision is not) and resume
+    each crash from its WAL.  The ``CKPT1`` checker compares every
+    resumed run against the uninterrupted reference and the reference
+    against the twin."""
+    fault_plan = build_fault_plan(scenario, _node_ids(scenario))
+    cells = []
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-") as tmp:
+        reference_path = os.path.join(tmp, "reference.wal")
+        reference = _journaled_run(scenario, seed, reference_path)
+        records, _ = wal.read_journal(reference_path)
+        last_seq = records[-1]["seq"]
+        checkpoint_seqs = [
+            record["seq"] for record in records if record["kind"] == wal.CHECKPOINT
+        ]
+        boundaries = sorted(
+            {
+                seq
+                for checkpoint_seq in checkpoint_seqs
+                for seq in (checkpoint_seq, checkpoint_seq + 1)
+                if seq <= last_seq
+            }
+        )
+        # The twin differs in exactly one bit of configuration — the
+        # checkpoint tier is off — so any output difference is the
+        # checkpoint tier's fault, not placement's or the workload's.
+        twin_scenario = dataclasses.replace(
+            scenario, checkpoints=False, ckpt_sweep=False
+        )
+        twin = _journaled_run(twin_scenario, seed, os.path.join(tmp, "twin.wal"))
+        for crash_seq in boundaries:
+            crash_path = os.path.join(tmp, f"crash-{crash_seq:04d}.wal")
+            try:
+                _journaled_run(
+                    scenario, seed, crash_path, crash_hook=wal.crash_at(crash_seq)
+                )
+                continue  # hook never fired (run shorter than reference)
+            except wal.ControlTierCrash:
+                pass
+            recovered = resume_run(crash_path, fault_plan=fault_plan)
+            cells.append(
+                CkptCell(
+                    seq=crash_seq,
+                    kind=records[crash_seq]["kind"],
+                    start_attempt=recovered.start_attempt,
+                    commits_replayed=recovered.commits_replayed,
+                    checkpoints_replayed=recovered.checkpoints_replayed,
+                    assured=recovered.result.assured,
+                    exhausted=recovered.result.exhausted,
+                    outputs=canonical_outputs(recovered.result.outputs),
+                )
+            )
+    return CkptProbe(
+        reference_assured=reference.assured,
+        reference_outputs=canonical_outputs(reference.outputs),
+        twin_assured=twin.assured,
+        twin_outputs=canonical_outputs(twin.outputs),
+        checkpoint_records=len(checkpoint_seqs),
+        cells=tuple(cells),
+    )
+
+
 def run_one(
     scenario: Scenario, seed: int, trace_dir: str | None = None
 ) -> tuple[RunContext, list[Violation]]:
@@ -217,6 +286,7 @@ def run_one(
     durability = (
         run_durability_probe(scenario, seed) if scenario.control_crashes else None
     )
+    ckpt = run_ckpt_probe(scenario, seed) if scenario.ckpt_sweep else None
     # OBS1 needs a *traced* fault-free twin: same deployment and
     # workload, no fault plan, telemetry on — expected alerts must stay
     # silent over its records.
@@ -241,6 +311,7 @@ def run_one(
         records=records,
         trace_name=trace_name,
         durability=durability,
+        ckpt=ckpt,
         twin_records=twin_records,
     )
     return ctx, check_all(ctx)
@@ -282,6 +353,24 @@ def _cell_report(
                     1 for cell in ctx.durability.cells if cell.assured
                 ),
                 "kinds": sorted({cell.kind for cell in ctx.durability.cells}),
+            }
+        ),
+        "ckpt": (
+            None
+            if ctx.ckpt is None
+            else {
+                "checkpoint_records": ctx.ckpt.checkpoint_records,
+                "crash_points": len(ctx.ckpt.cells),
+                "checkpoints_replayed": sum(
+                    cell.checkpoints_replayed for cell in ctx.ckpt.cells
+                ),
+                "commits_replayed": sum(
+                    cell.commits_replayed for cell in ctx.ckpt.cells
+                ),
+                "resumed_assured": sum(
+                    1 for cell in ctx.ckpt.cells if cell.assured
+                ),
+                "kinds": sorted({cell.kind for cell in ctx.ckpt.cells}),
             }
         ),
         "reruns": len(audit.events(kind=RERUN)),
@@ -386,6 +475,7 @@ def _service_cell_report(
         "attempts": [run.attempts for run in result.runs],
         "latency": [round(run.latency, 6) for run in result.runs],
         "durability": None,
+        "ckpt": None,
         "reruns": len(audit.events(kind=RERUN)),
         "quarantined": sorted(
             {e.subject for e in audit.events(kind=QUARANTINE)}

@@ -102,6 +102,23 @@ class Scenario:
     #: checking the ``DUR1`` invariant (resume ≡ uninterrupted).
     #: Durability cells imply one script run per journal (``runs=1``).
     control_crashes: bool = False
+    #: Checkpoint tier: commit verified sub-graph outputs eagerly at
+    #: verdict time (``ClusterBFTConfig.checkpoints``) so reruns and
+    #: resumes restart from the last verified checkpoint.
+    checkpoints: bool = False
+    #: Expected-rerun-cost verification-point placement density
+    #: (``ClusterBFTConfig.checkpoint_density``); 0.0 keeps the paper's
+    #: fixed-count marker.
+    checkpoint_density: float = 0.0
+    #: Cap on verifier timeout escalation
+    #: (``ClusterBFTConfig.max_verifier_timeout``).
+    max_verifier_timeout: float | None = None
+    #: Checkpoint-boundary crash sweep: run the cell once journaled and
+    #: uninterrupted plus a checkpoint-free twin, then crash + resume
+    #: at every ``checkpoint`` WAL record (and the record after it),
+    #: checking the ``CKPT1`` invariant (checkpointed rerun ≡ full
+    #: rerun, byte-identical).  Implies ``runs=1``.
+    ckpt_sweep: bool = False
     # -- expectations the invariant checkers consume ---------------------
     #: Every script run must end assured (LIVE1 folds this in).
     expect_assured: bool = True
@@ -147,6 +164,9 @@ class Scenario:
                 max_reruns=self.max_reruns,
                 region_suspicion_threshold=self.region_suspicion_threshold,
                 region_min_jobs=self.region_min_jobs,
+                checkpoints=self.checkpoints,
+                checkpoint_density=self.checkpoint_density,
+                max_verifier_timeout=self.max_verifier_timeout,
             ),
             seed=20131209 + seed,
         ).validate()
@@ -355,6 +375,44 @@ def _scenario_list() -> list[Scenario]:
             "must still be judged assured (DUR1), not read as exhaustion",
             max_reruns=0,
             control_crashes=True,
+        ),
+        Scenario(
+            name="ckpt-baseline",
+            description="checkpoint-boundary crash sweep on a fault-free "
+            "checkpointed run: every verified sub-graph commits eagerly "
+            "at verdict time, the sweep kills the control tier right "
+            "after each checkpoint record (and the record following it) "
+            "and the resume must restore the committed prefix and "
+            "publish bytes identical to a checkpoint-free twin (CKPT1)",
+            checkpoints=True,
+            ckpt_sweep=True,
+        ),
+        Scenario(
+            name="ckpt-omission",
+            description="checkpoint-boundary crash sweep under rerun "
+            "escalation: a verifier timeout below the first attempt's "
+            "latency forces several attempts, so checkpoints committed "
+            "mid-attempt shrink each rerun's closure while the timeout "
+            "escalation hits its configured cap — crash-resume at every "
+            "checkpoint boundary must still equal the full rerun (CKPT1)",
+            faults=(FaultSpec("omission", 3, (("probability", 0.5),)),),
+            verifier_timeout=1.5,
+            max_verifier_timeout=6.0,
+            checkpoints=True,
+            ckpt_sweep=True,
+        ),
+        Scenario(
+            name="ckpt-density",
+            description="expected-rerun-cost placement plus checkpointing "
+            "under an omission fault: verification points are chosen by "
+            "checkpoint_density instead of the paper's fixed-count "
+            "marker, and the checkpoint-boundary sweep must still match "
+            "the checkpoint-free twin byte-for-byte (CKPT1)",
+            faults=(FaultSpec("omission", 3, (("probability", 0.5),)),),
+            verifier_timeout=1.5,
+            checkpoints=True,
+            checkpoint_density=0.5,
+            ckpt_sweep=True,
         ),
         Scenario(
             name="geo-baseline",
@@ -590,6 +648,16 @@ OBS_CAMPAIGN = (
     "obs-quarantine",
 )
 
+#: Checkpoint campaign: crash-sweeps through every checkpoint boundary
+#: plus checkpoint-free twin comparisons (the ``CKPT1`` acceptance
+#: demo), under fault-free, escalating-rerun and density-placement
+#: cells.
+CKPT_CAMPAIGN = (
+    "ckpt-baseline",
+    "ckpt-omission",
+    "ckpt-density",
+)
+
 CAMPAIGNS: dict[str, tuple[str, ...]] = {
     "default": DEFAULT_CAMPAIGN,
     "smoke": SMOKE_CAMPAIGN,
@@ -597,6 +665,7 @@ CAMPAIGNS: dict[str, tuple[str, ...]] = {
     "service": SERVICE_CAMPAIGN,
     "geo": GEO_CAMPAIGN,
     "obs": OBS_CAMPAIGN,
+    "ckpt": CKPT_CAMPAIGN,
 }
 
 

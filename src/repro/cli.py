@@ -154,6 +154,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-n", type=int, default=1, dest="points")
         p.add_argument("--chunk", type=int, default=0, help="records per digest (d)")
         p.add_argument("--timeout", type=float, default=600.0)
+        p.add_argument(
+            "--max-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="cap the rerun escalation's timeout doubling at SECONDS "
+            "(default: unbounded, the paper's behaviour); hitting the "
+            "cap is audited",
+        )
+        p.add_argument(
+            "--checkpoints",
+            action="store_true",
+            help="commit verified sub-graphs at verdict time as fsync'd "
+            "`checkpoint` WAL records — a crash mid-attempt resumes "
+            "from the last verified point instead of rerunning the "
+            "whole closure (assured mode)",
+        )
+        p.add_argument(
+            "--checkpoint-density",
+            type=float,
+            default=0.0,
+            metavar="D",
+            help="place verification points by expected-rerun-cost at "
+            "density D in [0,1] (fraction of candidate vertices), "
+            "replacing the fixed -n marker count; 0 keeps the "
+            "paper's placement",
+        )
         p.add_argument("--seed", type=int, default=20131209)
 
     run = sub.add_parser("run", help="execute a script")
@@ -201,6 +228,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the published outputs as canonical JSON (atomic, "
         "deterministic) — used to byte-compare runs",
+    )
+    run.add_argument(
+        "--schedule-from-trace",
+        metavar="PRIOR.jsonl",
+        default=None,
+        help="trace-feedback scheduling: distill a prior run's trace "
+        "(from `repro run --trace`) into a straggler profile and keep "
+        "its slow nodes off the replica slots that carry the critical "
+        "path on this run",
     )
 
     resume = sub.add_parser(
@@ -334,6 +370,9 @@ def config_from_args(args) -> SystemConfig:
             verification_points=args.points,
             digest_chunk_records=args.chunk,
             verifier_timeout=args.timeout,
+            max_verifier_timeout=args.max_timeout,
+            checkpoints=args.checkpoints,
+            checkpoint_density=args.checkpoint_density,
         ),
         seed=args.seed,
     )
@@ -353,6 +392,23 @@ def make_controller(args, telemetry=None, journal=None) -> ClusterBFTController:
     controller = ClusterBFTController(
         config_from_args(args), telemetry=telemetry, journal=journal
     )
+    prior_trace = getattr(args, "schedule_from_trace", None)
+    if prior_trace:
+        from repro.telemetry.straggler import load_profile
+
+        try:
+            profile = load_profile(prior_trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot read prior trace: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"not a JSONL trace: {prior_trace}: {exc}")
+        controller.scheduler.set_straggler_profile(profile)
+        if profile.stragglers:
+            print(
+                "stragglers: "
+                + ", ".join(profile.stragglers)
+                + f" (from {prior_trace})"
+            )
     for dfs_path, records in inputs_from_args(args).items():
         controller.load_input(dfs_path, records)
     return controller
@@ -495,7 +551,8 @@ def cmd_resume(args) -> int:
     else:
         print(
             f"resumed   : attempt {recovered.start_attempt}, "
-            f"{recovered.commits_replayed} commit(s) replayed"
+            f"{recovered.commits_replayed} commit(s) replayed, "
+            f"{recovered.checkpoints_replayed} checkpoint(s) replayed"
         )
     _print_result(result, args.show_output)
     if args.outputs_json:

@@ -233,6 +233,23 @@ class ClusterBFTConfig:
     #: suspicion can trigger a migration — mirrors
     #: ``suspicion_min_jobs`` at region granularity.
     region_min_jobs: int = 6
+    #: Checkpoint tier: commit verified, output-covered sub-graphs at
+    #: *verdict time* (journaled as fsync'd ``checkpoint`` WAL records)
+    #: instead of only at the attempt boundary.  A control-tier crash
+    #: mid-attempt then resumes from the last verified checkpoint rather
+    #: than rerunning the whole sub-graph.  ``False`` is the seed
+    #: behaviour (byte-identical journals).
+    checkpoints: bool = False
+    #: Expected-rerun-cost checkpoint placement: fraction of the
+    #: verification-point candidates to mark (deterministic greedy by
+    #: covered upstream work).  ``0.0`` keeps the fixed
+    #: ``verification_points`` placement (the seed behaviour).
+    checkpoint_density: float = 0.0
+    #: Upper bound on the rerun escalation's ``timeout *= 2`` doubling.
+    #: ``None`` (the seed behaviour) leaves the escalation unbounded;
+    #: when set, escalated timeouts clamp to this value and the cap hit
+    #: is audited.
+    max_verifier_timeout: float | None = None
 
     def validate(self) -> "ClusterBFTConfig":
         if self.f < 0:
@@ -266,6 +283,15 @@ class ClusterBFTConfig:
             )
         if self.region_min_jobs < 1:
             raise ConfigError("region_min_jobs must be >= 1")
+        if not 0.0 <= self.checkpoint_density <= 1.0:
+            raise ConfigError("checkpoint_density must be in [0, 1]")
+        if (
+            self.max_verifier_timeout is not None
+            and self.max_verifier_timeout < self.verifier_timeout
+        ):
+            raise ConfigError(
+                "max_verifier_timeout must be >= verifier_timeout (or None)"
+            )
         return self
 
     @property

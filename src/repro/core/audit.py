@@ -36,6 +36,11 @@ PROBE = "probe"
 RERUN = "rerun"
 COMMIT = "commit"
 EXHAUSTED = "exhausted"
+#: Rerun escalation wanted to double the verifier timeout past the
+#: configured ``max_verifier_timeout`` ceiling — the clamp is audited
+#: because a capped escalation that still cannot verify is a liveness
+#: signal, not silent tuning.
+TIMEOUT_CAP = "timeout_cap"
 #: Crash damage observed while reopening a journal/ledger: the byte
 #: count of the torn tail the reopen truncated.  Dropped data is
 #: evidence of *when* the control tier died — it must land in the

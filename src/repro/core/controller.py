@@ -45,6 +45,7 @@ from repro.core.audit import (
     RECONFIG,
     RERUN,
     SUBMIT,
+    TIMEOUT_CAP,
     VERDICT,
     AuditLog,
 )
@@ -89,6 +90,8 @@ class ScriptResult:
     outcomes: list[VerificationOutcome] = field(default_factory=list)
     marked_vertices: list[VertexId] = field(default_factory=list)
     reused_jobs: int = 0  # jobs skipped on reruns thanks to commits
+    #: Verdict-time checkpoint commits (``ClusterBFTConfig.checkpoints``).
+    checkpoint_commits: int = 0
     #: Rerun escalation ran out of ``max_reruns`` without assurance.
     exhausted: bool = False
 
@@ -540,6 +543,19 @@ class ClusterBFTController:
             start_attempt = resume.start_attempt
         assured = False
         last_attempt: _Attempt | None = None
+        checkpointed = 0
+
+        def escalated_timeout(current: float) -> float:
+            """Next attempt's verifier timeout: doubled, clamped to the
+            configured ``max_verifier_timeout`` ceiling.  Used for both
+            the live escalation and the journaled ``next_timeout`` so a
+            resumed run restores exactly the value an uninterrupted run
+            would have used."""
+            doubled = current * 2
+            cap = cfg.max_verifier_timeout
+            if cap is not None and doubled > cap:
+                return cap
+            return doubled
 
         # A restored snapshot may already cover the full commit set —
         # e.g. a crash landed between the final attempt's ``attempt_end``
@@ -613,12 +629,50 @@ class ClusterBFTController:
                 timeout=timeout,
                 jobs=len(pending),
             )
+            sid_jobs = {
+                sid: job_index
+                for job_index, sid in self._sids(
+                    prepared, pending, script_id, attempt_index
+                )
+            }
+            #: Sids settled eagerly at verdict time (checkpoint tier):
+            #: their WAL/audit records and DFS copies already happened;
+            #: the attempt-boundary loop merges the staged state instead
+            #: of re-journaling.
+            settled_sids: set[str] = set()
+            staged_ok: set[int] = set()
+            staged_commits: dict[int, tuple[str, str]] = {}
+
+            def on_verdict(
+                outcome,
+                a=attempt,
+                index=attempt_index,
+                sids=sid_jobs,
+                settled=settled_sids,
+                ok=staged_ok,
+                commits=staged_commits,
+            ):
+                self._on_verdict(a, outcome)
+                if cfg.checkpoints:
+                    self._checkpoint_verdict(
+                        prepared,
+                        a,
+                        outcome,
+                        script_id,
+                        index,
+                        sids,
+                        settled,
+                        ok,
+                        commits,
+                        journal,
+                    )
+
             verifier = Verifier(
                 self.loop,
                 cfg.f,
                 self.config.cost,
                 timeout,
-                on_verdict=lambda outcome, a=attempt: self._on_verdict(a, outcome),
+                on_verdict=on_verdict,
                 on_late_fault=lambda sid, fault, j=journal: self._on_late_fault(
                     sid, fault, journal=j
                 ),
@@ -671,6 +725,20 @@ class ClusterBFTController:
             # Commit verified, output-covered jobs; record every VERIFIED
             # sid (committable or not) as settled.
             for job_index, sid in self._sids(prepared, pending, script_id, attempt_index):
+                if sid in settled_sids:
+                    # Settled at verdict time (checkpoint tier): merge
+                    # the staged effects at the same point in the
+                    # attempt boundary the regular path applies them, so
+                    # rerun closures and assurance checks are identical.
+                    if job_index in staged_ok:
+                        verified_ok.add(job_index)
+                    staged = staged_commits.get(job_index)
+                    if staged is not None:
+                        logical, target = staged
+                        verified_paths[logical] = target
+                        verified_jobs.add(job_index)
+                        checkpointed += 1
+                    continue
                 outcome = attempt.outcomes.get(sid)
                 if outcome is not None:
                     if journal is not None:
@@ -765,7 +833,7 @@ class ClusterBFTController:
                     attempt=attempt_index,
                     attempts_used=attempts_used,
                     next_replication=replication + cfg.rerun_extra_replicas,
-                    next_timeout=timeout * 2,
+                    next_timeout=escalated_timeout(timeout),
                     verified_jobs=sorted(verified_jobs),
                     verified_ok=sorted(verified_ok),
                     verified_paths=dict(sorted(verified_paths.items())),
@@ -799,7 +867,20 @@ class ClusterBFTController:
                 assured = True
                 break
             replication += cfg.rerun_extra_replicas
-            timeout *= 2
+            next_timeout = escalated_timeout(timeout)
+            if next_timeout < timeout * 2:
+                # Liveness signal: escalation wanted to keep doubling but
+                # hit the configured ceiling — audited, never silent.
+                self.audit.record(
+                    self.loop.now,
+                    TIMEOUT_CAP,
+                    script_id,
+                    attempt=attempt_index,
+                    capped=next_timeout,
+                    uncapped=timeout * 2,
+                    **self.audit_context,
+                )
+            timeout = next_timeout
             if tracer.enabled:
                 tracer.event(
                     "escalation",
@@ -832,6 +913,7 @@ class ClusterBFTController:
             assured=assured,
             attempts=attempts_used,
             reused_jobs=reused,
+            checkpoints=checkpointed,
         )
         # Drain the late replicas of verified sids (offline attribution):
         # happens after the latency clock stops — verification is not on
@@ -868,6 +950,7 @@ class ClusterBFTController:
                 exhausted=exhausted,
                 attempts=attempts_used,
                 reused=reused,
+                checkpoints=checkpointed,
                 latency=metrics.latency,
                 outputs={
                     logical: wal.records_to_json(records)
@@ -886,6 +969,7 @@ class ClusterBFTController:
             marked_vertices=list(prepared.marked_vertices),
             reused_jobs=reused,
             exhausted=exhausted,
+            checkpoint_commits=checkpointed,
         )
         if exhausted and strict:
             error = VerificationExhausted(script_id, attempts_used, unsettled)
@@ -1023,6 +1107,115 @@ class ClusterBFTController:
 
     def _on_verdict(self, attempt: _Attempt, outcome: VerificationOutcome) -> None:
         attempt.outcomes[outcome.sid] = outcome
+
+    def _checkpoint_verdict(
+        self,
+        prepared: PreparedScript,
+        attempt: _Attempt,
+        outcome: VerificationOutcome,
+        script_id: str,
+        attempt_index: int,
+        sid_jobs: dict[str, int],
+        settled: set[str],
+        staged_ok: set[int],
+        staged_commits: dict[int, tuple[str, str]],
+        journal: wal.Journal | None,
+    ) -> None:
+        """Verdict-time commit (``ClusterBFTConfig.checkpoints``).
+
+        Journals the verdict and — for output-covered, cross-checked
+        VERIFIED sids — an fsync'd ``checkpoint`` record *inside* the
+        running attempt, so a crash mid-attempt resumes from the last
+        verified sub-graph instead of rerunning everything.  Run-state
+        effects (``verified_jobs``/``verified_ok``/``verified_paths``)
+        are *staged* and merged at the attempt boundary: the in-flight
+        attempt's path map must not change under it, keeping a
+        checkpointed uninterrupted run event-for-event identical to a
+        checkpoint-free one.
+        """
+        if outcome.status != VERIFIED:
+            # TIMEOUT/FAILED sids stay with the attempt-end loop: they
+            # produce no commit, so eager settlement buys no durability.
+            return
+        job_index = sid_jobs.get(outcome.sid)
+        if job_index is None:
+            return
+        if journal is None:
+            journal = self.journal
+        spec = prepared.job_graph.jobs[job_index]
+        if journal is not None:
+            journal.append(
+                wal.VERDICT,
+                sid=outcome.sid,
+                status=outcome.status,
+                winners=sorted(outcome.winners),
+                faulty_replicas=sorted(
+                    fault.replica for fault in outcome.faults
+                ),
+            )
+        self.audit.record(
+            self.loop.now,
+            VERDICT,
+            outcome.sid,
+            status=outcome.status,
+            winners=tuple(sorted(outcome.winners)),
+            faulty_replicas=tuple(fault.replica for fault in outcome.faults),
+            **self.audit_context,
+        )
+        # Settled even when the cross-check below yields no majority:
+        # the verdict is journaled either way, and the attempt-end loop
+        # must not journal it (or attribute equivocation faults) twice.
+        settled.add(outcome.sid)
+        if output_coverage(spec) is None:
+            staged_ok.add(job_index)
+            return
+        winner = self._cross_checked_winner(
+            attempt,
+            outcome,
+            script_id,
+            attempt_index,
+            job_index,
+            spec,
+            journal=journal,
+        )
+        if winner is None:
+            return
+        staged_ok.add(job_index)
+        source = self._replica_path(
+            script_id, attempt_index, winner, spec.output_path
+        )
+        target = f"__run/{script_id}/verified/{spec.output_path}"
+        if journal is not None:
+            # Like a commit record, the checkpoint carries the winning
+            # content inline (fsync'd): recovery re-stages it into a
+            # fresh DFS without re-executing the job.
+            journal.append(
+                wal.CHECKPOINT,
+                sid=outcome.sid,
+                job_index=job_index,
+                path=spec.output_path,
+                target=target,
+                winner=winner,
+                content=wal.records_to_json(self.dfs.read(source)),
+            )
+        self._copy_file(source, target)
+        staged_commits[job_index] = (spec.output_path, target)
+        # Audited as a COMMIT (with a checkpoint marker) so coverage
+        # checks over committed sids keep seeing one uniform kind.
+        self.audit.record(
+            self.loop.now,
+            COMMIT,
+            outcome.sid,
+            path=spec.output_path,
+            winner=winner,
+            checkpoint=True,
+            **self.audit_context,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.tracer.event(
+                "checkpoint.commit", sid=outcome.sid, path=spec.output_path
+            )
+            self.telemetry.metrics.counter("checkpoint_commits").inc()
 
     def _on_late_fault(
         self, sid: str, fault, journal: wal.Journal | None = None

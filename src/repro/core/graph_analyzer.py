@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from math import ceil, fsum
 
 from repro.common.config import ADVERSARY_STRONG, ADVERSARY_WEAK
 from repro.common.errors import ConfigError, PlanError
@@ -155,6 +156,79 @@ def mark(
             break
         marked.append(best_vid)
         scores.append(best_score)
+    return MarkerResult(marked=marked, scores=scores, input_ratios=dict(ratios))
+
+
+def ancestor_sets(plan: LogicalPlan) -> dict[VertexId, set[VertexId]]:
+    """Every vertex's transitive upstream set (exclusive of itself)."""
+    ancestors: dict[VertexId, set[VertexId]] = {}
+    for vid in plan.topological_order():
+        upstream: set[VertexId] = set()
+        for parent in plan.parents(vid):
+            upstream |= ancestors[parent]
+            upstream.add(parent)
+        ancestors[vid] = upstream
+    return ancestors
+
+
+def mark_by_rerun_cost(
+    plan: LogicalPlan,
+    density: float,
+    ratios: dict[VertexId, float],
+    candidates: list[VertexId],
+) -> MarkerResult:
+    """Expected-rerun-cost placement (``checkpoint_density``).
+
+    A verification point at ``v`` lets a rerun *reuse* everything
+    upstream of ``v`` once its output commits, so the work a point
+    saves is the weight of its ancestor closure (each vertex weighted
+    ``1 + input_ratio`` — recomputing a vertex costs at least one task
+    plus data volume).  A point only pays off on failures *downstream*
+    of it, so an already-marked vertex discounts exactly the candidates
+    it is an ancestor of (the upstream segment it already saves) —
+    never candidates upstream of itself, whose commits protect reruns
+    the deeper point cannot (the deeper point has not committed yet
+    when the failure lands between them).  Greedily pick the candidate
+    with the largest marginal saving until
+    ``ceil(density * len(candidates))`` points are placed or no
+    candidate saves anything new.
+
+    Deterministic: candidates are scanned in their given (sorted)
+    order and ties keep the first maximum, so the same plan + density
+    always yields the same markers — reruns and resumed runs re-derive
+    identical instrumentation.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ConfigError(f"checkpoint density out of range: {density!r}")
+    if density == 0.0 or not candidates:
+        return MarkerResult(marked=[], scores=[], input_ratios=dict(ratios))
+    budget = max(1, ceil(density * len(candidates)))
+    ancestors = ancestor_sets(plan)
+    marked: list[VertexId] = []
+    scores: list[float] = []
+    for _ in range(budget):
+        best_vid: VertexId | None = None
+        best_gain = 0.0
+        for vid in candidates:
+            if vid in marked:
+                continue
+            covered: set[VertexId] = set()
+            for other in marked:
+                if other in ancestors[vid]:
+                    covered |= ancestors[other] | {other}
+            uncovered = (ancestors[vid] | {vid}) - covered
+            # fsum: exact float summation, so the gain is independent of
+            # set-iteration order (plain sum() would not be).
+            gain = len(uncovered) + fsum(
+                ratios.get(upstream, 0.0) for upstream in uncovered
+            )
+            if gain > best_gain:
+                best_vid = vid
+                best_gain = gain
+        if best_vid is None:
+            break
+        marked.append(best_vid)
+        scores.append(best_gain)
     return MarkerResult(marked=marked, scores=scores, input_ratios=dict(ratios))
 
 

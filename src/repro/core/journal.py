@@ -20,6 +20,7 @@ Record stream layout (one JSON object per line, sorted keys)::
     {"kind": "eviction" | "quarantine", ...}
     {"kind": "reconfig", ...}         # fsync'd: region migration decision
     {"kind": "commit",  ...}          # fsync'd: committed output content
+    {"kind": "checkpoint", ...}       # fsync'd: verdict-time commit (opt-in)
     {"kind": "attempt_end", ...}      # fsync'd: settled-boundary snapshot
     {"kind": "resume", ...}           # appended when a recovery reopens
     {"kind": "run_end", ...}          # fsync'd: final outputs + status
@@ -78,13 +79,20 @@ QUARANTINE = "quarantine"
 #: region.
 RECONFIG = "reconfig"
 COMMIT = "commit"
+#: Verdict-time commit (``ClusterBFTConfig.checkpoints``): a verified,
+#: output-covered sub-graph committed *inside* a running attempt, with
+#: the winning content inline.  Fsync'd — a crash mid-attempt resumes
+#: from the last checkpoint instead of rerunning the whole sub-graph.
+CHECKPOINT = "checkpoint"
 ATTEMPT_END = "attempt_end"
 RESUME = "resume"
 RUN_END = "run_end"
 
 #: Record kinds whose loss would corrupt recovery — forced to stable
 #: storage before the append returns.
-SYNC_KINDS = frozenset({HEADER, RECONFIG, COMMIT, ATTEMPT_END, RESUME, RUN_END})
+SYNC_KINDS = frozenset(
+    {HEADER, RECONFIG, COMMIT, CHECKPOINT, ATTEMPT_END, RESUME, RUN_END}
+)
 
 
 class JournalError(ReproError):

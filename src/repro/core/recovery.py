@@ -10,9 +10,11 @@ by a crashed control tier, :func:`resume_run`
 3. restores the control-tier state captured by the last fsync'd
    ``attempt_end`` snapshot — suspicion levels, fault-analyzer sets,
    evictions, quarantine — the last *settled attempt boundary*;
-4. replays every fsync'd ``commit`` record (including ones from the
-   crashed, unfinished attempt) into the DFS: committed VERIFIED jobs
-   are reused, never re-executed;
+4. replays every fsync'd ``commit`` and ``checkpoint`` record
+   (including ones from the crashed, unfinished attempt) into the DFS:
+   committed VERIFIED jobs are reused, never re-executed — checkpoints
+   are verdict-time commits, so a crash *mid-attempt* resumes after the
+   last verified sub-graph rather than rerunning the whole closure;
 5. re-prepares the script with the *recorded* verification points and
    hands a :class:`~repro.core.journal.ResumeState` to
    :meth:`~repro.core.controller.ClusterBFTController.resume_assured`,
@@ -89,6 +91,11 @@ class RecoveredRun:
     #: Fsync'd commit records replayed into the fresh DFS (jobs reused,
     #: never re-executed).
     commits_replayed: int = 0
+    #: Fsync'd ``checkpoint`` records replayed into the fresh DFS:
+    #: verdict-time commits from the crashed attempt
+    #: (``ClusterBFTConfig.checkpoints``) — the sub-graphs the rerun
+    #: escalation resumes *after* instead of re-executing.
+    checkpoints_replayed: int = 0
     #: Attempt index the rerun-escalation loop re-entered at.
     start_attempt: int = 0
     #: True when the journal ended in ``run_end`` (recorded result
@@ -110,6 +117,8 @@ def _completed_result(run_end: dict) -> ScriptResult:
         metrics=RunMetrics(),
         reused_jobs=run_end["reused"],
         exhausted=run_end["exhausted"],
+        # Older journals predate the checkpoint tier.
+        checkpoint_commits=run_end.get("checkpoints", 0),
     )
 
 
@@ -145,6 +154,7 @@ def resume_run(
     run_start: dict | None = None
     snapshot: dict | None = None
     commits: list[dict] = []
+    checkpoints: list[dict] = []
     reconfigs: list[dict] = []
     run_end: dict | None = None
     for record in records[1:]:
@@ -155,6 +165,8 @@ def resume_run(
             snapshot = record  # the latest settled boundary wins
         elif kind == wal.COMMIT:
             commits.append(record)
+        elif kind == wal.CHECKPOINT:
+            checkpoints.append(record)
         elif kind == wal.RECONFIG:
             reconfigs.append(record)
         elif kind == wal.RUN_END:
@@ -268,11 +280,34 @@ def resume_run(
         resume.verified_ok.add(commit["job_index"])
         resume.verified_paths[commit["path"]] = target
 
+    # -- replay fsync'd checkpoints (verdict-time commits) --------------
+    # Same shape and same idempotent delete-then-write staging as the
+    # commit replay above: a checkpoint folded into a later snapshot is
+    # simply re-staged to the identical content.  This is how a crash
+    # *inside* an attempt resumes from the last verified sub-graph
+    # instead of rerunning the whole closure.
+    for checkpoint in checkpoints:
+        content = wal.records_from_json(checkpoint["content"])
+        target = checkpoint["target"]
+        if controller.dfs.exists(target):
+            controller.dfs.delete(target)
+        controller.dfs.write_file(target, content)
+        resume.verified_jobs.add(checkpoint["job_index"])
+        resume.verified_ok.add(checkpoint["job_index"])
+        resume.verified_paths[checkpoint["path"]] = target
+        if controller.telemetry.enabled:
+            controller.telemetry.tracer.event(
+                "checkpoint.restore",
+                sid=checkpoint["sid"],
+                path=checkpoint["path"],
+            )
+
     journal.append(
         wal.RESUME,
         script_id=resume.script_id,
         start_attempt=resume.start_attempt,
         commits_replayed=len(commits),
+        checkpoints_replayed=len(checkpoints),
     )
     journal.run_started = True
 
@@ -291,5 +326,6 @@ def resume_run(
         controller=controller,
         warnings=warnings,
         commits_replayed=len(commits),
+        checkpoints_replayed=len(checkpoints),
         start_attempt=resume.start_attempt,
     )

@@ -112,6 +112,19 @@ class RequestHandler:
         scores: list[float] = []
         if explicit_points is not None:
             marked = list(explicit_points)
+        elif self.config.checkpoint_density > 0.0:
+            # Expected-rerun-cost placement (checkpoint tier): pick the
+            # points whose commits save the most recomputation on a
+            # rerun, at the configured density, instead of the paper's
+            # fixed-count marker.  Deterministic: a resumed run that
+            # re-prepares the script derives the identical markers.
+            ratios = graph_analyzer.input_ratios(plan, input_sizes)
+            candidates = self.candidate_vertices(plan)
+            result = graph_analyzer.mark_by_rerun_cost(
+                plan, self.config.checkpoint_density, ratios, candidates
+            )
+            marked = result.marked
+            scores = result.scores
         elif self.config.verification_points > 0:
             ratios = graph_analyzer.input_ratios(plan, input_sizes)
             candidates = self.candidate_vertices(plan)

@@ -149,11 +149,31 @@ class ClusterBFTScheduler(TaskScheduler):
         #: of that sid, even if the partition shifts under exclusions.
         self._pins: dict[tuple[NodeId, SubGraphId], int] = {}
         self._cluster = None
+        #: Trace-feedback (``repro run --schedule-from-trace``): a
+        #: :class:`~repro.telemetry.straggler.StragglerProfile` from a
+        #: prior run.  None (default) keeps the ordinal partition
+        #: byte-identical to profile-free scheduling.
+        self._straggler_profile = None
 
     def set_cluster(self, cluster) -> None:
         """Let the partition skip excluded nodes (otherwise an eviction
         could starve the replica whose ordinal slice it emptied)."""
         self._cluster = cluster
+
+    def set_straggler_profile(self, profile) -> None:
+        """Re-partition flat clusters with stragglers concentrated in
+        the highest replica slot.
+
+        Verification needs only the fastest ``f+1`` of ``r`` replicas
+        to agree — the slowest replica's tasks drain off the critical
+        path.  Packing the profile's straggler nodes into one replica's
+        block therefore keeps every *other* replica straggler-free, so
+        the digest quorum (and with it the attempt's makespan) stops
+        waiting on known-slow machines.  Anti-collocation is preserved:
+        the block partition still maps each node to exactly one slot,
+        and the first-touch pins guard it regardless.
+        """
+        self._straggler_profile = profile
 
     @staticmethod
     def _node_ordinal(node_id: NodeId) -> int:
@@ -225,7 +245,39 @@ class ClusterBFTScheduler(TaskScheduler):
             homed = [k for k in range(total) if live[k % len(live)] == home]
             slot = homed.index(run.replica % total)
             return self._region_ordinal(node) % len(homed) == slot
+        slot = self._straggler_slot(node, total)
+        if slot is not None:
+            return slot == run.replica % total
         return self._partition_ordinal(node) % total == run.replica % total
+
+    def _straggler_slot(self, node: WorkerNode, total: int) -> int | None:
+        """Replica slot under the straggler-aware block partition, or
+        None when the profile (or cluster shape) does not apply."""
+        profile = self._straggler_profile
+        if profile is None or not profile.stragglers or self._cluster is None:
+            return None
+        active = [
+            node_id
+            for node_id in self._cluster.node_ids()
+            if not self._cluster.node(node_id).excluded
+        ]
+        if node.node_id not in active or len(active) < total:
+            # Fewer nodes than replicas: the ordinal partition's
+            # wrap-around behaviour is the only workable split.
+            return None
+        straggling = {
+            node_id for node_id in profile.stragglers if node_id in active
+        }
+        if not straggling:
+            return None
+        # Deterministic: active keeps cluster declaration order within
+        # each half, stragglers move to the tail — the tail block maps
+        # to the highest replica slot.
+        ordered = [n for n in active if n not in straggling] + [
+            n for n in active if n in straggling
+        ]
+        position = ordered.index(node.node_id)
+        return (position * total) // len(ordered)
 
     def note_assignment(self, node: WorkerNode, ref: TaskRef) -> None:
         self._pins[(node.node_id, ref.run.sid)] = ref.run.replica
@@ -305,6 +357,12 @@ class FairShareScheduler(TaskScheduler):
     def set_cluster(self, cluster) -> None:
         if hasattr(self.inner, "set_cluster"):
             self.inner.set_cluster(cluster)
+
+    def set_straggler_profile(self, profile) -> None:
+        """Straggler avoidance applies service-wide: the profile lands
+        in the wrapped scheduler, where the partition decision lives."""
+        if hasattr(self.inner, "set_straggler_profile"):
+            self.inner.set_straggler_profile(profile)
 
     @property
     def quarantined(self):  # type: ignore[override]

@@ -23,7 +23,12 @@ sections:
    vs ``undeliverable`` — the receiving endpoint deregistered);
 7. **slo alerts** — the built-in alert rules of
    :mod:`repro.telemetry.slo` evaluated over the record stream (the
-   same deterministic firings ``repro alerts`` prints).
+   same deterministic firings ``repro alerts`` prints);
+8. **rerun economics** — what rerun escalation actually cost and what
+   the checkpoint tier saved: per-run attempts, reused (committed)
+   jobs and checkpoint commits from the run spans, plus checkpoint
+   restores replayed on resume and timeout escalations (with how
+   often the ``max_verifier_timeout`` cap clamped them).
 
 ``--profile`` adds a host-time section: when the trace was recorded
 with ``wall_clock=True``, the gaps between consecutive records' host
@@ -506,6 +511,35 @@ def render_text(report: RunReport) -> str:
                 f"{firing.peak:g}",
             )
         lines.append(table.render())
+
+    # 8. rerun economics ----------------------------------------------
+    lines += _section("8. rerun economics")
+    if not summary.run_spans:
+        lines.append("no run spans in trace")
+    else:
+        table = Table(
+            "per-run reuse", ["run", "attempts", "reused jobs", "checkpoints"]
+        )
+        for span in summary.run_spans:
+            attrs = span.get("attrs") or {}
+            table.add_row(
+                attrs.get("script_id", "?"),
+                attrs.get("attempts", "-"),
+                attrs.get("reused_jobs", 0),
+                attrs.get("checkpoints", 0),
+            )
+        lines.append(table.render())
+        counts = summary.event_counts
+        lines.append("")
+        lines.append(
+            f"checkpoint commits: {counts.get('checkpoint.commit', 0)}, "
+            f"restored on resume: {counts.get('checkpoint.restore', 0)}"
+        )
+        lines.append(
+            f"timeout escalations: {counts.get('escalation', 0)} "
+            f"(capped by max_verifier_timeout: "
+            f"{counts.get('audit.timeout_cap', 0)})"
+        )
 
     # host-time profile (opt-in) --------------------------------------
     if report.profile_rows is not None:

@@ -1,0 +1,272 @@
+"""Checkpoint-tier tests: verdict-time commits, WAL replay, timeout cap.
+
+The checkpoint tier must be invisible in the results (byte-identical
+outputs, identical simulated latency on uninterrupted runs) and visible
+only in the economics: faulty reruns restart from the last verified
+checkpoint instead of the whole sub-graph, and crash-resume replays
+checkpoints idempotently.
+"""
+
+import pytest
+
+from repro.common.config import ClusterBFTConfig, ClusterConfig, SystemConfig
+from repro.common.records import encode_record, records_from_rows
+from repro.core import journal as wal
+from repro.core.audit import COMMIT, TIMEOUT_CAP
+from repro.core.controller import ClusterBFTController
+from repro.core.recovery import resume_run
+from repro.faults.behaviors import SlowBehavior
+from repro.faults.injection import FaultPlan
+
+#: Two chained group-bys: two MapReduce jobs with one internal job
+#: boundary, so a checkpoint can land between them.
+SCRIPT = """
+A = LOAD 'in' AS (k:int, v:int);
+B = FILTER A BY v IS NOT NULL;
+G = GROUP B BY k;
+C = FOREACH G GENERATE group AS k, COUNT(B) AS n;
+H = GROUP C BY n;
+D = FOREACH H GENERATE group AS n, COUNT(C) AS m;
+STORE D INTO 'out';
+"""
+
+ROWS = [(i % 5, (i * 13) % 50 or None) for i in range(160)]
+
+
+def make_config(
+    checkpoints=True,
+    points=2,
+    timeout=60.0,
+    max_timeout=None,
+    density=0.0,
+):
+    return SystemConfig(
+        cluster=ClusterConfig(
+            num_nodes=12, slots_per_node=3, heartbeat_period=0.2
+        ),
+        bft=ClusterBFTConfig(
+            f=1,
+            replication=4,
+            verification_points=points,
+            checkpoints=checkpoints,
+            checkpoint_density=density,
+            verifier_timeout=timeout,
+            max_verifier_timeout=max_timeout,
+        ),
+        seed=20131209,
+    )
+
+
+def inputs():
+    return {"in": records_from_rows(ROWS)}
+
+
+def slow_node_plan():
+    plan = FaultPlan()
+    plan.assign("node_0003", SlowBehavior(factor=8.0))
+    return plan
+
+
+def run_one(config, fault_plan=None, path=None, crash_hook=None):
+    journal = None
+    if path is not None:
+        journal = wal.Journal.create(
+            path, config, SCRIPT, inputs(), block_bytes=2048,
+            crash_hook=crash_hook,
+        )
+    controller = ClusterBFTController(
+        config, fault_plan=fault_plan, block_bytes=2048, journal=journal
+    )
+    controller.load_input("in", inputs()["in"])
+    result = controller.run_assured(SCRIPT)
+    return controller, result
+
+
+def canonical(outputs):
+    return {
+        path: [encode_record(r) for r in records]
+        for path, records in outputs.items()
+    }
+
+
+def checkpoint_seqs(path):
+    records, _ = wal.read_journal(path)
+    return [r["seq"] for r in records if r["kind"] == wal.CHECKPOINT]
+
+
+class TestUninterruptedEquivalence:
+    def test_checkpoints_do_not_change_results_or_latency(self):
+        """Eager commits are staged to the attempt boundary, so an
+        uninterrupted checkpointed run is event-for-event identical to
+        a checkpoint-free run of the same seed."""
+        _, with_ckpt = run_one(make_config(checkpoints=True))
+        _, without = run_one(make_config(checkpoints=False))
+        assert canonical(with_ckpt.outputs) == canonical(without.outputs)
+        assert with_ckpt.latency == without.latency
+        assert with_ckpt.attempts == without.attempts
+        assert with_ckpt.assured and without.assured
+
+    def test_faulty_run_still_byte_identical(self):
+        ckpt_ctl, with_ckpt = run_one(
+            make_config(checkpoints=True, timeout=6.0),
+            fault_plan=slow_node_plan(),
+        )
+        _, without = run_one(
+            make_config(checkpoints=False, timeout=6.0),
+            fault_plan=slow_node_plan(),
+        )
+        assert canonical(with_ckpt.outputs) == canonical(without.outputs)
+        assert with_ckpt.assured and without.assured
+        # The checkpoint tier engaged: at least one commit was audited
+        # eagerly at verdict time.
+        eager = [
+            e
+            for e in ckpt_ctl.audit.events(kind=COMMIT)
+            if e.details.get("checkpoint")
+        ]
+        assert eager
+        assert with_ckpt.checkpoint_commits == len(eager)
+
+    def test_checkpoint_shrinks_faulty_rerun(self):
+        """The acceptance contrast: with an upstream checkpoint, the
+        rerun reuses the committed job and finishes strictly earlier
+        than the full-rerun baseline (no intermediate points)."""
+        _, with_ckpt = run_one(
+            make_config(checkpoints=True, points=2, timeout=6.0),
+            fault_plan=slow_node_plan(),
+        )
+        _, full = run_one(
+            make_config(checkpoints=False, points=0, timeout=6.0),
+            fault_plan=slow_node_plan(),
+        )
+        assert with_ckpt.assured and full.assured
+        assert with_ckpt.reused_jobs > 0
+        assert with_ckpt.latency < full.latency
+        assert canonical(with_ckpt.outputs) == canonical(full.outputs)
+
+
+class TestCheckpointResume:
+    def reference(self, tmp_path):
+        ref_path = str(tmp_path / "ref.wal")
+        config = make_config(checkpoints=True, timeout=6.0)
+        _, reference = run_one(
+            config, fault_plan=slow_node_plan(), path=ref_path
+        )
+        seqs = checkpoint_seqs(ref_path)
+        assert seqs, "scenario must journal at least one checkpoint"
+        return config, reference, seqs
+
+    def crash_run(self, tmp_path, crash_seq, name="crash.wal"):
+        path = str(tmp_path / name)
+        with pytest.raises(wal.ControlTierCrash):
+            run_one(
+                make_config(checkpoints=True, timeout=6.0),
+                fault_plan=slow_node_plan(),
+                path=path,
+                crash_hook=wal.crash_at(crash_seq),
+            )
+        return path
+
+    def test_crash_at_checkpoint_restores_it(self, tmp_path):
+        _, reference, seqs = self.reference(tmp_path)
+        path = self.crash_run(tmp_path, seqs[0])
+        recovered = resume_run(path, fault_plan=slow_node_plan())
+        assert recovered.checkpoints_replayed >= 1
+        assert recovered.result.assured == reference.assured
+        assert canonical(recovered.result.outputs) == canonical(
+            reference.outputs
+        )
+
+    def test_torn_tail_mid_checkpoint_record(self, tmp_path):
+        """A crash can tear the WAL mid-``checkpoint`` line.  The
+        resume must truncate the torn record, replay only the durable
+        checkpoints, and still converge to the reference bytes —
+        leaving a journal later reads still parse."""
+        _, reference, seqs = self.reference(tmp_path)
+        path = self.crash_run(tmp_path, seqs[0])
+        damage = '{"kind": "checkpoint", "sid": "scr'
+        with open(path, "a") as handle:
+            handle.write(damage)
+        recovered = resume_run(path, fault_plan=slow_node_plan())
+        assert any(
+            f"dropped {len(damage)} byte(s)" in w for w in recovered.warnings
+        )
+        assert canonical(recovered.result.outputs) == canonical(
+            reference.outputs
+        )
+        records, warnings = wal.read_journal(path)
+        assert warnings == []
+        assert records[-1]["kind"] == wal.RUN_END
+        assert [r["seq"] for r in records] == list(range(len(records)))
+
+    def test_double_resume_replays_checkpoints_idempotently(self, tmp_path):
+        """Crash, resume, crash *again* during the resume, resume
+        again: every resume replays the durable checkpoints (the
+        delete-then-write restore is idempotent), and the final run
+        still publishes the reference bytes."""
+        _, reference, seqs = self.reference(tmp_path)
+        path = self.crash_run(tmp_path, seqs[0])
+        with pytest.raises(wal.ControlTierCrash):
+            resume_run(
+                path,
+                fault_plan=slow_node_plan(),
+                crash_hook=wal.crash_at(seqs[0] + 3),
+            )
+        recovered = resume_run(path, fault_plan=slow_node_plan())
+        assert recovered.checkpoints_replayed >= 1
+        assert recovered.result.assured == reference.assured
+        assert canonical(recovered.result.outputs) == canonical(
+            reference.outputs
+        )
+        records, _ = wal.read_journal(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds.count(wal.RESUME) == 2
+        assert kinds[-1] == wal.RUN_END
+
+    def test_crash_sweep_every_checkpoint_boundary(self, tmp_path):
+        """CKPT1 in miniature: crash right after each checkpoint record
+        and right after the record following it; every resume must
+        match the uninterrupted run byte-for-byte."""
+        _, reference, seqs = self.reference(tmp_path)
+        expected = canonical(reference.outputs)
+        boundaries = sorted({s for seq in seqs for s in (seq, seq + 1)})
+        for crash_seq in boundaries:
+            path = self.crash_run(
+                tmp_path, crash_seq, name=f"crash-{crash_seq}.wal"
+            )
+            recovered = resume_run(path, fault_plan=slow_node_plan())
+            assert recovered.result.assured, crash_seq
+            assert canonical(recovered.result.outputs) == expected, crash_seq
+
+
+class TestTimeoutCap:
+    def test_cap_clamps_escalation_and_audits(self, tmp_path):
+        path = str(tmp_path / "capped.wal")
+        controller, result = run_one(
+            make_config(checkpoints=True, timeout=6.0, max_timeout=8.0),
+            fault_plan=slow_node_plan(),
+            path=path,
+        )
+        assert result.assured
+        capped = controller.audit.events(kind=TIMEOUT_CAP)
+        assert capped
+        assert capped[0].details["capped"] == 8.0
+        assert capped[0].details["uncapped"] == 12.0
+        records, _ = wal.read_journal(path)
+        for record in records:
+            if record["kind"] == wal.ATTEMPT_END:
+                assert record["next_timeout"] <= 8.0
+
+    def test_no_cap_means_no_audit(self):
+        controller, result = run_one(
+            make_config(checkpoints=True, timeout=6.0, max_timeout=None),
+            fault_plan=slow_node_plan(),
+        )
+        assert result.assured
+        assert controller.audit.events(kind=TIMEOUT_CAP) == []
+
+    def test_cap_below_timeout_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            make_config(timeout=6.0, max_timeout=3.0).validate()

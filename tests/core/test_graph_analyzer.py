@@ -6,9 +6,11 @@ from repro.common.config import ADVERSARY_STRONG, ADVERSARY_WEAK
 from repro.common.errors import PlanError
 from repro.core.graph_analyzer import (
     analyze,
+    ancestor_sets,
     candidate_vertices,
     input_ratios,
     mark,
+    mark_by_rerun_cost,
     undirected_distances,
 )
 from repro.dataflow import expressions as ex
@@ -151,3 +153,63 @@ class TestCandidates:
         plan, _sizes, _ = fig4_plan()
         with pytest.raises(ConfigError):
             candidate_vertices(plan, "medium")
+
+
+class TestRerunCostMarker:
+    """Expected-rerun-cost placement (``checkpoint_density``)."""
+
+    def candidates(self):
+        plan, sizes, (_l1, _l2, _l3, j1, f3, j2) = fig4_plan()
+        ratios = input_ratios(plan, sizes)
+        return plan, ratios, [j1, f3, j2], (j1, f3, j2)
+
+    def test_full_density_marks_every_candidate_sink_first(self):
+        """Regression: a marked sink must not swallow the marginal value
+        of the points upstream of it (its commit cannot protect a
+        failure that lands before it commits).  All three candidates
+        get marked, deepest saving first."""
+        plan, ratios, candidates, (j1, f3, j2) = self.candidates()
+        result = mark_by_rerun_cost(plan, 1.0, ratios, candidates)
+        assert result.marked == [j2, j1, f3]
+        # Closure weights: j2 saves all six vertices (6 + 3.0 of ratio
+        # mass), j1 its two loads, f3 its one.
+        assert result.scores == pytest.approx([9.0, 4.0, 3.0])
+
+    def test_density_scales_the_budget(self):
+        plan, ratios, candidates, (j1, _f3, j2) = self.candidates()
+        result = mark_by_rerun_cost(plan, 0.4, ratios, candidates)
+        # ceil(0.4 * 3) = 2 points: the sink, then the join's segment.
+        assert result.marked == [j2, j1]
+
+    def test_tiny_density_still_places_one_point(self):
+        plan, ratios, candidates, (_j1, _f3, j2) = self.candidates()
+        result = mark_by_rerun_cost(plan, 0.01, ratios, candidates)
+        assert result.marked == [j2]
+
+    def test_zero_density_marks_nothing(self):
+        plan, ratios, candidates, _ = self.candidates()
+        result = mark_by_rerun_cost(plan, 0.0, ratios, candidates)
+        assert result.marked == [] and result.scores == []
+
+    def test_deterministic_across_calls(self):
+        plan, ratios, candidates, _ = self.candidates()
+        first = mark_by_rerun_cost(plan, 1.0, ratios, candidates)
+        second = mark_by_rerun_cost(plan, 1.0, ratios, candidates)
+        assert first.marked == second.marked
+        assert first.scores == second.scores
+
+    def test_out_of_range_density_rejected(self):
+        from repro.common.errors import ConfigError
+
+        plan, ratios, candidates, _ = self.candidates()
+        for density in (-0.1, 1.5):
+            with pytest.raises(ConfigError):
+                mark_by_rerun_cost(plan, density, ratios, candidates)
+
+    def test_ancestor_sets_are_transitive_and_exclusive(self):
+        plan, _sizes, (l1, l2, l3, j1, f3, j2) = fig4_plan()
+        ancestors = ancestor_sets(plan)
+        assert ancestors[l1] == set()
+        assert ancestors[j1] == {l1, l2}
+        assert ancestors[f3] == {l3}
+        assert ancestors[j2] == {l1, l2, l3, j1, f3}

@@ -9,7 +9,12 @@ from repro.dataflow.piglatin import parse_script
 from repro.faults.injection import FaultPlan
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.engine import JobRun, MapReduceEngine
-from repro.mapreduce.scheduler import ClusterBFTScheduler, NaiveScheduler
+from repro.mapreduce.scheduler import (
+    ClusterBFTScheduler,
+    FairShareScheduler,
+    NaiveScheduler,
+)
+from repro.telemetry.straggler import StragglerProfile
 from repro.simulation.events import EventLoop
 from repro.storage.dfs import TrustedDFS
 
@@ -121,3 +126,94 @@ class TestOverlap:
         scheduler = ClusterBFTScheduler()
         assert scheduler._node_ordinal("node_0013") == 13
         assert scheduler._node_ordinal("weird") >= 0
+
+
+def run_with_profile(scheduler, profile, replicas=3, nodes=9):
+    """Like ``run_replicated`` but wires the cluster and a straggler
+    profile into the scheduler (the controller does both in production)."""
+    loop = EventLoop()
+    dfs = TrustedDFS(block_bytes=256)
+    cluster = Cluster(
+        ClusterConfig(num_nodes=nodes, slots_per_node=3, heartbeat_period=0.5),
+        FaultPlan(),
+    )
+    dfs.set_placement_nodes(cluster.node_ids())
+    scheduler.set_cluster(cluster)
+    if profile is not None:
+        scheduler.set_straggler_profile(profile)
+    engine = MapReduceEngine(
+        loop, dfs, cluster, scheduler, CostModelConfig(), random.Random(3)
+    )
+    dfs.write_file("in", records_from_rows([(i % 7, i) for i in range(200)]))
+    graph = compile_plan(parse_script(SCRIPT), CompileOptions(num_reducers=3))
+    runs = []
+    for replica in range(replicas):
+        run = JobRun(
+            job_id=f"j-r{replica}",
+            sid="sid0",
+            replica=replica,
+            spec=graph.jobs[0],
+            path_map={"out": f"r{replica}/out"},
+            scope=f"r{replica}",
+            total_replicas=replicas,
+        )
+        runs.append(run)
+        engine.submit(run)
+    loop.run_until_idle()
+    return runs
+
+
+class TestStragglerProfile:
+    def profile(self, *stragglers):
+        return StragglerProfile(stragglers=tuple(stragglers))
+
+    def test_straggler_confined_to_highest_replica_slot(self):
+        """With 9 nodes and 3 replicas the straggler moves to the tail
+        of the declaration order — slot (8 * 3) // 9 = 2, the highest
+        replica, whose verdict the fastest f+1 quorum never waits on."""
+        runs = run_with_profile(
+            ClusterBFTScheduler(), self.profile("node_0004")
+        )
+        assert all(run.state == "done" for run in runs)
+        for run in runs:
+            if run.replica != 2:
+                assert "node_0004" not in run.nodes_used, run.replica
+
+    def test_anti_collocation_still_holds_with_profile(self):
+        runs = run_with_profile(
+            ClusterBFTScheduler(), self.profile("node_0004", "node_0007")
+        )
+        assert all(run.state == "done" for run in runs)
+        node_to_replicas: dict = {}
+        for run in runs:
+            for node in run.nodes_used:
+                node_to_replicas.setdefault(node, set()).add(run.replica)
+        for node, replicas in node_to_replicas.items():
+            assert len(replicas) == 1, f"{node} served replicas {replicas}"
+
+    def test_empty_profile_is_byte_identical_to_no_profile(self):
+        """A profile with no stragglers (or none at all) must not move a
+        single task — rerun scheduling stays deterministic."""
+        baseline = run_with_profile(ClusterBFTScheduler(), None)
+        empty = run_with_profile(ClusterBFTScheduler(), self.profile())
+        for base, run in zip(baseline, empty):
+            assert base.nodes_used == run.nodes_used
+            assert base.metrics.records_out == run.metrics.records_out
+
+    def test_unknown_straggler_node_is_ignored(self):
+        baseline = run_with_profile(ClusterBFTScheduler(), None)
+        ghost = run_with_profile(
+            ClusterBFTScheduler(), self.profile("node_9999")
+        )
+        for base, run in zip(baseline, ghost):
+            assert base.nodes_used == run.nodes_used
+
+    def test_fair_share_delegates_profile_to_inner(self):
+        runs = run_with_profile(
+            FairShareScheduler(ClusterBFTScheduler()),
+            self.profile("node_0004"),
+        )
+        assert all(run.state == "done" for run in runs)
+        for run in runs:
+            if run.replica != 2:
+                assert "node_0004" not in run.nodes_used, run.replica
